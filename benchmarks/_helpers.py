@@ -1,0 +1,18 @@
+"""Shared constants and helpers for the experiment benchmarks."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+KB = 1024
+MB = 1024 * 1024
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_table(results_dir: Path, name: str, table) -> None:
+    """Persist a ResultTable to benchmarks/results/<name>.json and print it."""
+    results_dir.mkdir(exist_ok=True)
+    table.save_json(results_dir / f"{name}.json")
+    print()
+    print(table.to_text())

@@ -1,0 +1,98 @@
+"""E1 — Fine-grain access to massive data: throughput vs concurrent clients.
+
+Paper claim (Section IV.A, [14]): the initial RAM-based BlobSeer prototype
+scales well "both in terms of metadata overhead and in terms of concurrent
+reads and writes" when many clients access disjoint fine-grain pieces of the
+same huge blob.
+
+Reproduction: one 256 MiB blob (1 MiB chunks), N clients concurrently read
+(resp. write) disjoint 8 MiB ranges; we report aggregate throughput and the
+metadata-node fetches per operation.  Expected shape: near-linear scaling of
+aggregate throughput until the data providers saturate, with metadata
+overhead growing only logarithmically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.core.config import BlobSeerConfig
+from repro.sim import (
+    SimulatedBlobSeer,
+    prime_blob,
+    run_concurrent_readers,
+    run_concurrent_writers,
+)
+
+from _helpers import MB, save_table
+
+CLIENT_COUNTS = [1, 2, 4, 8, 16, 32, 64]
+OP_SIZE = 8 * MB
+BLOB_SIZE = 256 * MB
+
+
+def _make_cluster() -> SimulatedBlobSeer:
+    return SimulatedBlobSeer(
+        BlobSeerConfig(num_data_providers=48, num_metadata_providers=16, chunk_size=1 * MB)
+    )
+
+
+def run_read_scaling() -> ResultTable:
+    table = ResultTable(
+        "E1a: aggregate READ throughput vs concurrent clients (disjoint 8 MiB reads)",
+        ["clients", "throughput_MBps", "per_client_MBps", "metadata_gets"],
+    )
+    for clients in CLIENT_COUNTS:
+        cluster = _make_cluster()
+        blob = cluster.create_blob()
+        prime_blob(cluster, blob, BLOB_SIZE)
+        result = run_concurrent_readers(cluster, blob, clients, OP_SIZE, disjoint=True)
+        gets = sum(stats["gets"] for stats in cluster.metadata_store.access_stats().values())
+        aggregate = result.metrics.aggregate_throughput("read") / 1e6
+        table.add(
+            clients=clients,
+            throughput_MBps=aggregate,
+            per_client_MBps=aggregate / clients,
+            metadata_gets=gets,
+        )
+    return table
+
+
+def run_write_scaling() -> ResultTable:
+    table = ResultTable(
+        "E1b: aggregate WRITE throughput vs concurrent clients (disjoint 8 MiB writes)",
+        ["clients", "throughput_MBps", "per_client_MBps", "metadata_puts"],
+    )
+    for clients in CLIENT_COUNTS:
+        cluster = _make_cluster()
+        blob = cluster.create_blob()
+        prime_blob(cluster, blob, BLOB_SIZE)
+        result = run_concurrent_writers(cluster, blob, clients, OP_SIZE, disjoint=True)
+        puts = sum(stats["puts"] for stats in cluster.metadata_store.access_stats().values())
+        aggregate = result.metrics.aggregate_throughput("write") / 1e6
+        table.add(
+            clients=clients,
+            throughput_MBps=aggregate,
+            per_client_MBps=aggregate / clients,
+            metadata_puts=puts,
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="e1-finegrain")
+def test_e1_read_scaling(benchmark, results_dir):
+    table = benchmark.pedantic(run_read_scaling, rounds=1, iterations=1)
+    save_table(results_dir, "e1_read_scaling", table)
+    throughputs = table.column("throughput_MBps")
+    # Shape: aggregate read throughput keeps growing with client count.
+    assert throughputs[-1] > 4 * throughputs[0]
+    assert table.monotonic_increasing("throughput_MBps", tolerance=0.15)
+
+
+@pytest.mark.benchmark(group="e1-finegrain")
+def test_e1_write_scaling(benchmark, results_dir):
+    table = benchmark.pedantic(run_write_scaling, rounds=1, iterations=1)
+    save_table(results_dir, "e1_write_scaling", table)
+    throughputs = table.column("throughput_MBps")
+    assert throughputs[-1] > 4 * throughputs[0]

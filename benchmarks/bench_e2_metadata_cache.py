@@ -1,0 +1,93 @@
+"""E2 — Client-side metadata caching for fine-grain concurrent reads.
+
+Paper claim (Section IV.A, [15]): for the supernovae-detection application —
+many clients repeatedly reading small windows of a huge shared string —
+"our results ... underline the benefits of metadata caching on the client
+side".
+
+Reproduction: a 128 MiB sky-string blob (512 KiB chunks); each of N clients
+performs 16 fine-grain 1 MiB reads of its own sky region, with the client
+metadata cache enabled vs disabled.  Expected shape: with caching the
+metadata-provider load (gets) drops sharply and aggregate read throughput is
+higher, increasingly so with more readers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.core.config import BlobSeerConfig, ClientConfig
+from repro.sim import SimulatedBlobSeer, prime_blob
+
+from _helpers import KB, MB, save_table
+
+BLOB_SIZE = 128 * MB
+READ_SIZE = 1 * MB
+READS_PER_CLIENT = 16
+CLIENT_COUNTS = [4, 16, 48]
+
+
+def _run_one(num_clients: int, cache_enabled: bool):
+    config = BlobSeerConfig(
+        num_data_providers=32,
+        num_metadata_providers=8,
+        chunk_size=512 * KB,
+        client=ClientConfig(metadata_cache=cache_enabled),
+    )
+    cluster = SimulatedBlobSeer(config)
+    blob = cluster.create_blob()
+    prime_blob(cluster, blob, BLOB_SIZE)
+
+    region = BLOB_SIZE // num_clients
+    clients = [cluster.client() for _ in range(num_clients)]
+
+    def workload(index, client):
+        base = index * region
+        for round_index in range(READS_PER_CLIENT):
+            offset = base + (round_index * READ_SIZE) % max(1, region - READ_SIZE)
+            yield from client.read(blob, offset, READ_SIZE)
+
+    for index, client in enumerate(clients):
+        cluster.env.process(workload(index, client), name=f"reader-{index}")
+    cluster.env.run()
+    gets = sum(stats["gets"] for stats in cluster.metadata_store.access_stats().values())
+    return cluster.metrics.aggregate_throughput("read") / 1e6, gets
+
+
+def run_cache_comparison() -> ResultTable:
+    table = ResultTable(
+        "E2: client-side metadata cache for fine-grain reads (supernovae pattern)",
+        [
+            "clients",
+            "cache_on_MBps",
+            "cache_off_MBps",
+            "speedup",
+            "meta_gets_on",
+            "meta_gets_off",
+        ],
+    )
+    for clients in CLIENT_COUNTS:
+        on_throughput, on_gets = _run_one(clients, cache_enabled=True)
+        off_throughput, off_gets = _run_one(clients, cache_enabled=False)
+        table.add(
+            clients=clients,
+            cache_on_MBps=on_throughput,
+            cache_off_MBps=off_throughput,
+            speedup=on_throughput / off_throughput if off_throughput else 0.0,
+            meta_gets_on=on_gets,
+            meta_gets_off=off_gets,
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="e2-metadata-cache")
+def test_e2_metadata_cache_benefit(benchmark, results_dir):
+    table = benchmark.pedantic(run_cache_comparison, rounds=1, iterations=1)
+    save_table(results_dir, "e2_metadata_cache", table)
+    # Shape: caching always reduces metadata traffic and never hurts throughput.
+    for row in table.rows:
+        assert row["meta_gets_on"] < row["meta_gets_off"]
+        assert row["cache_on_MBps"] >= 0.95 * row["cache_off_MBps"]
+    # And the benefit is visible at the highest concurrency.
+    assert table.rows[-1]["speedup"] >= 1.0

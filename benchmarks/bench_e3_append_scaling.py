@@ -1,0 +1,87 @@
+"""E3 — Concurrent append scalability.
+
+Paper claim (Section IV.B, [3]): the versioning-oriented interface with
+concurrent append support shows "good scalability with respect to the data
+size and to the number of concurrent accesses".
+
+Reproduction: N clients concurrently append to the *same* blob; we sweep
+(a) the number of appenders at fixed append size and (b) the append size at
+a fixed number of appenders.  Expected shapes: aggregate append throughput
+grows with the number of appenders (concurrent appends never wait for each
+other except at the tiny version-manager step), and per-client efficiency
+stays roughly flat as the data size grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.core.config import BlobSeerConfig
+from repro.sim import SimulatedBlobSeer, run_concurrent_appenders
+
+from _helpers import MB, save_table
+
+APPENDER_COUNTS = [1, 2, 4, 8, 16, 32, 64]
+APPEND_SIZES_MB = [2, 4, 8, 16, 32]
+
+
+def _cluster() -> SimulatedBlobSeer:
+    return SimulatedBlobSeer(
+        BlobSeerConfig(num_data_providers=48, num_metadata_providers=16, chunk_size=1 * MB)
+    )
+
+
+def run_appender_sweep() -> ResultTable:
+    table = ResultTable(
+        "E3a: aggregate append throughput vs concurrent appenders (8 MiB appends)",
+        ["appenders", "throughput_MBps", "per_client_MBps", "final_version"],
+    )
+    for appenders in APPENDER_COUNTS:
+        cluster = _cluster()
+        blob = cluster.create_blob()
+        result = run_concurrent_appenders(cluster, blob, appenders, append_size=8 * MB)
+        aggregate = result.metrics.aggregate_throughput("append") / 1e6
+        table.add(
+            appenders=appenders,
+            throughput_MBps=aggregate,
+            per_client_MBps=aggregate / appenders,
+            final_version=cluster.version_manager.latest_version(blob.blob_id),
+        )
+    return table
+
+
+def run_size_sweep() -> ResultTable:
+    table = ResultTable(
+        "E3b: append throughput vs append size (16 concurrent appenders)",
+        ["append_MB", "throughput_MBps", "latency_p95_s"],
+    )
+    for size_mb in APPEND_SIZES_MB:
+        cluster = _cluster()
+        blob = cluster.create_blob()
+        result = run_concurrent_appenders(cluster, blob, 16, append_size=size_mb * MB)
+        table.add(
+            append_MB=size_mb,
+            throughput_MBps=result.metrics.aggregate_throughput("append") / 1e6,
+            latency_p95_s=result.metrics.latency_stats("append")["p95"],
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="e3-append")
+def test_e3_append_scaling_with_clients(benchmark, results_dir):
+    table = benchmark.pedantic(run_appender_sweep, rounds=1, iterations=1)
+    save_table(results_dir, "e3_append_clients", table)
+    throughputs = table.column("throughput_MBps")
+    assert throughputs[-1] > 5 * throughputs[0]
+    # Every append became a published version: no appender ever lost its slot.
+    assert table.rows[-1]["final_version"] == APPENDER_COUNTS[-1]
+
+
+@pytest.mark.benchmark(group="e3-append")
+def test_e3_append_scaling_with_size(benchmark, results_dir):
+    table = benchmark.pedantic(run_size_sweep, rounds=1, iterations=1)
+    save_table(results_dir, "e3_append_size", table)
+    throughputs = table.column("throughput_MBps")
+    # Larger appends amortise fixed costs: throughput must not degrade.
+    assert throughputs[-1] >= 0.8 * throughputs[0]

@@ -1,0 +1,70 @@
+"""E4 — Impact of data striping: throughput vs number of data providers.
+
+Paper claim (Section IV.C, [2]): data striping over many providers is one of
+the two pillars that sustain high write throughput in desktop-grid settings;
+the evaluation measures "the impact of data decentralization".
+
+Reproduction: 32 concurrent writers, each writing 8 MiB to its own region of
+a shared blob, while the number of data providers grows from 1 to 64.
+Expected shape: aggregate throughput grows with the provider count (the
+providers' NICs stop being the bottleneck) and then plateaus once the
+writers' own NICs become the limit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.core.config import BlobSeerConfig
+from repro.sim import SimulatedBlobSeer, prime_blob, run_concurrent_writers
+
+from _helpers import MB, save_table
+
+PROVIDER_COUNTS = [1, 2, 4, 8, 16, 32, 64]
+WRITERS = 32
+WRITE_SIZE = 8 * MB
+
+
+def run_striping_sweep() -> ResultTable:
+    table = ResultTable(
+        "E4: aggregate write throughput vs number of data providers (32 writers)",
+        ["data_providers", "throughput_MBps", "per_provider_MBps", "placement_cv"],
+    )
+    for providers in PROVIDER_COUNTS:
+        config = BlobSeerConfig(
+            num_data_providers=providers,
+            num_metadata_providers=16,
+            chunk_size=1 * MB,
+        )
+        cluster = SimulatedBlobSeer(config)
+        blob = cluster.create_blob()
+        prime_blob(cluster, blob, WRITERS * WRITE_SIZE)
+        result = run_concurrent_writers(cluster, blob, WRITERS, WRITE_SIZE, disjoint=True)
+        aggregate = result.metrics.aggregate_throughput("write") / 1e6
+        chunk_counts = [
+            cluster.provider_pool.get(pid).chunks_stored
+            for pid in cluster.provider_pool.provider_ids
+        ]
+        mean = sum(chunk_counts) / len(chunk_counts)
+        variance = sum((c - mean) ** 2 for c in chunk_counts) / len(chunk_counts)
+        cv = (variance ** 0.5) / mean if mean else 0.0
+        table.add(
+            data_providers=providers,
+            throughput_MBps=aggregate,
+            per_provider_MBps=aggregate / providers,
+            placement_cv=cv,
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="e4-striping")
+def test_e4_striping_scaling(benchmark, results_dir):
+    table = benchmark.pedantic(run_striping_sweep, rounds=1, iterations=1)
+    save_table(results_dir, "e4_data_striping", table)
+    throughputs = table.column("throughput_MBps")
+    # Shape: more providers -> more aggregate throughput, with a plateau.
+    assert table.monotonic_increasing("throughput_MBps", tolerance=0.10)
+    assert throughputs[-1] > 5 * throughputs[0]
+    # Round-robin striping keeps the providers balanced.
+    assert all(row["placement_cv"] < 0.5 for row in table.rows)

@@ -1,0 +1,175 @@
+"""E6 — BSFS vs an HDFS-like back-end for MapReduce access patterns.
+
+Paper claim (Section IV.D, [16]): replacing HDFS with BSFS under Hadoop
+shows "clear benefits ... especially in the case of concurrent accesses to
+the same huge file", for both synthetic access patterns and real MapReduce
+applications.
+
+Reproduction (simulated timing, same data plane for both systems):
+
+* (a) **concurrent readers of one huge file** — N map tasks read disjoint
+  ranges of a shared 512 MiB input.  The HDFS-like system differs only in
+  its centralised metadata (single namenode).
+* (b) **concurrent appenders to one file** — N reduce tasks append their
+  output to a single result file.  HDFS permits one writer at a time
+  (modelled by the per-file lock), BlobSeer/BSFS publishes concurrent
+  appends as independent versions.
+* (c) **grep-style job** — map phase (disjoint reads) followed by a reduce
+  phase (result appends), end to end.
+
+Expected shapes: (a) modest advantage that grows with concurrency,
+(b) a large advantage growing roughly linearly with the number of
+concurrent appenders, and (c) an end-to-end gain in between.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.core.config import BlobSeerConfig
+from repro.sim import (
+    NetworkModel,
+    SimulatedBlobSeer,
+    prime_blob,
+    run_concurrent_appenders,
+    run_concurrent_readers,
+    run_concurrent_writers,
+)
+
+from _helpers import KB, MB, save_table
+
+CLIENT_COUNTS = [4, 16, 64]
+INPUT_SIZE = 512 * MB
+MODEL = NetworkModel(metadata_service=0.3e-3)
+
+
+def _cluster(hdfs_like: bool) -> SimulatedBlobSeer:
+    """BSFS: DHT metadata.  HDFS-like: single namenode (1 metadata provider)."""
+    config = BlobSeerConfig(
+        num_data_providers=48,
+        num_metadata_providers=1 if hdfs_like else 16,
+        chunk_size=2 * MB,
+    )
+    return SimulatedBlobSeer(config, model=MODEL)
+
+
+def run_concurrent_read_comparison() -> ResultTable:
+    table = ResultTable(
+        "E6a: N mappers read disjoint ranges of one 512 MiB file",
+        ["clients", "bsfs_MBps", "hdfs_MBps", "gain"],
+    )
+    for clients in CLIENT_COUNTS:
+        results = {}
+        for hdfs_like in (False, True):
+            cluster = _cluster(hdfs_like)
+            blob = cluster.create_blob()
+            prime_blob(cluster, blob, INPUT_SIZE)
+            read_size = INPUT_SIZE // clients
+            result = run_concurrent_readers(
+                cluster, blob, clients, read_size, disjoint=True
+            )
+            results[hdfs_like] = result.metrics.aggregate_throughput("read") / 1e6
+        table.add(
+            clients=clients,
+            bsfs_MBps=results[False],
+            hdfs_MBps=results[True],
+            gain=results[False] / results[True] if results[True] else 0.0,
+        )
+    return table
+
+
+def run_concurrent_append_comparison() -> ResultTable:
+    table = ResultTable(
+        "E6b: N reducers append 16 MiB each to one output file",
+        ["clients", "bsfs_MBps", "hdfs_MBps", "gain"],
+    )
+    for clients in CLIENT_COUNTS:
+        # BSFS: concurrent appends are first-class.
+        bsfs_cluster = _cluster(hdfs_like=False)
+        bsfs_blob = bsfs_cluster.create_blob()
+        bsfs = run_concurrent_appenders(bsfs_cluster, bsfs_blob, clients, append_size=16 * MB)
+        bsfs_throughput = bsfs.metrics.aggregate_throughput("append") / 1e6
+        # HDFS-like: a single writer lease serialises the appends (per-file lock).
+        hdfs_cluster = _cluster(hdfs_like=True)
+        hdfs_blob = hdfs_cluster.create_blob()
+        prime_blob(hdfs_cluster, hdfs_blob, clients * 16 * MB)
+        hdfs = run_concurrent_writers(
+            hdfs_cluster, hdfs_blob, clients, write_size=16 * MB, disjoint=True, use_locks=True
+        )
+        hdfs_throughput = hdfs.metrics.aggregate_throughput("write") / 1e6
+        table.add(
+            clients=clients,
+            bsfs_MBps=bsfs_throughput,
+            hdfs_MBps=hdfs_throughput,
+            gain=bsfs_throughput / hdfs_throughput if hdfs_throughput else 0.0,
+        )
+    return table
+
+
+def run_grep_job_comparison() -> ResultTable:
+    table = ResultTable(
+        "E6c: grep-style job (map reads + reduce appends), completion time",
+        ["mappers", "bsfs_seconds", "hdfs_seconds", "speedup"],
+    )
+    for mappers in CLIENT_COUNTS:
+        times = {}
+        for hdfs_like in (False, True):
+            cluster = _cluster(hdfs_like)
+            input_blob = cluster.create_blob()
+            prime_blob(cluster, input_blob, INPUT_SIZE)
+            output_blob = cluster.create_blob()
+            read_size = INPUT_SIZE // mappers
+            reducers = max(1, mappers // 4)
+
+            def mapper(index, client):
+                yield from client.read(input_blob, index * read_size, read_size)
+
+            def reducer(client):
+                if hdfs_like:
+                    # single-writer constraint: serialise through the file lock
+                    yield from client.write_locked(output_blob, 0, 8 * MB)
+                else:
+                    yield from client.append(output_blob, 8 * MB)
+
+            if hdfs_like:
+                prime_blob(cluster, output_blob, 8 * MB)
+            for index in range(mappers):
+                cluster.env.process(mapper(index, cluster.client()), name=f"map-{index}")
+            for index in range(reducers):
+                cluster.env.process(reducer(cluster.client()), name=f"red-{index}")
+            cluster.env.run()
+            times[hdfs_like] = cluster.env.now
+        table.add(
+            mappers=mappers,
+            bsfs_seconds=times[False],
+            hdfs_seconds=times[True],
+            speedup=times[True] / times[False] if times[False] else 0.0,
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="e6-bsfs-vs-hdfs")
+def test_e6a_concurrent_reads_same_file(benchmark, results_dir):
+    table = benchmark.pedantic(run_concurrent_read_comparison, rounds=1, iterations=1)
+    save_table(results_dir, "e6a_concurrent_reads", table)
+    # BSFS is at least on par everywhere and clearly ahead at high concurrency.
+    assert all(row["gain"] >= 0.95 for row in table.rows)
+    assert table.rows[-1]["gain"] > 1.1
+
+
+@pytest.mark.benchmark(group="e6-bsfs-vs-hdfs")
+def test_e6b_concurrent_appends_same_file(benchmark, results_dir):
+    table = benchmark.pedantic(run_concurrent_append_comparison, rounds=1, iterations=1)
+    save_table(results_dir, "e6b_concurrent_appends", table)
+    gains = table.column("gain")
+    # The single-writer constraint makes the gap grow with concurrency.
+    assert gains[-1] > gains[0]
+    assert gains[-1] > 3.0
+
+
+@pytest.mark.benchmark(group="e6-bsfs-vs-hdfs")
+def test_e6c_grep_job(benchmark, results_dir):
+    table = benchmark.pedantic(run_grep_job_comparison, rounds=1, iterations=1)
+    save_table(results_dir, "e6c_grep_job", table)
+    assert all(row["speedup"] >= 1.0 for row in table.rows)

@@ -1,0 +1,118 @@
+"""E8 — Ablation: chunk size and chunk placement strategy.
+
+The paper fixes these design knobs by argument (Section I.B.3): the chunk
+size should match the application's processing grain, and the distribution
+strategy (round-robin by default) drives load balancing.  This ablation
+quantifies both choices on the write-intensive workload:
+
+* (a) chunk-size sweep at fixed write size — too-small chunks pay per-chunk
+  and metadata overhead, too-large chunks limit striping parallelism;
+* (b) placement-strategy comparison (round_robin / random / load_aware) on a
+  cluster where some providers start out pre-loaded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.core.config import BlobSeerConfig
+from repro.sim import SimulatedBlobSeer, run_concurrent_appenders
+
+from _helpers import KB, MB, save_table
+
+CHUNK_SIZES = [64 * KB, 256 * KB, 1 * MB, 4 * MB, 16 * MB]
+STRATEGIES = ["round_robin", "random", "load_aware"]
+WRITERS = 16
+APPEND_SIZE = 16 * MB
+
+
+def run_chunk_size_sweep() -> ResultTable:
+    table = ResultTable(
+        "E8a: chunk size ablation (16 writers, 16 MiB appends)",
+        ["chunk_KiB", "throughput_MBps", "metadata_nodes", "chunks_per_write"],
+    )
+    for chunk_size in CHUNK_SIZES:
+        config = BlobSeerConfig(
+            num_data_providers=32, num_metadata_providers=16, chunk_size=chunk_size
+        )
+        cluster = SimulatedBlobSeer(config)
+        blob = cluster.create_blob()
+        result = run_concurrent_appenders(cluster, blob, WRITERS, append_size=APPEND_SIZE)
+        table.add(
+            chunk_KiB=chunk_size // KB,
+            throughput_MBps=result.metrics.aggregate_throughput("append") / 1e6,
+            metadata_nodes=cluster.metadata_store.total_entries(),
+            chunks_per_write=APPEND_SIZE // chunk_size,
+        )
+    return table
+
+
+def _coefficient_of_variation(counts) -> float:
+    mean = sum(counts) / len(counts)
+    if mean == 0:
+        return 0.0
+    variance = sum((c - mean) ** 2 for c in counts) / len(counts)
+    return (variance ** 0.5) / mean
+
+
+def run_placement_comparison() -> ResultTable:
+    """Round-robin spreads *new* chunks evenly but ignores existing load;
+    load-aware deliberately skews new chunks towards empty providers so the
+    *total* load converges — both effects are reported."""
+    table = ResultTable(
+        "E8b: placement strategy ablation (4 of 16 providers pre-loaded)",
+        ["strategy", "throughput_MBps", "new_chunk_cv", "total_load_cv"],
+    )
+    preloaded = 200
+    for strategy in STRATEGIES:
+        config = BlobSeerConfig(
+            num_data_providers=16,
+            num_metadata_providers=8,
+            chunk_size=1 * MB,
+            placement_strategy=strategy,
+        )
+        cluster = SimulatedBlobSeer(config)
+        # Pre-load a quarter of the providers so strategies can differentiate.
+        for pid in cluster.provider_pool.provider_ids[:4]:
+            entry = cluster.provider_pool.get(pid)
+            entry.chunks_stored = preloaded
+            entry.bytes_stored = preloaded * MB
+        blob = cluster.create_blob()
+        result = run_concurrent_appenders(cluster, blob, WRITERS, append_size=APPEND_SIZE)
+        totals = [
+            cluster.provider_pool.get(pid).chunks_stored
+            for pid in cluster.provider_pool.provider_ids
+        ]
+        new_chunks = [c - (preloaded if i < 4 else 0) for i, c in enumerate(totals)]
+        table.add(
+            strategy=strategy,
+            throughput_MBps=result.metrics.aggregate_throughput("append") / 1e6,
+            new_chunk_cv=_coefficient_of_variation(new_chunks),
+            total_load_cv=_coefficient_of_variation(totals),
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="e8-ablation")
+def test_e8a_chunk_size(benchmark, results_dir):
+    table = benchmark.pedantic(run_chunk_size_sweep, rounds=1, iterations=1)
+    save_table(results_dir, "e8a_chunk_size", table)
+    # Metadata volume shrinks as chunks grow.
+    nodes = table.column("metadata_nodes")
+    assert nodes == sorted(nodes, reverse=True)
+    # The middle of the sweep is at least as good as the extremes (sweet spot).
+    throughputs = table.column("throughput_MBps")
+    assert max(throughputs[1:4]) >= max(throughputs[0], throughputs[-1]) * 0.95
+
+
+@pytest.mark.benchmark(group="e8-ablation")
+def test_e8b_placement_strategy(benchmark, results_dir):
+    table = benchmark.pedantic(run_placement_comparison, rounds=1, iterations=1)
+    save_table(results_dir, "e8b_placement_strategy", table)
+    rows = {row["strategy"]: row for row in table.rows}
+    # Round-robin spreads the new chunks evenly regardless of existing load.
+    assert rows["round_robin"]["new_chunk_cv"] < 0.3
+    # Load-aware corrects the pre-existing imbalance better than round-robin.
+    assert rows["load_aware"]["total_load_cv"] < rows["round_robin"]["total_load_cv"]
+    assert all(row["throughput_MBps"] > 0 for row in table.rows)

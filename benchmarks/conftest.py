@@ -1,0 +1,28 @@
+"""Pytest fixtures for the experiment benchmarks.
+
+Each ``bench_e*.py`` file regenerates one experiment of the paper (see the
+per-experiment index in DESIGN.md and the recorded results in
+EXPERIMENTS.md).  They run entirely on simulated time, so wall-clock cost is
+the cost of executing the control plane — seconds, not the hours the real
+Grid'5000 runs took.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the result tables (the rows EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from _helpers import RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

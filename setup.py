@@ -1,0 +1,10 @@
+"""Setup shim so editable installs work without the `wheel` package.
+
+The environment has no network access and no `wheel` distribution, so the
+PEP 517 editable path (which builds a wheel) is unavailable; `pip install -e .
+--no-use-pep517 --no-build-isolation` falls back to `setup.py develop` via
+this shim.  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""Comparison baselines used by the paper's experiments.
+
+* :class:`CentralMetaBlobStore` — GoogleFS-flavoured design with a single
+  metadata server and no versioning (isolates BlobSeer's metadata
+  decentralisation).
+* :class:`HdfsLikeFileSystem` — write-once, single-writer, centralised
+  namespace file system (the HDFS stand-in of the Hadoop experiments).
+* :class:`LockBasedBlobStore` — per-blob reader/writer locking instead of
+  versioning-based concurrency control (isolates the third design pillar).
+"""
+
+from .central_meta import CentralMetaBlobStore, CentralMetadataServer
+from .hdfs_like import HdfsError, HdfsLikeFileSystem, HdfsWriter
+from .lock_based import LockBasedBlobStore, ReadWriteLock
+
+__all__ = [
+    "CentralMetaBlobStore",
+    "CentralMetadataServer",
+    "HdfsError",
+    "HdfsLikeFileSystem",
+    "HdfsWriter",
+    "LockBasedBlobStore",
+    "ReadWriteLock",
+]

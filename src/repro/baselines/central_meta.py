@@ -1,0 +1,219 @@
+"""Centralised-metadata blob store (GoogleFS/HDFS-flavoured baseline).
+
+The paper's headline experiment (Section IV.C, [2]) compares BlobSeer's
+decentralised metadata against "the bottleneck of accessing the same
+centralized node for metadata queries under heavy access concurrency".
+This module implements that traditional design as a functional baseline:
+
+* one **metadata server** holds, for every blob, a flat chunk table
+  (offset → chunk locations) protected by a single lock — there is no
+  versioning and no metadata distribution;
+* writes update the chunk table in place under the lock (last writer wins
+  at chunk granularity), so concurrent writers serialise on the server and
+  readers can observe a mix of old and new chunks (exactly the weaker
+  semantics BlobSeer's versioning avoids);
+* data chunks still stripe over the same data providers, so the *only*
+  architectural difference from BlobSeer is the metadata path — which is
+  what the experiment isolates.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.chunking import reassemble, split_payload
+from ..core.config import BlobSeerConfig
+from ..core.data_provider import ProviderPool
+from ..core.errors import BlobNotFoundError, InvalidRangeError
+from ..core.interval import Interval
+from ..core.provider_manager import make_strategy
+from ..core.types import ChunkKey
+
+
+@dataclass
+class _ChunkEntry:
+    """One slot of the flat chunk table."""
+
+    key: ChunkKey
+    providers: Tuple[str, ...]
+    #: Number of valid bytes in this chunk (the last chunk may be partial).
+    length: int
+
+
+#: Process-wide counters so two stores accidentally sharing one provider
+#: pool can never produce colliding chunk keys.
+_BLOB_ID_COUNTER = itertools.count(1)
+_WRITE_ID_COUNTER = itertools.count(1)
+
+
+class CentralMetadataServer:
+    """The single metadata server: flat chunk tables behind one lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tables: Dict[int, Dict[int, _ChunkEntry]] = {}
+        self._sizes: Dict[int, int] = {}
+        self._chunk_sizes: Dict[int, int] = {}
+        #: Operation counters — the contention point the experiment measures.
+        self.metadata_ops = 0
+
+    def create_blob(self, chunk_size: int) -> int:
+        with self._lock:
+            blob_id = next(_BLOB_ID_COUNTER)
+            self._tables[blob_id] = {}
+            self._sizes[blob_id] = 0
+            self._chunk_sizes[blob_id] = chunk_size
+            return blob_id
+
+    def blob_size(self, blob_id: int) -> int:
+        with self._lock:
+            self._check(blob_id)
+            self.metadata_ops += 1
+            return self._sizes[blob_id]
+
+    def chunk_size(self, blob_id: int) -> int:
+        with self._lock:
+            self._check(blob_id)
+            return self._chunk_sizes[blob_id]
+
+    def next_write_id(self) -> int:
+        return next(_WRITE_ID_COUNTER)
+
+    def _check(self, blob_id: int) -> None:
+        if blob_id not in self._tables:
+            raise BlobNotFoundError(blob_id)
+
+    # -- metadata updates (serialised) -------------------------------------------------
+    def commit_write(
+        self, blob_id: int, entries: List[Tuple[int, _ChunkEntry]], new_end: int
+    ) -> None:
+        """Install the chunk-table updates of one write atomically."""
+        with self._lock:
+            self._check(blob_id)
+            table = self._tables[blob_id]
+            for chunk_index, entry in entries:
+                table[chunk_index] = entry
+                self.metadata_ops += 1
+            self._sizes[blob_id] = max(self._sizes[blob_id], new_end)
+
+    def reserve_append(self, blob_id: int, size: int) -> int:
+        """Atomically reserve an append region; returns its start offset."""
+        with self._lock:
+            self._check(blob_id)
+            start = self._sizes[blob_id]
+            self._sizes[blob_id] = start + size
+            self.metadata_ops += 1
+            return start
+
+    def lookup(self, blob_id: int, offset: int, size: int) -> List[Tuple[int, _ChunkEntry]]:
+        """Chunk entries overlapping ``[offset, offset + size)``."""
+        with self._lock:
+            self._check(blob_id)
+            chunk_size = self._chunk_sizes[blob_id]
+            table = self._tables[blob_id]
+            first = offset // chunk_size
+            last = (offset + size - 1) // chunk_size if size > 0 else first - 1
+            out: List[Tuple[int, _ChunkEntry]] = []
+            for index in range(first, last + 1):
+                entry = table.get(index)
+                self.metadata_ops += 1
+                if entry is not None:
+                    out.append((index, entry))
+            return out
+
+
+class CentralMetaBlobStore:
+    """Blob store with centralised metadata — same data plane as BlobSeer.
+
+    The public surface mirrors the BlobSeer client (create/read/write/append)
+    so tests and benchmarks can swap implementations, but note the weaker
+    semantics: there is no versioning, reads always observe the current
+    table, and concurrent overlapping writes race at chunk granularity.
+    """
+
+    def __init__(self, pool: ProviderPool, config: Optional[BlobSeerConfig] = None) -> None:
+        self.config = config or BlobSeerConfig()
+        self.pool = pool
+        self.server = CentralMetadataServer()
+        self._strategy = make_strategy(self.config.placement_strategy)
+
+    # -- blob lifecycle --------------------------------------------------------------
+    def create_blob(self, chunk_size: Optional[int] = None) -> int:
+        return self.server.create_blob(chunk_size or self.config.chunk_size)
+
+    def size(self, blob_id: int) -> int:
+        return self.server.blob_size(blob_id)
+
+    # -- data path -------------------------------------------------------------------
+    def write(self, blob_id: int, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset`` (in place, last writer wins per chunk)."""
+        if not data:
+            raise InvalidRangeError("write payload must not be empty")
+        if offset < 0:
+            raise InvalidRangeError("write offset must be >= 0")
+        if offset > self.server.blob_size(blob_id):
+            raise InvalidRangeError("write offset is beyond the end of the blob")
+        self._store_range(blob_id, offset, data)
+
+    def append(self, blob_id: int, data: bytes) -> int:
+        """Append ``data``; returns the offset the data landed at."""
+        if not data:
+            raise InvalidRangeError("append payload must not be empty")
+        offset = self.server.reserve_append(blob_id, len(data))
+        self._store_range(blob_id, offset, data)
+        return offset
+
+    def _store_range(self, blob_id: int, offset: int, data: bytes) -> None:
+        chunk_size = self.server.chunk_size(blob_id)
+        write_id = self.server.next_write_id()
+        live = self.pool.live_provider_ids()
+        pieces = split_payload(offset, data, chunk_size)
+        placements = self._strategy.select(live, len(pieces), self.config.replication, {})
+        entries: List[Tuple[int, _ChunkEntry]] = []
+        for piece, providers in zip(pieces, placements):
+            # The central design stores whole chunks: a partial-chunk write
+            # must read-modify-write the existing chunk content (one more
+            # thing BlobSeer's fragment-based leaves avoid).
+            chunk_start = piece.chunk_index * chunk_size
+            rel = piece.blob_offset - chunk_start
+            covers_full_chunk = rel == 0 and piece.size == chunk_size
+            existing = b"" if covers_full_chunk else self._read_chunk(blob_id, piece.chunk_index)
+            merged = bytearray(existing)
+            if len(merged) < rel + piece.size:
+                merged.extend(b"\x00" * (rel + piece.size - len(merged)))
+            merged[rel : rel + piece.size] = piece.data
+            key = ChunkKey(blob_id, write_id, chunk_start)
+            self.pool.write_chunk(list(providers), key, bytes(merged))
+            entries.append(
+                (piece.chunk_index, _ChunkEntry(key=key, providers=providers, length=len(merged)))
+            )
+        self.server.commit_write(blob_id, entries, offset + len(data))
+
+    def _read_chunk(self, blob_id: int, chunk_index: int) -> bytes:
+        chunk_size = self.server.chunk_size(blob_id)
+        found = self.server.lookup(blob_id, chunk_index * chunk_size, chunk_size)
+        for index, entry in found:
+            if index == chunk_index:
+                return self.pool.read_chunk(list(entry.providers), entry.key)
+        return b""
+
+    def read(self, blob_id: int, offset: int, size: int) -> bytes:
+        """Read the current content of ``[offset, offset + size)`` (no versioning)."""
+        if offset < 0 or size < 0:
+            raise InvalidRangeError("read offset and size must be >= 0")
+        blob_size = self.server.blob_size(blob_id)
+        if offset > blob_size:
+            raise InvalidRangeError("read offset is beyond the end of the blob")
+        target = Interval.of(offset, size).intersection(Interval(0, blob_size))
+        if target.empty:
+            return b""
+        chunk_size = self.server.chunk_size(blob_id)
+        found = self.server.lookup(blob_id, target.start, target.size)
+        fragments: List[Tuple[int, bytes]] = []
+        for index, entry in found:
+            payload = self.pool.read_chunk(list(entry.providers), entry.key)
+            fragments.append((index * chunk_size, payload))
+        return reassemble(target, fragments)

@@ -1,0 +1,141 @@
+"""Lock-based concurrency-control baseline.
+
+BlobSeer's third pillar is versioning-based concurrency control: readers
+never synchronise with writers because nothing is ever overwritten.  The
+classical alternative — the one the design explicitly avoids — is a
+per-object reader/writer lock: writers take the lock exclusively for the
+whole duration of their update (so the object is never observed half
+written), readers take it shared.  This module implements that design on
+top of the centralised-metadata store so the ablation experiment (E9 in
+DESIGN.md) isolates the concurrency-control choice.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from ..core.config import BlobSeerConfig
+from ..core.data_provider import ProviderPool
+from .central_meta import CentralMetaBlobStore
+
+
+class ReadWriteLock:
+    """A writer-preferring reader/writer lock.
+
+    Writer preference avoids writer starvation under the read-heavy
+    workloads the experiments use, which is the usual engineering choice in
+    such systems; it also makes the read/write interference the baseline is
+    meant to exhibit clearly visible.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._active_readers = 0
+        self._active_writer = False
+        self._waiting_writers = 0
+
+    # -- reader side -------------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._active_writer or self._waiting_writers > 0:
+                self._condition.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._condition.notify_all()
+
+    # -- writer side --------------------------------------------------------------
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._waiting_writers += 1
+            try:
+                while self._active_writer or self._active_readers > 0:
+                    self._condition.wait()
+                self._active_writer = True
+            finally:
+                self._waiting_writers -= 1
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._active_writer = False
+            self._condition.notify_all()
+
+    # -- context-manager helpers ----------------------------------------------------
+    class _ReadGuard:
+        def __init__(self, lock: "ReadWriteLock") -> None:
+            self._lock = lock
+
+        def __enter__(self) -> None:
+            self._lock.acquire_read()
+
+        def __exit__(self, *exc: object) -> None:
+            self._lock.release_read()
+
+    class _WriteGuard:
+        def __init__(self, lock: "ReadWriteLock") -> None:
+            self._lock = lock
+
+        def __enter__(self) -> None:
+            self._lock.acquire_write()
+
+        def __exit__(self, *exc: object) -> None:
+            self._lock.release_write()
+
+    def reading(self) -> "_ReadGuard":
+        return self._ReadGuard(self)
+
+    def writing(self) -> "_WriteGuard":
+        return self._WriteGuard(self)
+
+
+class LockBasedBlobStore:
+    """Blob store where every access holds the per-blob reader/writer lock.
+
+    Functionally equivalent to :class:`CentralMetaBlobStore` for a single
+    client, but concurrent readers stall whenever a writer is active (and
+    vice versa) — the interference BlobSeer eliminates by versioning.
+    """
+
+    def __init__(self, pool: ProviderPool, config: Optional[BlobSeerConfig] = None) -> None:
+        self._store = CentralMetaBlobStore(pool, config)
+        self._locks: Dict[int, ReadWriteLock] = {}
+        self._registry_lock = threading.Lock()
+        #: Counters of lock acquisitions, exposed for tests and reports.
+        self.read_locks_taken = 0
+        self.write_locks_taken = 0
+
+    def _lock_for(self, blob_id: int) -> ReadWriteLock:
+        with self._registry_lock:
+            lock = self._locks.get(blob_id)
+            if lock is None:
+                lock = ReadWriteLock()
+                self._locks[blob_id] = lock
+            return lock
+
+    # -- public interface (mirrors the other stores) --------------------------------
+    def create_blob(self, chunk_size: Optional[int] = None) -> int:
+        return self._store.create_blob(chunk_size)
+
+    def size(self, blob_id: int) -> int:
+        with self._lock_for(blob_id).reading():
+            self.read_locks_taken += 1
+            return self._store.size(blob_id)
+
+    def read(self, blob_id: int, offset: int, size: int) -> bytes:
+        with self._lock_for(blob_id).reading():
+            self.read_locks_taken += 1
+            return self._store.read(blob_id, offset, size)
+
+    def write(self, blob_id: int, offset: int, data: bytes) -> None:
+        with self._lock_for(blob_id).writing():
+            self.write_locks_taken += 1
+            self._store.write(blob_id, offset, data)
+
+    def append(self, blob_id: int, data: bytes) -> int:
+        with self._lock_for(blob_id).writing():
+            self.write_locks_taken += 1
+            return self._store.append(blob_id, data)

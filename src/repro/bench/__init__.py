@@ -1,0 +1,5 @@
+"""Benchmark harness utilities shared by the scripts in ``benchmarks/``."""
+
+from .harness import Experiment, ResultTable, Row, speedup, sweep
+
+__all__ = ["Experiment", "ResultTable", "Row", "speedup", "sweep"]

@@ -1,0 +1,136 @@
+"""Benchmark harness: parameter sweeps and table-shaped reporting.
+
+Every benchmark in ``benchmarks/`` regenerates one experiment of the paper
+(see the index in DESIGN.md).  The harness keeps them uniform: an
+:class:`Experiment` is a named callable over a parameter dict that returns a
+row of measurements, a :class:`Sweep` runs it over a parameter grid, and
+:class:`ResultTable` prints the rows the same way the paper's tables/figure
+series would be read, plus writes them to EXPERIMENTS-friendly markdown.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+Row = Dict[str, Any]
+
+
+@dataclass
+class ResultTable:
+    """An ordered collection of result rows with pretty/markdown printing."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Row] = field(default_factory=list)
+
+    def add(self, **values: Any) -> Row:
+        row = {column: values.get(column, "") for column in self.columns}
+        extra = {key: value for key, value in values.items() if key not in self.columns}
+        row.update(extra)
+        self.rows.append(row)
+        return row
+
+    # -- formatting --------------------------------------------------------------
+    @staticmethod
+    def _format(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 100:
+                return f"{value:.0f}"
+            if abs(value) >= 1:
+                return f"{value:.2f}"
+            return f"{value:.4f}"
+        return str(value)
+
+    def to_text(self) -> str:
+        widths = {
+            column: max(len(column), *(len(self._format(row.get(column, ""))) for row in self.rows))
+            if self.rows
+            else len(column)
+            for column in self.columns
+        }
+        lines = [self.title, "-" * len(self.title)]
+        header = "  ".join(column.ljust(widths[column]) for column in self.columns)
+        lines.append(header)
+        lines.append("  ".join("-" * widths[column] for column in self.columns))
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    self._format(row.get(column, "")).ljust(widths[column])
+                    for column in self.columns
+                )
+            )
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(self._format(row.get(column, "")) for column in self.columns) + " |"
+            )
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.to_text())
+
+    def save_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps({"title": self.title, "rows": self.rows}, indent=2))
+
+    # -- shape checks (used by benchmark assertions) -----------------------------------
+    def column(self, name: str) -> List[Any]:
+        return [row.get(name) for row in self.rows]
+
+    def monotonic_increasing(self, name: str, tolerance: float = 0.0) -> bool:
+        values = [float(v) for v in self.column(name)]
+        return all(b >= a * (1.0 - tolerance) for a, b in zip(values, values[1:]))
+
+
+@dataclass
+class Experiment:
+    """One named experiment: a callable producing a row per parameter point."""
+
+    experiment_id: str
+    description: str
+    run: Callable[..., Row]
+
+    def __call__(self, **params: Any) -> Row:
+        start = time.perf_counter()
+        row = self.run(**params)
+        row.setdefault("wall_seconds", time.perf_counter() - start)
+        return row
+
+
+def sweep(
+    experiment: Experiment,
+    grid: Mapping[str, Sequence[Any]],
+    fixed: Optional[Mapping[str, Any]] = None,
+) -> List[Row]:
+    """Run ``experiment`` over the cartesian product of ``grid`` values."""
+    fixed = dict(fixed or {})
+    keys = list(grid)
+    rows: List[Row] = []
+    for values in itertools.product(*(grid[key] for key in keys)):
+        params = dict(zip(keys, values))
+        params.update(fixed)
+        row = experiment(**params)
+        row.update(params)
+        rows.append(row)
+    return rows
+
+
+def speedup(rows: Sequence[Row], value_column: str, baseline_row: int = 0) -> List[float]:
+    """Normalise a column by its value in ``baseline_row`` (e.g. 1-client run)."""
+    baseline = float(rows[baseline_row][value_column])
+    if baseline == 0:
+        return [0.0 for _ in rows]
+    return [float(row[value_column]) / baseline for row in rows]

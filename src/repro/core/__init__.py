@@ -1,0 +1,63 @@
+"""BlobSeer core: the paper's primary contribution.
+
+The public entry points are :class:`BlobSeerDeployment` (build a service
+instance from a :class:`BlobSeerConfig`) and the :class:`BlobSeerClient` /
+:class:`Blob` pair (the versioning-oriented access interface).
+"""
+
+from .config import BlobSeerConfig, ClientConfig, DEFAULT_CHUNK_SIZE
+from .client import Blob, BlobSeerClient
+from .deployment import BlobSeerDeployment
+from .data_provider import DataProvider, ProviderPool
+from .provider_manager import (
+    LoadAwareStrategy,
+    PlacementStrategy,
+    ProviderManager,
+    RandomStrategy,
+    RoundRobinStrategy,
+    make_strategy,
+)
+from .version_manager import VersionManager, WriteState
+from .types import (
+    BlobId,
+    BlobInfo,
+    ChunkDescriptor,
+    ChunkKey,
+    NodeKey,
+    ProviderStats,
+    SnapshotInfo,
+    Version,
+    WritePlan,
+    WriteTicket,
+)
+from . import errors
+
+__all__ = [
+    "Blob",
+    "BlobId",
+    "BlobInfo",
+    "BlobSeerClient",
+    "BlobSeerConfig",
+    "BlobSeerDeployment",
+    "ChunkDescriptor",
+    "ChunkKey",
+    "ClientConfig",
+    "DEFAULT_CHUNK_SIZE",
+    "DataProvider",
+    "LoadAwareStrategy",
+    "NodeKey",
+    "PlacementStrategy",
+    "ProviderManager",
+    "ProviderPool",
+    "ProviderStats",
+    "RandomStrategy",
+    "RoundRobinStrategy",
+    "SnapshotInfo",
+    "Version",
+    "VersionManager",
+    "WritePlan",
+    "WriteState",
+    "WriteTicket",
+    "errors",
+    "make_strategy",
+]

@@ -1,0 +1,348 @@
+"""Client library: the versioning-oriented access interface of BlobSeer.
+
+The paper's access interface (Section I.B.1): a client can *create* a blob,
+*read* a subsequence ``(offset, size)`` of any past snapshot, *write* a
+subsequence at an arbitrary offset, and *append* to the end.  Every write
+or append generates a new snapshot labelled with an incremental version;
+only the difference is physically stored.
+
+Write protocol (mirrors the paper / companion papers):
+
+1. ask the **provider manager** where to place the chunks (and obtain a
+   globally unique ``write_id`` naming them);
+2. push the chunks to the **data providers** — concurrent writers do this
+   completely independently of each other;
+3. ask the **version manager** to assign the snapshot version (the only
+   serialised step);
+4. weave the new metadata tree into the **metadata DHT**, borrowing
+   untouched subtrees from older snapshots;
+5. notify the version manager, which publishes versions in assignment
+   order.
+
+Appends differ only in that step 3 happens first, because the append offset
+is only known once the version manager assigns it atomically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .chunking import reassemble, split_payload
+from .config import ClientConfig
+from .errors import InvalidRangeError, ReplicationError
+from .interval import Interval
+from .metadata.cache import MetadataCache, PassthroughMetadataStore
+from .metadata.segment_tree import SegmentTreeBuilder, SegmentTreeReader, WriteRecord
+from .metadata.tree_node import Fragment
+from .types import BlobId, BlobInfo, ChunkKey, SnapshotInfo, Version, WriteTicket
+
+
+class BlobSeerClient:
+    """A client process attached to one BlobSeer deployment."""
+
+    def __init__(self, deployment, client_id: str = "client-000") -> None:
+        self._deployment = deployment
+        self.client_id = client_id
+        client_config: ClientConfig = deployment.config.client
+        if client_config.metadata_cache:
+            self._metadata = MetadataCache(
+                deployment.metadata_store,
+                capacity=client_config.metadata_cache_capacity,
+            )
+        else:
+            self._metadata = PassthroughMetadataStore(deployment.metadata_store)
+        #: Operation counters (reads/writes issued, bytes moved) for harnesses.
+        self.counters: Dict[str, int] = {
+            "reads": 0,
+            "writes": 0,
+            "appends": 0,
+            "bytes_read": 0,
+            "bytes_written": 0,
+            "metadata_nodes_written": 0,
+            "metadata_nodes_fetched": 0,
+        }
+
+    # -- blob lifecycle --------------------------------------------------------------
+    def create_blob(
+        self, chunk_size: Optional[int] = None, replication: Optional[int] = None
+    ) -> "Blob":
+        """Create a new empty blob and return a handle on it."""
+        info = self._deployment.create_blob(chunk_size=chunk_size, replication=replication)
+        return Blob(client=self, info=info)
+
+    def open_blob(self, blob_id: BlobId) -> "Blob":
+        """Open an existing blob by id."""
+        info = self._deployment.version_manager.blob_info(blob_id)
+        return Blob(client=self, info=info)
+
+    def list_blobs(self) -> List[BlobId]:
+        return self._deployment.version_manager.blob_ids()
+
+    # -- metadata plumbing ---------------------------------------------------------------
+    @property
+    def metadata_store(self):
+        """The client's view of the metadata DHT (possibly through its cache)."""
+        return self._metadata
+
+    @property
+    def metadata_cache_stats(self) -> Dict[str, int]:
+        return self._metadata.stats
+
+    @property
+    def deployment(self):
+        return self._deployment
+
+    # -- core operations (used by Blob; also callable directly) ---------------------------
+    def read(
+        self,
+        blob_id: BlobId,
+        offset: int,
+        size: int,
+        version: Optional[Version] = None,
+    ) -> bytes:
+        """Read ``size`` bytes at ``offset`` from a published snapshot.
+
+        Reads past the end of the snapshot are truncated (short read);
+        reads starting beyond the end raise :class:`InvalidRangeError`.
+        Ranges never written in any ancestor snapshot read back as zeros.
+        """
+        if offset < 0 or size < 0:
+            raise InvalidRangeError("read offset and size must be >= 0")
+        snapshot = self._deployment.version_manager.get_snapshot(blob_id, version)
+        if offset > snapshot.size:
+            raise InvalidRangeError(
+                f"read offset {offset} is beyond the end of snapshot "
+                f"v{snapshot.version} (size {snapshot.size})"
+            )
+        target = Interval.of(offset, size).intersection(Interval(0, snapshot.size))
+        if target.empty:
+            return b""
+        reader = SegmentTreeReader(self._metadata, snapshot.chunk_size)
+        fragments = reader.lookup(snapshot.root, target)
+        self.counters["metadata_nodes_fetched"] += reader.nodes_fetched
+        pieces: List[Tuple[int, bytes]] = []
+        pool = self._deployment.provider_pool
+        for fragment in fragments:
+            payload = pool.read_chunk(list(fragment.providers), fragment.key)
+            data = payload[fragment.chunk_offset : fragment.chunk_offset + fragment.length]
+            pieces.append((fragment.blob_offset, data))
+        self.counters["reads"] += 1
+        self.counters["bytes_read"] += target.size
+        return reassemble(target, pieces)
+
+    def write(self, blob_id: BlobId, offset: int, data: bytes) -> Version:
+        """Write ``data`` at ``offset``, producing (and publishing) a new snapshot."""
+        if not data:
+            raise InvalidRangeError("write payload must not be empty")
+        if offset < 0:
+            raise InvalidRangeError("write offset must be >= 0")
+        info = self._deployment.version_manager.blob_info(blob_id)
+        # Steps 1-2: place and push chunks before taking a version.
+        write_id, fragments = self._push_chunks(info, offset, data)
+        # Step 3: the serialised version assignment.
+        ticket = self._deployment.version_manager.register_write(
+            blob_id, offset, len(data), writer=self.client_id
+        )
+        # Steps 4-5: weave metadata, then publish.
+        self._finish_write(info, ticket, fragments)
+        self.counters["writes"] += 1
+        self.counters["bytes_written"] += len(data)
+        return ticket.version
+
+    def append(self, blob_id: BlobId, data: bytes) -> Version:
+        """Append ``data`` to the end of the blob, producing a new snapshot."""
+        if not data:
+            raise InvalidRangeError("append payload must not be empty")
+        info = self._deployment.version_manager.blob_info(blob_id)
+        # The append offset is assigned atomically with the version, so the
+        # ticket has to come first (documented deviation from the write path).
+        ticket = self._deployment.version_manager.register_append(
+            blob_id, len(data), writer=self.client_id
+        )
+        try:
+            write_id, fragments = self._push_chunks(info, ticket.offset, data)
+        except Exception:
+            self._deployment.version_manager.abort(blob_id, ticket.version)
+            self.repair_version(blob_id, ticket.version)
+            raise
+        self._finish_write(info, ticket, fragments)
+        self.counters["appends"] += 1
+        self.counters["bytes_written"] += len(data)
+        return ticket.version
+
+    # -- write helpers ------------------------------------------------------------------
+    def _push_chunks(
+        self, info: BlobInfo, offset: int, data: bytes
+    ) -> Tuple[int, List[Fragment]]:
+        """Steps 1-2 of the write protocol: allocate providers and push chunks."""
+        deployment = self._deployment
+        write_id, plan = deployment.provider_manager.allocate(
+            info.blob_id, offset, len(data), info.chunk_size, replication=info.replication
+        )
+        fragments: List[Fragment] = []
+        try:
+            for piece in split_payload(offset, data, info.chunk_size):
+                providers = plan.providers_for(piece.blob_offset)
+                key = ChunkKey(info.blob_id, write_id, piece.blob_offset)
+                stored = deployment.provider_pool.write_chunk(
+                    list(providers), key, piece.data
+                )
+                if stored < 1:
+                    raise ReplicationError(
+                        f"no live replica accepted chunk {key} "
+                        f"(requested providers: {providers})"
+                    )
+                fragments.append(
+                    Fragment(
+                        key=key,
+                        providers=providers,
+                        blob_offset=piece.blob_offset,
+                        length=piece.size,
+                        chunk_offset=0,
+                    )
+                )
+        finally:
+            deployment.provider_manager.complete(plan)
+        return write_id, fragments
+
+    def _finish_write(
+        self, info: BlobInfo, ticket: WriteTicket, fragments: Sequence[Fragment]
+    ) -> None:
+        """Steps 4-5: build the snapshot's metadata tree and publish the version."""
+        history = self._deployment.version_manager.get_history(
+            info.blob_id, ticket.version - 1
+        )
+        builder = SegmentTreeBuilder(self._metadata, info.chunk_size)
+        try:
+            builder.build(
+                blob_id=info.blob_id,
+                version=ticket.version,
+                write_interval=Interval.of(ticket.offset, ticket.size),
+                new_fragments=fragments,
+                history=history,
+                base_size=ticket.base_blob_size,
+                new_size=ticket.new_blob_size,
+            )
+        except Exception:
+            self._deployment.version_manager.abort(info.blob_id, ticket.version)
+            raise
+        self.counters["metadata_nodes_written"] += builder.nodes_written
+        self._deployment.version_manager.publish(info.blob_id, ticket.version)
+
+    # -- failure recovery ------------------------------------------------------------------
+    def repair_version(self, blob_id: BlobId, version: Version) -> None:
+        """Install no-op metadata for an aborted version so readers can pass it.
+
+        If a writer crashes after its version was assigned but before its
+        metadata exists, the published frontier (and therefore every later
+        write) would stall forever.  Repair builds a metadata tree for that
+        version which simply re-exposes the base snapshot's content over the
+        announced interval, then marks the version repaired.
+        """
+        vm = self._deployment.version_manager
+        info = vm.blob_info(blob_id)
+        history = vm.get_history(blob_id, version)
+        record = history[version - 1]
+        base_history = history[: version - 1]
+        base_size = base_history[-1].new_size if base_history else 0
+        builder = SegmentTreeBuilder(self._metadata, info.chunk_size)
+        builder.build_noop(
+            blob_id=blob_id,
+            version=version,
+            write_interval=record.interval,
+            history=base_history,
+            base_size=base_size,
+            new_size=record.new_size,
+        )
+        vm.mark_repaired(blob_id, version)
+
+    # -- introspection ------------------------------------------------------------------
+    def snapshot(self, blob_id: BlobId, version: Optional[Version] = None) -> SnapshotInfo:
+        return self._deployment.version_manager.get_snapshot(blob_id, version)
+
+    def history(self, blob_id: BlobId) -> List[WriteRecord]:
+        latest = self._deployment.version_manager.latest_version(blob_id)
+        return self._deployment.version_manager.get_history(blob_id, latest)
+
+
+class Blob:
+    """Handle on one blob, bound to a client.
+
+    This is the object application code manipulates; it simply forwards to
+    the owning client with the blob id filled in.
+    """
+
+    def __init__(self, client: BlobSeerClient, info: BlobInfo) -> None:
+        self._client = client
+        self._info = info
+
+    # -- identity -------------------------------------------------------------------
+    @property
+    def blob_id(self) -> BlobId:
+        return self._info.blob_id
+
+    @property
+    def chunk_size(self) -> int:
+        return self._info.chunk_size
+
+    @property
+    def replication(self) -> int:
+        return self._info.replication
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Blob(id={self.blob_id}, chunk_size={self.chunk_size}, "
+            f"version={self.latest_version()}, size={self.size()})"
+        )
+
+    # -- access interface (paper Section I.B.1) -------------------------------------
+    def read(self, offset: int, size: int, version: Optional[Version] = None) -> bytes:
+        """Read ``size`` bytes at ``offset`` from snapshot ``version`` (default latest)."""
+        return self._client.read(self.blob_id, offset, size, version)
+
+    def write(self, offset: int, data: bytes) -> Version:
+        """Write ``data`` at ``offset``; returns the new snapshot's version."""
+        return self._client.write(self.blob_id, offset, data)
+
+    def append(self, data: bytes) -> Version:
+        """Append ``data`` at the end of the blob; returns the new snapshot's version."""
+        return self._client.append(self.blob_id, data)
+
+    # -- versioning ------------------------------------------------------------------
+    def latest_version(self) -> Version:
+        return self._client.deployment.version_manager.latest_version(self.blob_id)
+
+    def size(self, version: Optional[Version] = None) -> int:
+        return self._client.snapshot(self.blob_id, version).size
+
+    def versions(self) -> List[Version]:
+        """All published versions, oldest first (including the empty version 0)."""
+        return list(range(self.latest_version() + 1))
+
+    def snapshot(self, version: Optional[Version] = None) -> SnapshotInfo:
+        return self._client.snapshot(self.blob_id, version)
+
+    def history(self) -> List[WriteRecord]:
+        """Write records of all published versions."""
+        return self._client.history(self.blob_id)
+
+    # -- locality (used by BSFS / MapReduce scheduling) ----------------------------------
+    def chunk_locations(
+        self, offset: int, size: int, version: Optional[Version] = None
+    ) -> List[Tuple[int, int, Tuple[str, ...]]]:
+        """Return ``(offset, length, provider_ids)`` for every fragment of the range.
+
+        This is the "expose the data location" extension the paper built for
+        the Hadoop integration (Section IV.D): schedulers use it to place
+        computation close to the data.
+        """
+        snapshot = self._client.snapshot(self.blob_id, version)
+        target = Interval.of(offset, size).intersection(Interval(0, snapshot.size))
+        if target.empty:
+            return []
+        reader = SegmentTreeReader(self._client.metadata_store, snapshot.chunk_size)
+        fragments = reader.lookup(snapshot.root, target)
+        return [
+            (fragment.blob_offset, fragment.length, fragment.providers)
+            for fragment in fragments
+        ]

@@ -1,0 +1,139 @@
+"""Configuration objects for a BlobSeer deployment.
+
+A :class:`BlobSeerConfig` describes one logical deployment: how many data
+providers and metadata providers exist, the default chunk size, the chunk
+placement strategy, the replication level, and client-side options such as
+metadata caching and prefetching.  The same configuration object is used by
+the in-process runtime (functional tests, examples) and by the
+discrete-event simulator (benchmarks), so an experiment is fully described
+by a config plus a workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping
+
+from .errors import InvalidConfigError
+
+#: Chunk placement strategies understood by the provider manager.
+PLACEMENT_STRATEGIES = ("round_robin", "random", "load_aware")
+
+#: Default chunk size: 64 KiB keeps functional tests fast while remaining a
+#: realistic power of two; the paper typically uses 64 MiB chunks on
+#: Grid'5000, which benchmarks select explicitly.
+DEFAULT_CHUNK_SIZE = 64 * 1024
+
+
+@dataclass(frozen=True, slots=True)
+class ClientConfig:
+    """Client-side tuning knobs."""
+
+    #: Cache metadata tree nodes on the client (Section IV.A of the paper).
+    metadata_cache: bool = True
+    #: Maximum number of tree nodes kept in the client cache (LRU).
+    metadata_cache_capacity: int = 65536
+    #: Number of chunks prefetched ahead of a sequential stream (BSFS).
+    prefetch_chunks: int = 2
+    #: Buffer size (bytes) used by BSFS streaming writes before flushing.
+    write_buffer_chunks: int = 4
+
+
+@dataclass(frozen=True, slots=True)
+class BlobSeerConfig:
+    """Static description of one BlobSeer deployment."""
+
+    num_data_providers: int = 4
+    num_metadata_providers: int = 4
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    replication: int = 1
+    placement_strategy: str = "round_robin"
+    #: Number of virtual nodes per metadata provider on the DHT ring.
+    dht_virtual_nodes: int = 32
+    #: Replication level for metadata tree nodes inside the DHT.
+    metadata_replication: int = 1
+    #: Use the persistent (file-backed) chunk store instead of RAM only.
+    persistent_storage: bool = False
+    #: Directory used by persistent stores (``None`` -> temporary dir).
+    storage_root: str | None = None
+    client: ClientConfig = field(default_factory=ClientConfig)
+
+    def __post_init__(self) -> None:
+        validate_config(self)
+
+    # -- convenience -------------------------------------------------------
+    def with_(self, **kwargs: Any) -> "BlobSeerConfig":
+        """Return a copy with the given fields replaced (and re-validated)."""
+        return replace(self, **kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flatten the configuration to a plain dict (for reports/logs)."""
+        d: Dict[str, Any] = {
+            "num_data_providers": self.num_data_providers,
+            "num_metadata_providers": self.num_metadata_providers,
+            "chunk_size": self.chunk_size,
+            "replication": self.replication,
+            "placement_strategy": self.placement_strategy,
+            "dht_virtual_nodes": self.dht_virtual_nodes,
+            "metadata_replication": self.metadata_replication,
+            "persistent_storage": self.persistent_storage,
+        }
+        d.update(
+            {
+                "client.metadata_cache": self.client.metadata_cache,
+                "client.metadata_cache_capacity": self.client.metadata_cache_capacity,
+                "client.prefetch_chunks": self.client.prefetch_chunks,
+                "client.write_buffer_chunks": self.client.write_buffer_chunks,
+            }
+        )
+        return d
+
+    @staticmethod
+    def from_dict(values: Mapping[str, Any]) -> "BlobSeerConfig":
+        """Build a configuration from a flat mapping (inverse of to_dict)."""
+        client_kwargs = {
+            key.split(".", 1)[1]: value
+            for key, value in values.items()
+            if key.startswith("client.")
+        }
+        top_kwargs = {
+            key: value for key, value in values.items() if not key.startswith("client.")
+        }
+        client = ClientConfig(**client_kwargs) if client_kwargs else ClientConfig()
+        return BlobSeerConfig(client=client, **top_kwargs)
+
+
+def validate_config(config: BlobSeerConfig) -> None:
+    """Raise :class:`InvalidConfigError` if any field is out of domain."""
+    if config.num_data_providers < 1:
+        raise InvalidConfigError("num_data_providers must be >= 1")
+    if config.num_metadata_providers < 1:
+        raise InvalidConfigError("num_metadata_providers must be >= 1")
+    if config.chunk_size < 1:
+        raise InvalidConfigError("chunk_size must be >= 1 byte")
+    if config.replication < 1:
+        raise InvalidConfigError("replication must be >= 1")
+    if config.replication > config.num_data_providers:
+        raise InvalidConfigError(
+            f"replication={config.replication} exceeds the number of data "
+            f"providers ({config.num_data_providers})"
+        )
+    if config.placement_strategy not in PLACEMENT_STRATEGIES:
+        raise InvalidConfigError(
+            f"unknown placement strategy {config.placement_strategy!r}; "
+            f"expected one of {PLACEMENT_STRATEGIES}"
+        )
+    if config.dht_virtual_nodes < 1:
+        raise InvalidConfigError("dht_virtual_nodes must be >= 1")
+    if config.metadata_replication < 1:
+        raise InvalidConfigError("metadata_replication must be >= 1")
+    if config.metadata_replication > config.num_metadata_providers:
+        raise InvalidConfigError(
+            "metadata_replication exceeds the number of metadata providers"
+        )
+    if config.client.metadata_cache_capacity < 1:
+        raise InvalidConfigError("metadata_cache_capacity must be >= 1")
+    if config.client.prefetch_chunks < 0:
+        raise InvalidConfigError("prefetch_chunks must be >= 0")
+    if config.client.write_buffer_chunks < 1:
+        raise InvalidConfigError("write_buffer_chunks must be >= 1")

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the BlobSeer reproduction.
+
+Every error raised by the public API derives from :class:`BlobSeerError`,
+so callers can catch a single base class.  Sub-hierarchies distinguish
+client-side misuse (:class:`ClientError`) from service-side failures
+(:class:`ServiceError`), mirroring the split between "the request was
+wrong" and "the system could not serve a correct request".
+"""
+
+from __future__ import annotations
+
+
+class BlobSeerError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Client-side errors (bad requests, misuse of the API)
+# ---------------------------------------------------------------------------
+
+
+class ClientError(BlobSeerError):
+    """The request itself was invalid (caller bug / misuse)."""
+
+
+class BlobNotFoundError(ClientError):
+    """The referenced blob id does not exist."""
+
+    def __init__(self, blob_id: int) -> None:
+        super().__init__(f"blob {blob_id} does not exist")
+        self.blob_id = blob_id
+
+
+class VersionNotFoundError(ClientError):
+    """The referenced snapshot version does not exist or is not published."""
+
+    def __init__(self, blob_id: int, version: int) -> None:
+        super().__init__(f"blob {blob_id} has no published version {version}")
+        self.blob_id = blob_id
+        self.version = version
+
+
+class InvalidRangeError(ClientError):
+    """A read/write range is malformed (negative, misaligned, out of bounds)."""
+
+
+class InvalidConfigError(ClientError):
+    """A configuration value is out of its legal domain."""
+
+
+# ---------------------------------------------------------------------------
+# Service-side errors (the system failed to serve a valid request)
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(BlobSeerError):
+    """A BlobSeer service process failed while serving a valid request."""
+
+
+class ProviderUnavailableError(ServiceError):
+    """A data provider is unreachable (crashed or network-partitioned)."""
+
+    def __init__(self, provider_id: str) -> None:
+        super().__init__(f"data provider {provider_id!r} is unavailable")
+        self.provider_id = provider_id
+
+
+class ChunkNotFoundError(ServiceError):
+    """A chunk referenced by metadata is missing from its data provider."""
+
+    def __init__(self, chunk_id: str) -> None:
+        super().__init__(f"chunk {chunk_id!r} not found on any replica")
+        self.chunk_id = chunk_id
+
+
+class MetadataNotFoundError(ServiceError):
+    """A metadata tree node referenced during traversal is missing."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"metadata node {key!r} not found in the DHT")
+        self.key = key
+
+
+class AllocationError(ServiceError):
+    """The provider manager could not allocate providers for new chunks."""
+
+
+class CommitError(ServiceError):
+    """The version manager refused or failed to publish a snapshot."""
+
+
+class ReplicationError(ServiceError):
+    """Not enough live replicas to satisfy the configured replication level."""
+
+
+class TimeoutError_(ServiceError):
+    """An RPC or simulated operation exceeded its deadline."""

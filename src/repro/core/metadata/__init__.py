@@ -1,0 +1,30 @@
+"""Versioned, distributed segment-tree metadata for BlobSeer blobs."""
+
+from .tree_node import Fragment, InnerNode, LeafNode, TreeNode, merge_fragments
+from .segment_tree import (
+    SegmentTreeBuilder,
+    SegmentTreeReader,
+    WriteRecord,
+    latest_version_touching,
+    nodes_created_by_write,
+    root_key,
+    span_bytes,
+)
+from .cache import MetadataCache, PassthroughMetadataStore
+
+__all__ = [
+    "Fragment",
+    "InnerNode",
+    "LeafNode",
+    "MetadataCache",
+    "PassthroughMetadataStore",
+    "SegmentTreeBuilder",
+    "SegmentTreeReader",
+    "TreeNode",
+    "WriteRecord",
+    "latest_version_touching",
+    "merge_fragments",
+    "nodes_created_by_write",
+    "root_key",
+    "span_bytes",
+]

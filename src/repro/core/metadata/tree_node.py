@@ -1,0 +1,141 @@
+"""Node types of the versioned, distributed segment tree.
+
+The metadata of one blob snapshot is a binary segment tree over the blob's
+chunk range:
+
+* a **leaf** covers exactly one chunk-sized range ``[offset, offset + cs)``
+  and records the :class:`Fragment` list that composes the bytes of that
+  range (several fragments occur when partial-chunk writes overlay older
+  data — no bytes are ever copied, only described);
+* an **inner node** covers a power-of-two multiple of the chunk size and
+  references its two children by :class:`~repro.core.types.NodeKey`.  The
+  children may belong to *older* snapshot versions: this is exactly how
+  unchanged subtrees are shared between snapshots and why writers never
+  modify existing metadata.
+
+Nodes are immutable values; the DHT stores them keyed by their
+:class:`NodeKey`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from ..interval import Interval
+from ..types import ChunkKey, NodeKey
+
+
+@dataclass(frozen=True, slots=True)
+class Fragment:
+    """A contiguous run of blob bytes served by (part of) one stored chunk.
+
+    ``blob_offset``/``length`` locate the fragment inside the blob snapshot;
+    ``chunk_offset`` is the offset of those bytes inside the stored chunk's
+    payload; ``providers`` lists the data providers holding a replica of the
+    chunk (primary first).
+    """
+
+    key: ChunkKey
+    providers: Tuple[str, ...]
+    blob_offset: int
+    length: int
+    chunk_offset: int = 0
+
+    @property
+    def interval(self) -> Interval:
+        return Interval.of(self.blob_offset, self.length)
+
+    @property
+    def end(self) -> int:
+        return self.blob_offset + self.length
+
+    def clip(self, target: Interval) -> Optional["Fragment"]:
+        """Return the part of this fragment inside ``target`` (or None)."""
+        overlap = self.interval.intersection(target)
+        if overlap.empty:
+            return None
+        shift = overlap.start - self.blob_offset
+        return Fragment(
+            key=self.key,
+            providers=self.providers,
+            blob_offset=overlap.start,
+            length=overlap.size,
+            chunk_offset=self.chunk_offset + shift,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LeafNode:
+    """Segment-tree leaf: the fragments composing one chunk-sized range."""
+
+    key: NodeKey
+    fragments: Tuple[Fragment, ...]
+
+    @property
+    def interval(self) -> Interval:
+        return Interval.of(self.key.offset, self.key.size)
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def fragments_in(self, target: Interval) -> List[Fragment]:
+        """Fragments of this leaf clipped to ``target`` (ordered by offset)."""
+        clipped = [
+            frag.clip(target) for frag in self.fragments if frag.interval.overlaps(target)
+        ]
+        return sorted((f for f in clipped if f is not None), key=lambda f: f.blob_offset)
+
+
+@dataclass(frozen=True, slots=True)
+class InnerNode:
+    """Segment-tree inner node: references to its two half-range children.
+
+    A ``None`` child means the corresponding half contains no written byte
+    in this snapshot (a hole, read back as zeros) — it is *not* an error.
+    """
+
+    key: NodeKey
+    left: Optional[NodeKey]
+    right: Optional[NodeKey]
+
+    @property
+    def interval(self) -> Interval:
+        return Interval.of(self.key.offset, self.key.size)
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def children(self) -> Tuple[Optional[NodeKey], Optional[NodeKey]]:
+        return (self.left, self.right)
+
+    def children_overlapping(self, target: Interval) -> List[NodeKey]:
+        """Child keys whose range intersects ``target`` (skipping holes)."""
+        hits: List[NodeKey] = []
+        for child in (self.left, self.right):
+            if child is None:
+                continue
+            if Interval.of(child.offset, child.size).overlaps(target):
+                hits.append(child)
+        return hits
+
+
+TreeNode = LeafNode | InnerNode
+
+
+def merge_fragments(fragments: Iterable[Fragment]) -> Tuple[Fragment, ...]:
+    """Sort fragments by offset and assert they do not overlap.
+
+    The segment-tree builder always produces non-overlapping fragments; this
+    helper normalises the ordering and catches builder bugs early (an
+    overlap would silently corrupt reads otherwise).
+    """
+    ordered = sorted(fragments, key=lambda f: f.blob_offset)
+    for prev, curr in zip(ordered, ordered[1:]):
+        if prev.end > curr.blob_offset:
+            raise ValueError(
+                f"overlapping fragments in leaf: {prev} and {curr}"
+            )
+    return tuple(ordered)

@@ -1,0 +1,305 @@
+"""Version manager: the serialisation point of BlobSeer.
+
+The version manager is "responsible of assigning versions to writes and
+appends and exposing these versions to reads in such way as to ensure
+consistency" (Section I.B.2).  It is deliberately tiny: all it serialises
+is (1) assigning the next version number together with the snapshot size
+that version will expose, and (2) publishing completed versions *in
+assignment order*.  Everything else — pushing chunks to data providers and
+weaving the new metadata tree — happens concurrently on the clients, which
+is what lets BlobSeer sustain write/write and read/write concurrency.
+
+Linearizability argument (Section I.B.1 references [1]): each write takes
+effect atomically at the moment its version becomes the published frontier;
+the frontier only ever advances one version at a time and in assignment
+order, and readers only ever observe published frontiers, so every history
+is equivalent to the sequential history ordered by version number.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from .config import DEFAULT_CHUNK_SIZE
+from .errors import (
+    BlobNotFoundError,
+    CommitError,
+    InvalidRangeError,
+    VersionNotFoundError,
+)
+from .metadata.segment_tree import WriteRecord, root_key
+from .types import BlobId, BlobInfo, NodeKey, SnapshotInfo, Version, WriteTicket
+
+
+class WriteState(Enum):
+    """Lifecycle of one registered write."""
+
+    PENDING = "pending"        # version assigned, client still working
+    COMPLETED = "completed"    # client published, waiting for earlier versions
+    PUBLISHED = "published"    # visible to readers
+    ABORTED = "aborted"        # client declared failure before completing
+
+
+@dataclass
+class _WriteEntry:
+    record: WriteRecord
+    state: WriteState = WriteState.PENDING
+    is_append: bool = False
+    writer: Optional[str] = None
+
+
+@dataclass
+class _BlobState:
+    info: BlobInfo
+    #: entries[v - 1] describes version v (version 0 is the implicit empty snapshot)
+    entries: List[_WriteEntry] = field(default_factory=list)
+    published_frontier: Version = 0
+
+    @property
+    def tentative_size(self) -> int:
+        """Size the next write will be layered on (last assigned version's size)."""
+        return self.entries[-1].record.new_size if self.entries else 0
+
+    @property
+    def next_version(self) -> Version:
+        return len(self.entries) + 1
+
+    def entry(self, version: Version) -> _WriteEntry:
+        return self.entries[version - 1]
+
+    def size_of(self, version: Version) -> int:
+        if version == 0:
+            return 0
+        return self.entry(version).record.new_size
+
+
+class VersionManager:
+    """Central (but extremely lightweight) version assignment and publication."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._blobs: Dict[BlobId, _BlobState] = {}
+        self._next_blob_id = 1
+        #: Counters exposed for monitoring / benchmark harnesses.
+        self.writes_registered = 0
+        self.versions_published = 0
+
+    # -- blob lifecycle ---------------------------------------------------------
+    def create_blob(
+        self, chunk_size: int = DEFAULT_CHUNK_SIZE, replication: int = 1
+    ) -> BlobInfo:
+        """Create an empty blob and return its immutable parameters."""
+        if chunk_size < 1:
+            raise InvalidRangeError("chunk_size must be >= 1")
+        if replication < 1:
+            raise InvalidRangeError("replication must be >= 1")
+        with self._lock:
+            blob_id = self._next_blob_id
+            self._next_blob_id += 1
+            info = BlobInfo(blob_id=blob_id, chunk_size=chunk_size, replication=replication)
+            self._blobs[blob_id] = _BlobState(info=info)
+            return info
+
+    def blob_ids(self) -> List[BlobId]:
+        with self._lock:
+            return sorted(self._blobs)
+
+    def blob_info(self, blob_id: BlobId) -> BlobInfo:
+        return self._state(blob_id).info
+
+    def _state(self, blob_id: BlobId) -> _BlobState:
+        state = self._blobs.get(blob_id)
+        if state is None:
+            raise BlobNotFoundError(blob_id)
+        return state
+
+    # -- write registration (the serialised step) ---------------------------------
+    def register_write(
+        self,
+        blob_id: BlobId,
+        offset: int,
+        size: int,
+        writer: Optional[str] = None,
+    ) -> WriteTicket:
+        """Assign the next version to a write of ``size`` bytes at ``offset``.
+
+        The write is layered on the most recently *assigned* snapshot (not
+        the most recently published one): BlobSeer writers never wait for
+        each other, ordering is resolved at publication time.
+        """
+        if size <= 0:
+            raise InvalidRangeError("write size must be > 0")
+        if offset < 0:
+            raise InvalidRangeError("write offset must be >= 0")
+        with self._lock:
+            state = self._state(blob_id)
+            base_size = state.tentative_size
+            if offset > base_size:
+                raise InvalidRangeError(
+                    f"write offset {offset} is beyond the blob end ({base_size}); "
+                    f"writing past the end would create an unreadable gap"
+                )
+            return self._register_locked(state, offset, size, False, writer)
+
+    def register_append(
+        self, blob_id: BlobId, size: int, writer: Optional[str] = None
+    ) -> WriteTicket:
+        """Assign the next version to an append of ``size`` bytes.
+
+        The append offset is chosen atomically with the version assignment,
+        so concurrent appenders never collide.
+        """
+        if size <= 0:
+            raise InvalidRangeError("append size must be > 0")
+        with self._lock:
+            state = self._state(blob_id)
+            return self._register_locked(state, state.tentative_size, size, True, writer)
+
+    def _register_locked(
+        self,
+        state: _BlobState,
+        offset: int,
+        size: int,
+        is_append: bool,
+        writer: Optional[str],
+    ) -> WriteTicket:
+        version = state.next_version
+        base_size = state.tentative_size
+        new_size = max(base_size, offset + size)
+        record = WriteRecord(version=version, offset=offset, size=size, new_size=new_size)
+        state.entries.append(_WriteEntry(record=record, is_append=is_append, writer=writer))
+        self.writes_registered += 1
+        return WriteTicket(
+            blob_id=state.info.blob_id,
+            version=version,
+            offset=offset,
+            size=size,
+            is_append=is_append,
+            new_blob_size=new_size,
+            base_blob_size=base_size,
+        )
+
+    # -- publication ------------------------------------------------------------------
+    def publish(self, blob_id: BlobId, version: Version) -> Version:
+        """Mark ``version`` as completed and advance the published frontier.
+
+        Returns the new published frontier.  Versions are only ever exposed
+        in assignment order: if an earlier version is still pending, the
+        completed one waits (readers keep seeing the old frontier, which is
+        exactly the paper's "readers see a consistent snapshot at all
+        times").
+        """
+        with self._lock:
+            state = self._state(blob_id)
+            if version < 1 or version > len(state.entries):
+                raise VersionNotFoundError(blob_id, version)
+            entry = state.entry(version)
+            if entry.state == WriteState.ABORTED:
+                raise CommitError(f"version {version} was aborted and cannot be published")
+            if entry.state == WriteState.PENDING:
+                entry.state = WriteState.COMPLETED
+            self._advance_frontier_locked(state)
+            return state.published_frontier
+
+    def abort(self, blob_id: BlobId, version: Version) -> None:
+        """Declare a registered write as failed.
+
+        The version stays in the history (later writers may already
+        reference the interval it announced); a subsequent
+        :meth:`repair` — typically issued by the client library — must
+        install no-op metadata so the frontier can pass it.
+        """
+        with self._lock:
+            state = self._state(blob_id)
+            if version < 1 or version > len(state.entries):
+                raise VersionNotFoundError(blob_id, version)
+            entry = state.entry(version)
+            if entry.state == WriteState.PUBLISHED:
+                raise CommitError(f"version {version} is already published")
+            entry.state = WriteState.ABORTED
+
+    def mark_repaired(self, blob_id: BlobId, version: Version) -> Version:
+        """Mark an aborted version as repaired (its no-op metadata now exists)."""
+        with self._lock:
+            state = self._state(blob_id)
+            entry = state.entry(version)
+            if entry.state != WriteState.ABORTED:
+                raise CommitError(f"version {version} is not aborted")
+            entry.state = WriteState.COMPLETED
+            self._advance_frontier_locked(state)
+            return state.published_frontier
+
+    def _advance_frontier_locked(self, state: _BlobState) -> None:
+        while state.published_frontier < len(state.entries):
+            entry = state.entry(state.published_frontier + 1)
+            if entry.state not in (WriteState.COMPLETED, WriteState.PUBLISHED):
+                break
+            entry.state = WriteState.PUBLISHED
+            state.published_frontier += 1
+            self.versions_published += 1
+
+    # -- read-side queries ---------------------------------------------------------------
+    def latest_version(self, blob_id: BlobId) -> Version:
+        """Most recent published version (0 = empty initial snapshot)."""
+        with self._lock:
+            return self._state(blob_id).published_frontier
+
+    def get_snapshot(self, blob_id: BlobId, version: Optional[Version] = None) -> SnapshotInfo:
+        """Describe one published snapshot (latest when ``version`` is None)."""
+        with self._lock:
+            state = self._state(blob_id)
+            if version is None:
+                version = state.published_frontier
+            if version < 0 or version > state.published_frontier:
+                raise VersionNotFoundError(blob_id, version)
+            chunk_size = state.info.chunk_size
+            size = state.size_of(version)
+            root: Optional[NodeKey]
+            if version == 0:
+                root = None
+            else:
+                root = root_key(blob_id, version, size, chunk_size)
+            return SnapshotInfo(
+                blob_id=blob_id,
+                version=version,
+                size=size,
+                chunk_size=chunk_size,
+                root=root,
+            )
+
+    def get_history(self, blob_id: BlobId, upto_version: Version) -> List[WriteRecord]:
+        """Write records of versions 1..upto (published or not) — metadata weaving input."""
+        with self._lock:
+            state = self._state(blob_id)
+            upto = min(upto_version, len(state.entries))
+            return [state.entries[i].record for i in range(upto)]
+
+    def pending_versions(self, blob_id: BlobId) -> List[Version]:
+        """Versions assigned but not yet published (monitoring / recovery)."""
+        with self._lock:
+            state = self._state(blob_id)
+            return [
+                entry.record.version
+                for entry in state.entries
+                if entry.state in (WriteState.PENDING, WriteState.COMPLETED)
+                and entry.record.version > state.published_frontier
+            ]
+
+    def aborted_versions(self, blob_id: BlobId) -> List[Version]:
+        with self._lock:
+            state = self._state(blob_id)
+            return [
+                entry.record.version
+                for entry in state.entries
+                if entry.state == WriteState.ABORTED
+            ]
+
+    def version_state(self, blob_id: BlobId, version: Version) -> WriteState:
+        with self._lock:
+            state = self._state(blob_id)
+            if version < 1 or version > len(state.entries):
+                raise VersionNotFoundError(blob_id, version)
+            return state.entry(version).state

@@ -1,0 +1,22 @@
+"""DHT substrate: consistent hashing ring + replicated key-value stores.
+
+BlobSeer stores metadata-tree nodes in a DHT formed by the metadata
+providers.  This package provides the ring (:class:`ConsistentHashRing`),
+the per-provider store (:class:`KeyValueStore`) and the replicated,
+failure-aware facade the rest of the system uses
+(:class:`DistributedKeyValueStore`).
+"""
+
+from .hashing import ring_position, stable_hash64
+from .ring import ConsistentHashRing, build_ring
+from .store import KeyValueStore
+from .distributed_store import DistributedKeyValueStore
+
+__all__ = [
+    "ConsistentHashRing",
+    "DistributedKeyValueStore",
+    "KeyValueStore",
+    "build_ring",
+    "ring_position",
+    "stable_hash64",
+]

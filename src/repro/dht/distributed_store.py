@@ -1,0 +1,149 @@
+"""The distributed metadata store: a DHT of key-value providers.
+
+This ties the consistent-hashing ring to a set of :class:`KeyValueStore`
+instances (one per metadata provider) and adds replication and failure
+handling: a ``get`` falls back to replica owners when the primary is down,
+and a ``put`` writes to every live replica owner.  The version manager and
+the client metadata layer talk to this object exactly as the real BlobSeer
+client talks to its metadata-provider DHT.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import MetadataNotFoundError, ServiceError
+from .ring import ConsistentHashRing
+from .store import KeyValueStore
+
+
+class DistributedKeyValueStore:
+    """A replicated key-value store partitioned over metadata providers."""
+
+    def __init__(
+        self,
+        provider_ids: Sequence[str],
+        virtual_nodes: int = 32,
+        replication: int = 1,
+    ) -> None:
+        if not provider_ids:
+            raise ValueError("at least one metadata provider is required")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self._replication = min(replication, len(provider_ids))
+        self._ring = ConsistentHashRing(virtual_nodes=virtual_nodes)
+        self._stores: Dict[str, KeyValueStore] = {}
+        self._alive: Dict[str, bool] = {}
+        for pid in provider_ids:
+            self._ring.add_node(pid)
+            self._stores[pid] = KeyValueStore(provider_id=pid)
+            self._alive[pid] = True
+        #: Optional callback invoked as (provider_id, op, key) on every access;
+        #: the simulator and the QoS monitor hook in here.
+        self.access_hook: Optional[Callable[[str, str, Any], None]] = None
+
+    # -- membership / failure injection ---------------------------------------
+    @property
+    def provider_ids(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._stores))
+
+    @property
+    def replication(self) -> int:
+        return self._replication
+
+    def store_of(self, provider_id: str) -> KeyValueStore:
+        return self._stores[provider_id]
+
+    def is_alive(self, provider_id: str) -> bool:
+        return self._alive.get(provider_id, False)
+
+    def fail_provider(self, provider_id: str) -> None:
+        """Mark a metadata provider as crashed (its data becomes unreachable)."""
+        if provider_id not in self._stores:
+            raise KeyError(provider_id)
+        self._alive[provider_id] = False
+
+    def recover_provider(self, provider_id: str, lose_data: bool = False) -> None:
+        """Bring a crashed provider back, optionally with an empty store."""
+        if provider_id not in self._stores:
+            raise KeyError(provider_id)
+        if lose_data:
+            self._stores[provider_id].clear()
+        self._alive[provider_id] = True
+
+    def add_provider(self, provider_id: str) -> None:
+        """Add a brand-new metadata provider to the ring."""
+        if provider_id in self._stores:
+            raise ValueError(f"provider {provider_id!r} already exists")
+        self._ring.add_node(provider_id)
+        self._stores[provider_id] = KeyValueStore(provider_id=provider_id)
+        self._alive[provider_id] = True
+
+    # -- key placement ----------------------------------------------------------
+    def owners(self, key: Any) -> List[str]:
+        """Replica owners for ``key`` (primary first), ignoring liveness."""
+        return self._ring.owners(key, self._replication)
+
+    def live_owners(self, key: Any) -> List[str]:
+        return [pid for pid in self.owners(key) if self._alive[pid]]
+
+    # -- data plane ---------------------------------------------------------------
+    def put(self, key: Any, value: Any) -> List[str]:
+        """Store ``key`` on every live replica owner; return the owners written."""
+        written: List[str] = []
+        for pid in self.owners(key):
+            if not self._alive[pid]:
+                continue
+            if self.access_hook is not None:
+                self.access_hook(pid, "put", key)
+            self._stores[pid].put(key, value)
+            written.append(pid)
+        if not written:
+            raise ServiceError(
+                f"no live metadata provider available for key {key!r}"
+            )
+        return written
+
+    def get(self, key: Any) -> Any:
+        """Fetch ``key`` from the first live replica that has it."""
+        owners = self.owners(key)
+        last_error: Optional[Exception] = None
+        for pid in owners:
+            if not self._alive[pid]:
+                continue
+            if self.access_hook is not None:
+                self.access_hook(pid, "get", key)
+            value = self._stores[pid].get_or_none(key)
+            if value is not None:
+                return value
+            last_error = MetadataNotFoundError(key)
+        if last_error is not None:
+            raise last_error
+        raise ServiceError(f"no live metadata provider owns key {key!r}")
+
+    def get_or_none(self, key: Any) -> Optional[Any]:
+        try:
+            return self.get(key)
+        except (MetadataNotFoundError, ServiceError):
+            return None
+
+    def contains(self, key: Any) -> bool:
+        return self.get_or_none(key) is not None
+
+    # -- introspection ----------------------------------------------------------
+    def load_per_provider(self) -> Dict[str, int]:
+        """Number of entries stored on each provider."""
+        return {pid: len(store) for pid, store in self._stores.items()}
+
+    def access_stats(self) -> Dict[str, Dict[str, int]]:
+        return {pid: store.stats for pid, store in self._stores.items()}
+
+    def total_entries(self) -> int:
+        return sum(len(store) for store in self._stores.values())
+
+    def rebalance_report(self, keys: Iterable[Any]) -> Dict[str, int]:
+        """How a hypothetical key set would distribute over live providers."""
+        counts = {pid: 0 for pid in self._stores}
+        for key in keys:
+            counts[self.owners(key)[0]] += 1
+        return counts

@@ -1,0 +1,137 @@
+"""Consistent-hashing ring used to partition metadata among providers.
+
+BlobSeer organises its metadata providers as a DHT (Section I.B.3,
+"Metadata decentralization").  We reproduce that with a classic
+consistent-hashing ring: every metadata provider owns a configurable number
+of *virtual nodes* placed pseudo-randomly (but deterministically) on a
+64-bit ring; a key is owned by the first virtual node clockwise from the
+key's position, and its replicas live on the next distinct physical nodes.
+
+The ring supports adding and removing providers at runtime, which the
+fault-tolerance / QoS experiments use to model metadata-provider churn.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from .hashing import ring_position, virtual_node_position
+
+
+class ConsistentHashRing:
+    """Consistent-hashing ring with virtual nodes.
+
+    Parameters
+    ----------
+    virtual_nodes:
+        Number of virtual nodes per physical node.  More virtual nodes give
+        a smoother key distribution at the cost of a slightly larger ring.
+    """
+
+    def __init__(self, virtual_nodes: int = 32) -> None:
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self._virtual_nodes = virtual_nodes
+        #: Sorted ring positions of all virtual nodes.
+        self._positions: List[int] = []
+        #: Ring position -> physical node id.
+        self._owners: Dict[int, str] = {}
+        #: Physical node id -> list of its virtual node positions.
+        self._node_positions: Dict[str, List[int]] = {}
+
+    # -- membership ----------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._node_positions))
+
+    def __len__(self) -> int:
+        return len(self._node_positions)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._node_positions
+
+    def add_node(self, node_id: str) -> None:
+        """Add a physical node (no-op if already present)."""
+        if node_id in self._node_positions:
+            return
+        positions: List[int] = []
+        for replica_index in range(self._virtual_nodes):
+            pos = virtual_node_position(node_id, replica_index)
+            # Extremely unlikely collision: probe linearly until free.
+            while pos in self._owners:
+                pos = (pos + 1) & ((1 << 64) - 1)
+            self._owners[pos] = node_id
+            insort(self._positions, pos)
+            positions.append(pos)
+        self._node_positions[node_id] = positions
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a physical node and all its virtual nodes."""
+        positions = self._node_positions.pop(node_id, None)
+        if positions is None:
+            return
+        remaining = set(positions)
+        self._positions = [p for p in self._positions if p not in remaining]
+        for pos in positions:
+            self._owners.pop(pos, None)
+
+    # -- lookups ---------------------------------------------------------------
+    def owner(self, key: Any) -> str:
+        """Physical node owning ``key`` (primary replica)."""
+        return self.owners(key, 1)[0]
+
+    def owners(self, key: Any, count: int) -> List[str]:
+        """Return ``count`` distinct physical nodes responsible for ``key``.
+
+        The first entry is the primary owner, subsequent entries are the
+        successor nodes used as replicas.  ``count`` is clipped to the
+        number of physical nodes.
+        """
+        if not self._positions:
+            raise LookupError("the ring has no nodes")
+        count = min(count, len(self._node_positions))
+        start = bisect_right(self._positions, ring_position(key))
+        owners: List[str] = []
+        seen = set()
+        n = len(self._positions)
+        for step in range(n):
+            pos = self._positions[(start + step) % n]
+            node = self._owners[pos]
+            if node not in seen:
+                seen.add(node)
+                owners.append(node)
+                if len(owners) == count:
+                    break
+        return owners
+
+    def distribution(self, keys: Iterable[Any]) -> Dict[str, int]:
+        """Count how many of ``keys`` map to each physical node."""
+        counts: Dict[str, int] = {node: 0 for node in self._node_positions}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+    # -- introspection -----------------------------------------------------------
+    def arc_fractions(self) -> Dict[str, float]:
+        """Fraction of the ring owned by each node (sums to 1.0)."""
+        if not self._positions:
+            return {}
+        total = float(1 << 64)
+        fractions: Dict[str, float] = {node: 0.0 for node in self._node_positions}
+        n = len(self._positions)
+        for i, pos in enumerate(self._positions):
+            nxt = self._positions[(i + 1) % n]
+            arc = (nxt - pos) % (1 << 64)
+            if arc == 0 and n == 1:
+                arc = 1 << 64
+            fractions[self._owners[nxt]] += arc / total
+        return fractions
+
+
+def build_ring(node_ids: Sequence[str], virtual_nodes: int = 32) -> ConsistentHashRing:
+    """Convenience constructor building a ring from a list of node ids."""
+    ring = ConsistentHashRing(virtual_nodes=virtual_nodes)
+    for node_id in node_ids:
+        ring.add_node(node_id)
+    return ring

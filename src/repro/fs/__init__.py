@@ -1,0 +1,19 @@
+"""BSFS: the hierarchical file system built on top of BlobSeer (Section IV.D)."""
+
+from .namespace import FileAttributes, Namespace, NamespaceError
+from .streams import BufferedBlobWriter, PrefetchingBlobReader
+from .bsfs import BlobSeerFileSystem
+from .locality import InputSplit, balance_report, compute_splits, locality_fraction
+
+__all__ = [
+    "BlobSeerFileSystem",
+    "BufferedBlobWriter",
+    "FileAttributes",
+    "InputSplit",
+    "Namespace",
+    "NamespaceError",
+    "PrefetchingBlobReader",
+    "balance_report",
+    "compute_splits",
+    "locality_fraction",
+]

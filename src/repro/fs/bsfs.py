@@ -1,0 +1,175 @@
+"""BSFS: the BlobSeer File System.
+
+Section IV.D: "we implemented a fully-fledged distributed file system on
+top of BlobSeer, BSFS, that manages a hierarchical directory structure,
+mapping files to blobs which are addressed in BlobSeer using a flat
+scheme", plus the Hadoop streaming API (buffering, prefetching) and the
+data-location exposure used for computation placement.
+
+The facade below offers the operations the MapReduce engine and the
+examples need: directory management, create/open/append streams, whole-file
+and ranged reads, rename/delete, and ``block_locations`` for locality-aware
+scheduling.  Unlike the HDFS-like baseline, any number of clients may
+append to the same file concurrently (each append is an independent
+BlobSeer version) and files may also be overwritten at arbitrary offsets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.client import Blob, BlobSeerClient
+from ..core.deployment import BlobSeerDeployment
+from ..core.errors import InvalidRangeError
+from .namespace import FileAttributes, Namespace, NamespaceError
+from .streams import BufferedBlobWriter, PrefetchingBlobReader
+
+
+class BlobSeerFileSystem:
+    """Hierarchical file system over one BlobSeer deployment."""
+
+    def __init__(
+        self,
+        deployment: BlobSeerDeployment,
+        client: Optional[BlobSeerClient] = None,
+        namespace: Optional[Namespace] = None,
+    ) -> None:
+        self.deployment = deployment
+        self.client = client if client is not None else deployment.client("bsfs")
+        #: The namespace is shared state (one per file system, like a
+        #: namenode) — pass the same instance to every BSFS facade that
+        #: should see the same directory tree.
+        self.namespace = namespace if namespace is not None else Namespace()
+
+    # -- directories --------------------------------------------------------------
+    def mkdir(self, path: str, parents: bool = True) -> None:
+        self.namespace.mkdir(path, parents=parents)
+
+    def list_dir(self, path: str) -> List[str]:
+        return self.namespace.list_dir(path)
+
+    def exists(self, path: str) -> bool:
+        return self.namespace.exists(path)
+
+    def is_file(self, path: str) -> bool:
+        return self.namespace.is_file(path)
+
+    def is_dir(self, path: str) -> bool:
+        return self.namespace.is_dir(path)
+
+    def rename(self, src: str, dst: str) -> None:
+        self.namespace.rename(src, dst)
+
+    def delete(self, path: str) -> bool:
+        """Unlink a file from the namespace (blob data is left to GC policy)."""
+        try:
+            self.namespace.unlink(path)
+            return True
+        except NamespaceError:
+            return False
+
+    # -- file creation / opening -----------------------------------------------------
+    def create(
+        self,
+        path: str,
+        chunk_size: Optional[int] = None,
+        replication: Optional[int] = None,
+        buffer_chunks: Optional[int] = None,
+    ) -> BufferedBlobWriter:
+        """Create a new file and return a buffered writer for it."""
+        blob = self.client.create_blob(chunk_size=chunk_size, replication=replication)
+        self.namespace.bind_file(
+            path, blob.blob_id, blob.chunk_size, blob.replication
+        )
+        return self._writer(blob, buffer_chunks)
+
+    def append_open(self, path: str, buffer_chunks: Optional[int] = None) -> BufferedBlobWriter:
+        """Open an existing file for appending.
+
+        Unlike HDFS there is no exclusive lease: concurrent appenders are
+        legal and each of their appends becomes its own snapshot version.
+        """
+        blob = self._blob_of(path)
+        return self._writer(blob, buffer_chunks)
+
+    def open(
+        self,
+        path: str,
+        version: Optional[int] = None,
+        prefetch_chunks: Optional[int] = None,
+    ) -> PrefetchingBlobReader:
+        """Open a file for reading, pinned to one snapshot version."""
+        blob = self._blob_of(path)
+        if prefetch_chunks is None:
+            prefetch_chunks = self.deployment.config.client.prefetch_chunks
+        return PrefetchingBlobReader(blob, version=version, prefetch_chunks=prefetch_chunks)
+
+    def _writer(self, blob: Blob, buffer_chunks: Optional[int]) -> BufferedBlobWriter:
+        if buffer_chunks is None:
+            buffer_chunks = self.deployment.config.client.write_buffer_chunks
+        return BufferedBlobWriter(blob, buffer_chunks=buffer_chunks)
+
+    def _blob_of(self, path: str) -> Blob:
+        attributes = self.namespace.lookup(path)
+        return self.client.open_blob(attributes.blob_id)
+
+    # -- convenience whole-file helpers --------------------------------------------------
+    def write_file(self, path: str, data: bytes, chunk_size: Optional[int] = None) -> None:
+        """Create ``path`` with content ``data`` (overwrites are a namespace error)."""
+        with self.create(path, chunk_size=chunk_size) as writer:
+            writer.write(data)
+
+    def read_file(self, path: str, version: Optional[int] = None) -> bytes:
+        """Read the whole content of ``path`` at ``version`` (default: latest)."""
+        reader = self.open(path, version=version)
+        return reader.read()
+
+    def read_range(
+        self, path: str, offset: int, size: int, version: Optional[int] = None
+    ) -> bytes:
+        blob = self._blob_of(path)
+        return blob.read(offset, size, version=version)
+
+    def write_at(self, path: str, offset: int, data: bytes) -> int:
+        """Random-access overwrite inside an existing file (BlobSeer extra)."""
+        if offset < 0:
+            raise InvalidRangeError("offset must be >= 0")
+        blob = self._blob_of(path)
+        version = blob.write(offset, data)
+        self.namespace.update_committed_version(path, version)
+        return version
+
+    def file_size(self, path: str, version: Optional[int] = None) -> int:
+        return self._blob_of(path).size(version=version)
+
+    def file_versions(self, path: str) -> List[int]:
+        return self._blob_of(path).versions()
+
+    def file_status(self, path: str) -> Dict[str, object]:
+        attributes = self.namespace.lookup(path)
+        blob = self.client.open_blob(attributes.blob_id)
+        return {
+            "path": attributes.path,
+            "blob_id": attributes.blob_id,
+            "size": blob.size(),
+            "chunk_size": attributes.chunk_size,
+            "replication": attributes.replication,
+            "versions": blob.latest_version(),
+        }
+
+    # -- locality (the Hadoop-specific API of Section IV.D) --------------------------------
+    def block_locations(
+        self, path: str, offset: int, size: int, version: Optional[int] = None
+    ) -> List[Tuple[int, int, Tuple[str, ...]]]:
+        """Return ``(offset, length, provider_ids)`` for the given file range.
+
+        The MapReduce scheduler uses this to run map tasks on (or near) the
+        data providers that hold the corresponding chunks.
+        """
+        blob = self._blob_of(path)
+        return blob.chunk_locations(offset, size, version=version)
+
+    def provider_hosts(self) -> Dict[str, str]:
+        """Map provider id to its host name (for locality matching)."""
+        pool = self.deployment.provider_pool
+        return {pid: pool.get(pid).host for pid in pool.provider_ids}

@@ -1,0 +1,201 @@
+"""Hierarchical namespace of BSFS.
+
+BSFS (Section IV.D) "manages a hierarchical directory structure, mapping
+files to blobs which are addressed in BlobSeer using a flat scheme".  The
+namespace manager is that mapping: a tree of directories whose leaves bind
+a path to a blob id plus per-file attributes.  It is kept deliberately
+small — all the heavy lifting (striping, versioning, metadata) stays in the
+blob layer — and thread-safe, since many Hadoop-style clients open files
+concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.errors import ClientError
+
+
+class NamespaceError(ClientError):
+    """Namespace-level failures (missing paths, conflicts, non-empty dirs)."""
+
+
+@dataclass
+class FileAttributes:
+    """Per-file record stored in the namespace."""
+
+    path: str
+    blob_id: int
+    chunk_size: int
+    replication: int
+    created_at: float = field(default_factory=time.time)
+    #: Highest blob version known to correspond to a completed close();
+    #: readers default to the latest published version, this is advisory.
+    last_committed_version: int = 0
+
+
+@dataclass
+class DirectoryEntry:
+    path: str
+    created_at: float = field(default_factory=time.time)
+
+
+class Namespace:
+    """Thread-safe hierarchical directory tree mapping paths to blobs."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._files: Dict[str, FileAttributes] = {}
+        self._dirs: Dict[str, DirectoryEntry] = {"/": DirectoryEntry(path="/")}
+        self.operations = 0
+
+    # -- path helpers --------------------------------------------------------------
+    @staticmethod
+    def normalize(path: str) -> str:
+        if not path or not path.startswith("/"):
+            raise NamespaceError(f"paths must be absolute, got {path!r}")
+        parts = [part for part in path.split("/") if part]
+        for part in parts:
+            if part in (".", ".."):
+                raise NamespaceError("'.' and '..' path segments are not supported")
+        return "/" + "/".join(parts)
+
+    @staticmethod
+    def parent_of(path: str) -> str:
+        if path == "/":
+            return "/"
+        return path.rsplit("/", 1)[0] or "/"
+
+    # -- directories -----------------------------------------------------------------
+    def mkdir(self, path: str, parents: bool = False) -> None:
+        path = self.normalize(path)
+        with self._lock:
+            self.operations += 1
+            if path in self._dirs:
+                return
+            if path in self._files:
+                raise NamespaceError(f"{path!r} already exists as a file")
+            parent = self.parent_of(path)
+            if parent not in self._dirs:
+                if not parents:
+                    raise NamespaceError(f"parent directory {parent!r} does not exist")
+                self._mkdir_parents(parent)
+            self._dirs[path] = DirectoryEntry(path=path)
+
+    def _mkdir_parents(self, path: str) -> None:
+        missing: List[str] = []
+        cursor = path
+        while cursor not in self._dirs:
+            missing.append(cursor)
+            cursor = self.parent_of(cursor)
+        for directory in reversed(missing):
+            self._dirs[directory] = DirectoryEntry(path=directory)
+
+    def rmdir(self, path: str) -> None:
+        path = self.normalize(path)
+        with self._lock:
+            self.operations += 1
+            if path == "/":
+                raise NamespaceError("cannot remove the root directory")
+            if path not in self._dirs:
+                raise NamespaceError(f"directory {path!r} does not exist")
+            if self._children_locked(path):
+                raise NamespaceError(f"directory {path!r} is not empty")
+            del self._dirs[path]
+
+    def is_dir(self, path: str) -> bool:
+        return self.normalize(path) in self._dirs
+
+    def is_file(self, path: str) -> bool:
+        return self.normalize(path) in self._files
+
+    def exists(self, path: str) -> bool:
+        path = self.normalize(path)
+        return path in self._files or path in self._dirs
+
+    def list_dir(self, path: str) -> List[str]:
+        path = self.normalize(path)
+        with self._lock:
+            self.operations += 1
+            if path not in self._dirs:
+                raise NamespaceError(f"directory {path!r} does not exist")
+            return self._children_locked(path)
+
+    def _children_locked(self, path: str) -> List[str]:
+        prefix = path if path.endswith("/") else path + "/"
+        children = set()
+        for candidate in list(self._files) + list(self._dirs):
+            if candidate != path and candidate.startswith(prefix):
+                remainder = candidate[len(prefix):]
+                children.add(prefix + remainder.split("/", 1)[0])
+        return sorted(children)
+
+    # -- files ------------------------------------------------------------------------
+    def bind_file(
+        self, path: str, blob_id: int, chunk_size: int, replication: int
+    ) -> FileAttributes:
+        """Create a file entry bound to an existing blob."""
+        path = self.normalize(path)
+        with self._lock:
+            self.operations += 1
+            if path in self._files:
+                raise NamespaceError(f"file {path!r} already exists")
+            if path in self._dirs:
+                raise NamespaceError(f"{path!r} already exists as a directory")
+            parent = self.parent_of(path)
+            if parent not in self._dirs:
+                raise NamespaceError(f"parent directory {parent!r} does not exist")
+            attributes = FileAttributes(
+                path=path, blob_id=blob_id, chunk_size=chunk_size, replication=replication
+            )
+            self._files[path] = attributes
+            return attributes
+
+    def lookup(self, path: str) -> FileAttributes:
+        path = self.normalize(path)
+        with self._lock:
+            self.operations += 1
+            attributes = self._files.get(path)
+            if attributes is None:
+                raise NamespaceError(f"file {path!r} does not exist")
+            return attributes
+
+    def unlink(self, path: str) -> FileAttributes:
+        path = self.normalize(path)
+        with self._lock:
+            self.operations += 1
+            attributes = self._files.pop(path, None)
+            if attributes is None:
+                raise NamespaceError(f"file {path!r} does not exist")
+            return attributes
+
+    def rename(self, src: str, dst: str) -> None:
+        """Rename a file (metadata only — the underlying blob is untouched)."""
+        src = self.normalize(src)
+        dst = self.normalize(dst)
+        with self._lock:
+            self.operations += 1
+            if src not in self._files:
+                raise NamespaceError(f"file {src!r} does not exist")
+            if dst in self._files or dst in self._dirs:
+                raise NamespaceError(f"destination {dst!r} already exists")
+            parent = self.parent_of(dst)
+            if parent not in self._dirs:
+                raise NamespaceError(f"parent directory {parent!r} does not exist")
+            attributes = self._files.pop(src)
+            attributes.path = dst
+            self._files[dst] = attributes
+
+    def files(self) -> List[str]:
+        with self._lock:
+            return sorted(self._files)
+
+    def update_committed_version(self, path: str, version: int) -> None:
+        path = self.normalize(path)
+        with self._lock:
+            attributes = self._files.get(path)
+            if attributes is not None and version > attributes.last_committed_version:
+                attributes.last_committed_version = version

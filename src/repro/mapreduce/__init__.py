@@ -1,0 +1,21 @@
+"""A small locality-aware MapReduce engine (the Hadoop stand-in of Section IV.D)."""
+
+from .job import JobResult, MapReduceJob, TaskStats, text_line_reader
+from .scheduler import LocalityAwareScheduler, TaskAssignment, partition_key
+from .engine import MapReduceEngine, grep_job, sort_sample_job, word_count_job
+from .adapters import HdfsAdapter
+
+__all__ = [
+    "HdfsAdapter",
+    "JobResult",
+    "LocalityAwareScheduler",
+    "MapReduceEngine",
+    "MapReduceJob",
+    "TaskAssignment",
+    "TaskStats",
+    "grep_job",
+    "partition_key",
+    "sort_sample_job",
+    "text_line_reader",
+    "word_count_job",
+]

@@ -1,0 +1,64 @@
+"""File-system adapters for the MapReduce engine.
+
+The engine talks to a tiny file-system facade (create / read_range /
+file_status / block_locations / provider_hosts / mkdir / file_size).  BSFS
+implements it natively; :class:`HdfsAdapter` bridges the HDFS-like baseline
+to the same facade so the comparison experiments run the identical job on
+both storage back-ends — only the storage layer changes, exactly like the
+paper swapped HDFS for BSFS under Hadoop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..baselines.hdfs_like import HdfsLikeFileSystem, HdfsWriter
+
+
+class HdfsAdapter:
+    """Expose an :class:`HdfsLikeFileSystem` through the engine's facade."""
+
+    def __init__(self, hdfs: HdfsLikeFileSystem) -> None:
+        self.hdfs = hdfs
+
+    # -- namespace ------------------------------------------------------------------
+    def mkdir(self, path: str) -> None:
+        """Create ``path`` and any missing parents (HDFS mkdir is not recursive)."""
+        parts = [part for part in path.split("/") if part]
+        current = ""
+        for part in parts:
+            current += "/" + part
+            if not self.hdfs.exists(current):
+                self.hdfs.mkdir(current)
+
+    def exists(self, path: str) -> bool:
+        return self.hdfs.exists(path)
+
+    # -- reads ----------------------------------------------------------------------
+    def read_range(self, path: str, offset: int, size: int) -> bytes:
+        return self.hdfs.read(path, offset, size)
+
+    def read_file(self, path: str) -> bytes:
+        return self.hdfs.read(path)
+
+    def file_size(self, path: str, version: Optional[int] = None) -> int:
+        return self.hdfs.file_size(path)
+
+    def file_status(self, path: str) -> Dict[str, object]:
+        status = dict(self.hdfs.file_status(path))
+        status["chunk_size"] = status.pop("block_size")
+        return status
+
+    # -- writes ----------------------------------------------------------------------
+    def create(self, path: str, **_kwargs: object) -> HdfsWriter:
+        return self.hdfs.create(path)
+
+    # -- locality ---------------------------------------------------------------------
+    def block_locations(
+        self, path: str, offset: int, size: int, version: Optional[int] = None
+    ) -> List[Tuple[int, int, Tuple[str, ...]]]:
+        return self.hdfs.block_locations(path, offset, size)
+
+    def provider_hosts(self) -> Dict[str, str]:
+        pool = self.hdfs.pool
+        return {pid: pool.get(pid).host for pid in pool.provider_ids}

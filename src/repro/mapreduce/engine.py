@@ -1,0 +1,250 @@
+"""MapReduce execution engine over a BSFS-like file system.
+
+The engine reproduces the data-access behaviour of Hadoop over BSFS
+(Section IV.D): map tasks read their input split from the file system
+(each split is served by the providers that store its chunks), intermediate
+pairs are partitioned and shuffled in memory, and each reduce task writes
+its output file back through the file system's streaming writer.  Tasks
+execute in-process — the point of this substrate is the *storage access
+pattern*, not CPU parallelism (the simulator covers timing).
+
+Any file system exposing the small protocol used here (``read_range``,
+``create``, ``file_size``, ``block_locations``, ``provider_hosts``) works;
+both :class:`~repro.fs.BlobSeerFileSystem` and an adapter over the
+HDFS-like baseline satisfy it, which is how the comparison experiments run
+the same job on both back-ends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..fs.locality import InputSplit, compute_splits
+from .job import JobResult, MapReduceJob, TaskStats
+from .scheduler import LocalityAwareScheduler, TaskAssignment, partition_key
+
+
+class MapReduceEngine:
+    """Runs MapReduce jobs against a file system facade."""
+
+    def __init__(
+        self,
+        filesystem,
+        worker_hosts: Optional[Sequence[str]] = None,
+        slots_per_host: int = 2,
+    ) -> None:
+        self.fs = filesystem
+        if worker_hosts is None:
+            worker_hosts = sorted(set(filesystem.provider_hosts().values()))
+        self.scheduler = LocalityAwareScheduler(worker_hosts, slots_per_host=slots_per_host)
+
+    # -- job execution ------------------------------------------------------------------
+    def run(
+        self,
+        job: MapReduceJob,
+        input_paths: Sequence[str],
+        output_dir: str,
+    ) -> JobResult:
+        """Execute ``job`` over ``input_paths``, writing results under ``output_dir``."""
+        splits = self._plan_splits(job, input_paths)
+        assignments = self.scheduler.assign(splits)
+        map_stats, partitions = self._run_map_phase(job, assignments)
+        reduce_stats, output_paths = self._run_reduce_phase(job, partitions, output_dir)
+        return JobResult(
+            job_name=job.name,
+            output_paths=output_paths,
+            map_tasks=map_stats,
+            reduce_tasks=reduce_stats,
+        )
+
+    # -- planning ----------------------------------------------------------------------
+    def _plan_splits(self, job: MapReduceJob, input_paths: Sequence[str]) -> List[InputSplit]:
+        splits: List[InputSplit] = []
+        for path in input_paths:
+            split_size = job.split_size
+            if split_size is None:
+                status = self.fs.file_status(path)
+                split_size = int(status["chunk_size"])
+            splits.extend(compute_splits(self.fs, path, split_size))
+        return splits
+
+    # -- map phase ----------------------------------------------------------------------
+    def _run_map_phase(
+        self, job: MapReduceJob, assignments: Sequence[TaskAssignment]
+    ) -> Tuple[List[TaskStats], List[Dict[Any, List[Any]]]]:
+        partitions: List[Dict[Any, List[Any]]] = [
+            {} for _ in range(job.num_reducers)
+        ]
+        stats: List[TaskStats] = []
+        for index, assignment in enumerate(assignments):
+            split = assignment.split
+            task = TaskStats(
+                task_id=f"map-{index:04d}",
+                host=assignment.host,
+                data_local=assignment.data_local,
+            )
+            if job.line_records:
+                data, record_offset = self._read_line_split(split)
+            else:
+                data = self.fs.read_range(split.path, split.offset, split.length)
+                record_offset = split.offset
+            task.bytes_read = len(data)
+            # Map
+            intermediate: Dict[Any, List[Any]] = {}
+            for key, value in job.record_reader(data, record_offset):
+                task.records_in += 1
+                for out_key, out_value in job.map_function(key, value):
+                    intermediate.setdefault(out_key, []).append(out_value)
+            # Combine (optional, reduces shuffle volume exactly like Hadoop)
+            if job.combiner is not None:
+                combined: Dict[Any, List[Any]] = {}
+                for key, values in intermediate.items():
+                    for out_key, out_value in job.combiner(key, values):
+                        combined.setdefault(out_key, []).append(out_value)
+                intermediate = combined
+            # Partition (the in-memory "shuffle")
+            for key, values in intermediate.items():
+                bucket = partitions[partition_key(key, job.num_reducers)]
+                bucket.setdefault(key, []).extend(values)
+                task.records_out += len(values)
+            stats.append(task)
+        return stats, partitions
+
+    def _read_line_split(self, split: InputSplit) -> Tuple[bytes, int]:
+        """Read a split with Hadoop-style newline boundary adjustment.
+
+        A split that does not start at a line boundary skips its leading
+        partial line (the previous split owns it) and every split reads past
+        its nominal end until the newline that terminates its last record.
+        Returns the adjusted payload and the file offset of its first byte.
+        """
+        file_size = self.fs.file_size(split.path)
+        data = self.fs.read_range(split.path, split.offset, split.length)
+        record_offset = split.offset
+        # Skip the leading partial record unless we start at a boundary.
+        if split.offset > 0:
+            previous = self.fs.read_range(split.path, split.offset - 1, 1)
+            if previous != b"\n":
+                newline = data.find(b"\n")
+                if newline == -1:
+                    return b"", split.end
+                data = data[newline + 1 :]
+                record_offset = split.offset + newline + 1
+        if not data:
+            # No record *starts* inside this split; the next split owns them.
+            return b"", record_offset
+        # Extend past the end until the last record is complete.
+        cursor = split.end
+        while not data.endswith(b"\n") and cursor < file_size:
+            extra = self.fs.read_range(split.path, cursor, min(4096, file_size - cursor))
+            if not extra:
+                break
+            newline = extra.find(b"\n")
+            if newline == -1:
+                data += extra
+                cursor += len(extra)
+            else:
+                data += extra[: newline + 1]
+                break
+        return data, record_offset
+
+    # -- reduce phase -------------------------------------------------------------------
+    def _run_reduce_phase(
+        self,
+        job: MapReduceJob,
+        partitions: List[Dict[Any, List[Any]]],
+        output_dir: str,
+    ) -> Tuple[List[TaskStats], List[str]]:
+        if hasattr(self.fs, "mkdir"):
+            self.fs.mkdir(output_dir)
+        reduce_hosts = self.scheduler.reduce_hosts(job.num_reducers)
+        stats: List[TaskStats] = []
+        output_paths: List[str] = []
+        for index, partition in enumerate(partitions):
+            task = TaskStats(task_id=f"reduce-{index:04d}", host=reduce_hosts[index])
+            output_path = f"{output_dir.rstrip('/')}/part-{index:05d}"
+            writer = self.fs.create(output_path)
+            try:
+                for key in sorted(partition, key=repr):
+                    values = partition[key]
+                    task.records_in += len(values)
+                    for out_key, out_value in job.reduce_function(key, values):
+                        line = _format_record(out_key, out_value)
+                        writer.write(line)
+                        task.records_out += 1
+                        task.bytes_written += len(line)
+            finally:
+                writer.close()
+            stats.append(task)
+            output_paths.append(output_path)
+        return stats, output_paths
+
+
+def _format_record(key: Any, value: Any) -> bytes:
+    """Serialise one output record as a tab-separated text line."""
+    key_bytes = key if isinstance(key, bytes) else str(key).encode("utf-8")
+    value_bytes = value if isinstance(value, bytes) else str(value).encode("utf-8")
+    return key_bytes + b"\t" + value_bytes + b"\n"
+
+
+# ---------------------------------------------------------------------------
+# Ready-made jobs used by examples, tests and benchmarks
+# ---------------------------------------------------------------------------
+
+
+def word_count_job(num_reducers: int = 1, split_size: Optional[int] = None) -> MapReduceJob:
+    """The canonical word-count job."""
+
+    def mapper(_key: Any, line: bytes):
+        for word in line.split():
+            yield word.lower(), 1
+
+    def reducer(word: Any, counts: List[int]):
+        yield word, sum(counts)
+
+    return MapReduceJob(
+        name="word-count",
+        map_function=mapper,
+        reduce_function=reducer,
+        combiner=reducer,
+        num_reducers=num_reducers,
+        split_size=split_size,
+    )
+
+
+def grep_job(pattern: bytes, num_reducers: int = 1, split_size: Optional[int] = None) -> MapReduceJob:
+    """Distributed grep: emit (line, 1) for every line containing ``pattern``."""
+
+    def mapper(_key: Any, line: bytes):
+        if pattern in line:
+            yield line, 1
+
+    def reducer(line: Any, counts: List[int]):
+        yield line, sum(counts)
+
+    return MapReduceJob(
+        name="grep",
+        map_function=mapper,
+        reduce_function=reducer,
+        combiner=reducer,
+        num_reducers=num_reducers,
+        split_size=split_size,
+    )
+
+
+def sort_sample_job(num_reducers: int = 1, split_size: Optional[int] = None) -> MapReduceJob:
+    """Identity map + sorted reduce output — the I/O-bound "sort" pattern."""
+
+    def mapper(_key: Any, line: bytes):
+        yield line, b""
+
+    def reducer(line: Any, _values: List[Any]):
+        yield line, b""
+
+    return MapReduceJob(
+        name="sort-sample",
+        map_function=mapper,
+        reduce_function=reducer,
+        num_reducers=num_reducers,
+        split_size=split_size,
+    )

@@ -1,0 +1,95 @@
+"""MapReduce job specification.
+
+The paper evaluates BlobSeer as the storage layer of Hadoop MapReduce
+(Section IV.D).  To exercise the same access patterns without Hadoop, this
+package provides a small MapReduce engine whose jobs are described by a
+:class:`MapReduceJob`: a map function over input records, an optional
+combiner, and a reduce function over grouped intermediate values — the
+classic model of Dean & Ghemawat that the paper references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
+
+#: A map function: (key, value) -> iterable of (key, value) pairs.
+MapFunction = Callable[[Any, Any], Iterable[Tuple[Any, Any]]]
+#: A reduce function: (key, [values]) -> iterable of (key, value) pairs.
+ReduceFunction = Callable[[Any, List[Any]], Iterable[Tuple[Any, Any]]]
+#: Record reader: raw split bytes -> iterator of (key, value) input records.
+RecordReader = Callable[[bytes, int], Iterator[Tuple[Any, Any]]]
+
+
+def text_line_reader(data: bytes, split_offset: int) -> Iterator[Tuple[int, bytes]]:
+    """Default record reader: newline-delimited records, keyed by byte offset."""
+    offset = split_offset
+    for line in data.split(b"\n"):
+        if line:
+            yield offset, line
+        offset += len(line) + 1
+
+
+@dataclass
+class MapReduceJob:
+    """Description of one MapReduce job."""
+
+    name: str
+    map_function: MapFunction
+    reduce_function: ReduceFunction
+    #: Optional combiner applied to map output before the shuffle.
+    combiner: Optional[ReduceFunction] = None
+    record_reader: RecordReader = text_line_reader
+    num_reducers: int = 1
+    #: Bytes per map input split (defaults to the file's chunk size).
+    split_size: Optional[int] = None
+    #: Records are newline-delimited text lines: the engine then adjusts
+    #: split boundaries exactly like Hadoop's TextInputFormat (a split skips
+    #: its leading partial line and reads past its end to finish the last
+    #: one), so no record is ever lost or split in two.
+    line_records: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_reducers < 1:
+            raise ValueError("num_reducers must be >= 1")
+
+
+@dataclass
+class TaskStats:
+    """Execution statistics of one task (map or reduce)."""
+
+    task_id: str
+    host: str
+    records_in: int = 0
+    records_out: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    data_local: bool = False
+
+
+@dataclass
+class JobResult:
+    """Everything the engine reports about a finished job."""
+
+    job_name: str
+    output_paths: List[str]
+    map_tasks: List[TaskStats] = field(default_factory=list)
+    reduce_tasks: List[TaskStats] = field(default_factory=list)
+
+    @property
+    def records_mapped(self) -> int:
+        return sum(task.records_in for task in self.map_tasks)
+
+    @property
+    def locality_fraction(self) -> float:
+        if not self.map_tasks:
+            return 1.0
+        return sum(1 for t in self.map_tasks if t.data_local) / len(self.map_tasks)
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(t.bytes_read for t in self.map_tasks)
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(t.bytes_written for t in self.reduce_tasks)

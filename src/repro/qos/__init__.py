@@ -1,0 +1,20 @@
+"""QoS subsystem: monitoring, GloBeM-style behaviour modelling, feedback (Section IV.E)."""
+
+from .monitoring import FEATURE_NAMES, Monitor, QualityReport, WindowSample, feature_matrix
+from .globem import BehaviorModel, BehaviorState, KMeans, fit_behavior_model
+from .feedback import FeedbackAction, FeedbackPolicy, QoSFeedbackController
+
+__all__ = [
+    "BehaviorModel",
+    "BehaviorState",
+    "FEATURE_NAMES",
+    "FeedbackAction",
+    "FeedbackPolicy",
+    "KMeans",
+    "Monitor",
+    "QoSFeedbackController",
+    "QualityReport",
+    "WindowSample",
+    "feature_matrix",
+    "fit_behavior_model",
+]

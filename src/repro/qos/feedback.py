@@ -1,0 +1,154 @@
+"""Feedback controller: turn behaviour-model verdicts into configuration actions.
+
+The paper's offline-analysis loop "automates the process of identifying
+dangerous behavior patterns in storage services" and, acting on it, BlobSeer
+"saw important improvements with respect to fault tolerance: we added
+configurable per-blob data replication capabilities" (Section IV.E).  The
+controller below closes that loop for the simulated deployment:
+
+* when the current monitoring window classifies as (or is likely to lead
+  to) a *dangerous* state, raise the replication level of new writes and
+  exclude the most failure-prone providers from new allocations;
+* when the system has stayed healthy for a while, relax back to the
+  baseline configuration so the extra replication cost is only paid when
+  needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from .globem import BehaviorModel
+from .monitoring import Monitor, WindowSample
+
+
+@dataclass
+class FeedbackPolicy:
+    """Tunable knobs of the controller."""
+
+    #: Replication level applied while the system is considered in danger.
+    boosted_replication: int = 3
+    #: Baseline replication restored after recovery.
+    baseline_replication: int = 1
+    #: A provider is excluded once it accumulated this many crashes.
+    exclusion_failure_threshold: int = 2
+    #: Consecutive healthy windows required before relaxing the boost.
+    recovery_windows: int = 3
+    #: Treat a window as dangerous when the model predicts the *next* window
+    #: is dangerous with at least this probability.
+    predictive_threshold: float = 0.5
+
+
+@dataclass
+class FeedbackAction:
+    """One action taken by the controller (kept for reporting/tests)."""
+
+    time: float
+    kind: str
+    detail: str
+
+
+class QoSFeedbackController:
+    """Applies behaviour-model-driven reconfiguration to a simulated cluster."""
+
+    def __init__(
+        self,
+        cluster,
+        model: BehaviorModel,
+        monitor: Monitor,
+        policy: Optional[FeedbackPolicy] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.model = model
+        self.monitor = monitor
+        self.policy = policy or FeedbackPolicy()
+        self.actions: List[FeedbackAction] = []
+        self._healthy_streak = 0
+        self._boosted = False
+
+    # -- decision logic -------------------------------------------------------------
+    def evaluate(self, sample: WindowSample) -> None:
+        """Inspect the latest monitoring window and reconfigure if needed."""
+        state = self.model.classify(sample)
+        dangerous_now = state in self.model.dangerous_states
+        dangerous_soon = (
+            self.model.danger_probability(state) >= self.policy.predictive_threshold
+        )
+        if dangerous_now or dangerous_soon:
+            self._healthy_streak = 0
+            self._engage(sample, state, dangerous_now)
+        else:
+            self._healthy_streak += 1
+            if self._boosted and self._healthy_streak >= self.policy.recovery_windows:
+                self._relax()
+
+    def _engage(self, sample: WindowSample, state: int, dangerous_now: bool) -> None:
+        if not self._boosted:
+            self.cluster.replication_override = self.policy.boosted_replication
+            self._boosted = True
+            reason = "dangerous state" if dangerous_now else "predicted danger"
+            self.actions.append(
+                FeedbackAction(
+                    time=self.cluster.env.now,
+                    kind="boost_replication",
+                    detail=f"state={state} ({reason}), replication -> "
+                    f"{self.policy.boosted_replication}",
+                )
+            )
+        self._exclude_flaky_providers()
+
+    def _relax(self) -> None:
+        self.cluster.replication_override = (
+            None
+            if self.policy.baseline_replication <= 1
+            else self.policy.baseline_replication
+        )
+        self._boosted = False
+        self.actions.append(
+            FeedbackAction(
+                time=self.cluster.env.now,
+                kind="relax_replication",
+                detail=f"replication -> {self.policy.baseline_replication}",
+            )
+        )
+
+    def _exclude_flaky_providers(self) -> None:
+        pool = self.cluster.provider_pool
+        for provider_id in pool.provider_ids:
+            entry = pool.get(provider_id)
+            if (
+                entry.failures >= self.policy.exclusion_failure_threshold
+                and provider_id not in pool.excluded
+            ):
+                # Never exclude so many providers that writes cannot spread.
+                if len(pool.excluded) >= max(0, len(pool.provider_ids) - 2):
+                    break
+                pool.excluded.add(provider_id)
+                self.actions.append(
+                    FeedbackAction(
+                        time=self.cluster.env.now,
+                        kind="exclude_provider",
+                        detail=f"{provider_id} after {entry.failures} failures",
+                    )
+                )
+
+    # -- simulation process -------------------------------------------------------------
+    def run(self, window_seconds: float, horizon: float) -> None:
+        """Register the controller as a periodic simulation process."""
+
+        def loop() -> Generator:
+            env = self.cluster.env
+            while env.now < horizon:
+                yield env.timeout(window_seconds)
+                sample = self.monitor.sample()
+                self.evaluate(sample)
+
+        self.cluster.env.process(loop(), name="qos-feedback")
+
+    # -- reporting ----------------------------------------------------------------------
+    def action_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for action in self.actions:
+            counts[action.kind] = counts.get(action.kind, 0) + 1
+        return counts

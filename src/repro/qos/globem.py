@@ -1,0 +1,200 @@
+"""GloBeM-style global behaviour modelling.
+
+The paper improves BlobSeer's quality of service by applying GloBeM
+(Montes et al. [17]): monitoring data is abstracted into a small number of
+*global behaviour states*, the states are characterised (healthy vs
+"dangerous"), and the transitions between them are analysed to anticipate
+and avoid the dangerous ones.  GloBeM itself is a closed research prototype,
+so this module implements the same pipeline with standard, inspectable
+components (see DESIGN.md's substitution table):
+
+1. z-score normalisation of the window-feature matrix;
+2. k-means clustering (deterministic seeding, plain NumPy) into behaviour
+   states;
+3. per-state characterisation: mean feature vector, dwell time, and the
+   client-throughput level of the state;
+4. a first-order state-transition matrix;
+5. labelling of *dangerous* states: states whose client throughput falls
+   below a configurable fraction of the best state's throughput.
+
+The resulting :class:`BehaviorModel` is what the feedback controller
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .monitoring import FEATURE_NAMES, WindowSample, feature_matrix
+
+
+@dataclass
+class BehaviorState:
+    """One identified global behaviour state."""
+
+    state_id: int
+    centroid: np.ndarray
+    occupancy: int
+    mean_client_throughput: float
+    dangerous: bool = False
+
+    def describe(self) -> Dict[str, float]:
+        description = {name: float(value) for name, value in zip(FEATURE_NAMES, self.centroid)}
+        description["occupancy"] = float(self.occupancy)
+        description["dangerous"] = float(self.dangerous)
+        return description
+
+
+class KMeans:
+    """Small deterministic k-means (k-means++ seeding with a fixed RNG)."""
+
+    def __init__(self, n_clusters: int, n_iterations: int = 50, seed: int = 0) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_iterations = n_iterations
+        self.seed = seed
+        self.centroids: Optional[np.ndarray] = None
+
+    def fit(self, data: np.ndarray) -> np.ndarray:
+        """Fit and return the label of each row."""
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError("data must be a non-empty 2D array")
+        k = min(self.n_clusters, data.shape[0])
+        rng = np.random.default_rng(self.seed)
+        centroids = self._init_centroids(data, k, rng)
+        labels = np.zeros(data.shape[0], dtype=int)
+        for _ in range(self.n_iterations):
+            distances = np.linalg.norm(data[:, None, :] - centroids[None, :, :], axis=2)
+            new_labels = distances.argmin(axis=1)
+            if np.array_equal(new_labels, labels) and _ > 0:
+                break
+            labels = new_labels
+            for cluster in range(k):
+                members = data[labels == cluster]
+                if len(members) > 0:
+                    centroids[cluster] = members.mean(axis=0)
+        self.centroids = centroids
+        return labels
+
+    @staticmethod
+    def _init_centroids(data: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ style seeding: spread the initial centroids out."""
+        centroids = [data[rng.integers(0, data.shape[0])]]
+        while len(centroids) < k:
+            distances = np.min(
+                np.linalg.norm(data[:, None, :] - np.array(centroids)[None, :, :], axis=2),
+                axis=1,
+            )
+            total = distances.sum()
+            if total <= 0:
+                centroids.append(data[rng.integers(0, data.shape[0])])
+                continue
+            probabilities = distances / total
+            centroids.append(data[rng.choice(data.shape[0], p=probabilities)])
+        return np.array(centroids, dtype=float)
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        if self.centroids is None:
+            raise RuntimeError("fit() must be called before predict()")
+        distances = np.linalg.norm(data[:, None, :] - self.centroids[None, :, :], axis=2)
+        return distances.argmin(axis=1)
+
+
+@dataclass
+class BehaviorModel:
+    """The fitted global behaviour model."""
+
+    states: List[BehaviorState]
+    transition_matrix: np.ndarray
+    labels: np.ndarray
+    feature_mean: np.ndarray
+    feature_std: np.ndarray
+    kmeans: KMeans
+
+    # -- queries --------------------------------------------------------------------
+    @property
+    def dangerous_states(self) -> List[int]:
+        return [state.state_id for state in self.states if state.dangerous]
+
+    def classify(self, sample: WindowSample) -> int:
+        """State id of a new monitoring window."""
+        features = (sample.features() - self.feature_mean) / self.feature_std
+        return int(self.kmeans.predict(features[None, :])[0])
+
+    def is_dangerous(self, sample: WindowSample) -> bool:
+        return self.classify(sample) in self.dangerous_states
+
+    def danger_probability(self, state_id: int) -> float:
+        """Probability that the next window is dangerous given the current state."""
+        dangerous = self.dangerous_states
+        if not dangerous:
+            return 0.0
+        return float(self.transition_matrix[state_id, dangerous].sum())
+
+    def state_summary(self) -> List[Dict[str, float]]:
+        return [state.describe() for state in self.states]
+
+
+def fit_behavior_model(
+    samples: Sequence[WindowSample],
+    n_states: int = 4,
+    danger_threshold: float = 0.5,
+    seed: int = 0,
+) -> BehaviorModel:
+    """Fit the GloBeM-style model from a monitoring trace.
+
+    ``danger_threshold`` is the fraction of the best state's client
+    throughput below which a state is labelled dangerous.
+    """
+    if len(samples) < 2:
+        raise ValueError("at least two monitoring windows are required")
+    matrix = feature_matrix(samples)
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    std[std == 0] = 1.0
+    normalized = (matrix - mean) / std
+
+    kmeans = KMeans(n_clusters=n_states, seed=seed)
+    labels = kmeans.fit(normalized)
+    k = kmeans.centroids.shape[0]
+
+    # Characterise the states in the *original* feature space.
+    states: List[BehaviorState] = []
+    throughputs: List[float] = []
+    for state_id in range(k):
+        members = matrix[labels == state_id]
+        centroid = members.mean(axis=0) if len(members) else mean
+        throughput = float(centroid[FEATURE_NAMES.index("client_throughput")])
+        throughputs.append(throughput)
+        states.append(
+            BehaviorState(
+                state_id=state_id,
+                centroid=centroid,
+                occupancy=int((labels == state_id).sum()),
+                mean_client_throughput=throughput,
+            )
+        )
+    best = max(throughputs) if throughputs else 0.0
+    for state in states:
+        state.dangerous = best > 0 and state.mean_client_throughput < danger_threshold * best
+
+    # First-order transition matrix between consecutive windows.
+    transitions = np.zeros((k, k), dtype=float)
+    for current, following in zip(labels[:-1], labels[1:]):
+        transitions[current, following] += 1
+    row_sums = transitions.sum(axis=1, keepdims=True)
+    row_sums[row_sums == 0] = 1.0
+    transitions = transitions / row_sums
+
+    return BehaviorModel(
+        states=states,
+        transition_matrix=transitions,
+        labels=labels,
+        feature_mean=mean,
+        feature_std=std,
+        kmeans=kmeans,
+    )

@@ -1,0 +1,177 @@
+"""Monitoring: periodic samples of the storage service's global behaviour.
+
+The QoS work of the paper (Section IV.E) combines "global behavior
+modeling ... with client-side quality of service feedback".  Two inputs
+feed that pipeline:
+
+* **service-side monitoring** — per-window counters from every data
+  provider (bytes moved, liveness, load imbalance);
+* **client-side feedback** — the aggregate throughput clients actually
+  achieved in the window.
+
+A :class:`Monitor` attached to a simulated (or functional) deployment takes
+one :class:`WindowSample` per sampling window; the resulting trace is the
+training input of the GloBeM-style behaviour model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+#: Feature vector layout used by the behaviour model (order matters).
+FEATURE_NAMES = (
+    "live_fraction",
+    "client_throughput",
+    "failure_rate",
+    "write_load",
+    "read_load",
+    "load_imbalance",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class WindowSample:
+    """Aggregated observation of one sampling window."""
+
+    window_start: float
+    window_end: float
+    live_fraction: float
+    client_throughput: float
+    failure_rate: float
+    write_load: float
+    read_load: float
+    load_imbalance: float
+
+    def features(self) -> np.ndarray:
+        return np.array(
+            [
+                self.live_fraction,
+                self.client_throughput,
+                self.failure_rate,
+                self.write_load,
+                self.read_load,
+                self.load_imbalance,
+            ],
+            dtype=float,
+        )
+
+
+def feature_matrix(samples: Sequence[WindowSample]) -> np.ndarray:
+    """Stack window samples into the (n_windows, n_features) training matrix."""
+    if not samples:
+        return np.empty((0, len(FEATURE_NAMES)))
+    return np.vstack([sample.features() for sample in samples])
+
+
+class Monitor:
+    """Collects window samples from a simulated BlobSeer cluster.
+
+    The monitor keeps the previous counter snapshot so each sample reflects
+    the *delta* of the window, exactly like a counter-scraping monitoring
+    agent (the paper used the Grid'5000 monitoring infrastructure + GloBeM's
+    own collectors).
+    """
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.samples: List[WindowSample] = []
+        self._last_time = 0.0
+        self._last_bytes_written: Dict[str, int] = {}
+        self._last_bytes_read: Dict[str, int] = {}
+        self._last_failures = 0
+        self._last_ops_bytes = 0
+
+    def sample(self) -> WindowSample:
+        """Take one sample covering the window since the previous call."""
+        now = self.cluster.env.now
+        window = max(now - self._last_time, 1e-9)
+        reports = self.cluster.provider_pool.reports()
+        live = sum(1 for report in reports if report["alive"])
+        live_fraction = live / max(1, len(reports))
+
+        write_deltas: List[float] = []
+        read_deltas: List[float] = []
+        for report in reports:
+            pid = report["provider_id"]
+            written = report["bytes_stored"]
+            read = report["bytes_read"]
+            write_deltas.append(written - self._last_bytes_written.get(pid, 0))
+            read_deltas.append(read - self._last_bytes_read.get(pid, 0))
+            self._last_bytes_written[pid] = written
+            self._last_bytes_read[pid] = read
+
+        failures = sum(1 for t, action, _ in self.cluster.failure_log if action == "crash")
+        failure_rate = (failures - self._last_failures) / window
+        self._last_failures = failures
+
+        # Client-side feedback: bytes successfully moved in this window.
+        total_bytes = sum(r.nbytes for r in self.cluster.metrics.records if r.ok)
+        client_throughput = (total_bytes - self._last_ops_bytes) / window
+        self._last_ops_bytes = total_bytes
+
+        write_load = float(np.sum(write_deltas)) / window
+        read_load = float(np.sum(read_deltas)) / window
+        imbalance = _coefficient_of_variation(write_deltas)
+
+        sample = WindowSample(
+            window_start=self._last_time,
+            window_end=now,
+            live_fraction=live_fraction,
+            client_throughput=client_throughput,
+            failure_rate=failure_rate,
+            write_load=write_load,
+            read_load=read_load,
+            load_imbalance=imbalance,
+        )
+        self._last_time = now
+        self.samples.append(sample)
+        return sample
+
+    def trace(self) -> np.ndarray:
+        return feature_matrix(self.samples)
+
+
+def _coefficient_of_variation(values: Sequence[float]) -> float:
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return 0.0
+    mean = array.mean()
+    if mean <= 0:
+        return 0.0
+    return float(array.std() / mean)
+
+
+@dataclass
+class QualityReport:
+    """Client-observable quality of service over a run (the E7 metrics)."""
+
+    mean_throughput: float
+    std_throughput: float
+    coefficient_of_variation: float
+    failed_operations: int
+    windows_below_target: int
+    target_throughput: float
+
+    @staticmethod
+    def from_metrics(
+        metrics, bin_seconds: float, target_throughput: Optional[float] = None
+    ) -> "QualityReport":
+        """Build the report from a :class:`~repro.sim.metrics.MetricsCollector`."""
+        _, series = metrics.throughput_series(bin_seconds)
+        mean = float(series.mean()) if series.size else 0.0
+        std = float(series.std()) if series.size else 0.0
+        if target_throughput is None:
+            target_throughput = 0.5 * mean
+        below = int(np.sum(series < target_throughput)) if series.size else 0
+        return QualityReport(
+            mean_throughput=mean,
+            std_throughput=std,
+            coefficient_of_variation=(std / mean) if mean > 0 else 0.0,
+            failed_operations=len(metrics.failed()),
+            windows_below_target=below,
+            target_throughput=target_throughput,
+        )

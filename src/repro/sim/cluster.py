@@ -1,0 +1,243 @@
+"""Simulated BlobSeer deployment: real control plane, simulated data plane.
+
+The key idea of the simulation substrate (see DESIGN.md): the *control
+plane* — version assignment, chunk placement, the versioned segment tree and
+its distribution over the metadata DHT — is executed by the **real** library
+code, so every protocol decision (who stores which chunk, which metadata
+provider owns which tree node, in which order versions publish) is exactly
+what the functional system would do.  Only *time* is simulated: every RPC
+and every byte transferred is charged against the contended NICs and
+service stations of :mod:`repro.sim.network`.
+
+This module builds the simulated cluster: one :class:`~repro.sim.network.SimNode`
+per process of the architecture (version manager, provider manager, data
+providers, metadata providers, clients), plus the real control-plane
+objects shared by all simulated clients.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..core.config import BlobSeerConfig
+from ..core.provider_manager import ProviderManager
+from ..core.types import BlobInfo
+from ..core.version_manager import VersionManager
+from ..dht.distributed_store import DistributedKeyValueStore
+from .engine import Environment
+from .metrics import MetricsCollector
+from .network import NetworkModel, SimNode
+
+
+@dataclass
+class SimProviderEntry:
+    """Bookkeeping for one simulated data provider (no payloads stored)."""
+
+    provider_id: str
+    chunks_stored: int = 0
+    bytes_stored: int = 0
+    bytes_read: int = 0
+    reads_served: int = 0
+    writes_served: int = 0
+    alive: bool = True
+    failures: int = 0
+
+    def report(self) -> Dict[str, Any]:
+        return {
+            "provider_id": self.provider_id,
+            "alive": self.alive,
+            "chunks_stored": self.chunks_stored,
+            "bytes_stored": self.bytes_stored,
+            "bytes_read": self.bytes_read,
+            "reads_served": self.reads_served,
+            "writes_served": self.writes_served,
+            "failures": self.failures,
+        }
+
+
+class SimProviderPool:
+    """Duck-typed stand-in for :class:`~repro.core.data_provider.ProviderPool`.
+
+    The provider manager only needs membership, liveness and a load signal;
+    the simulated pool tracks those without ever holding chunk payloads.
+    Providers placed in ``excluded`` stay readable but receive no new
+    allocations — the QoS feedback controller uses this to steer writes away
+    from failure-prone machines.
+    """
+
+    def __init__(self, provider_ids: List[str]) -> None:
+        self._entries: Dict[str, SimProviderEntry] = {
+            pid: SimProviderEntry(provider_id=pid) for pid in provider_ids
+        }
+        #: Providers excluded from new allocations (QoS feedback action).
+        self.excluded: set = set()
+
+    @property
+    def provider_ids(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, provider_id: str) -> SimProviderEntry:
+        return self._entries[provider_id]
+
+    def live_provider_ids(self) -> List[str]:
+        live = sorted(
+            pid
+            for pid, e in self._entries.items()
+            if e.alive and pid not in self.excluded
+        )
+        if live:
+            return live
+        # If feedback excluded everything that is alive, fall back to liveness
+        # only — excluding all providers must never wedge the system.
+        return sorted(pid for pid, e in self._entries.items() if e.alive)
+
+    def reports(self) -> List[Dict[str, Any]]:
+        return [entry.report() for entry in self._entries.values()]
+
+    def total_bytes_stored(self) -> int:
+        return sum(e.bytes_stored for e in self._entries.values() if e.alive)
+
+
+class SimulatedBlobSeer:
+    """A BlobSeer deployment whose data plane runs on simulated time."""
+
+    def __init__(
+        self,
+        config: Optional[BlobSeerConfig] = None,
+        model: Optional[NetworkModel] = None,
+        env: Optional[Environment] = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or BlobSeerConfig()
+        self.model = model or NetworkModel()
+        self.env = env or Environment()
+        self.metrics = MetricsCollector()
+
+        # -- real control plane -------------------------------------------------
+        self.version_manager = VersionManager()
+        data_ids = [f"provider-{i:03d}" for i in range(self.config.num_data_providers)]
+        meta_ids = [f"meta-{i:03d}" for i in range(self.config.num_metadata_providers)]
+        self.provider_pool = SimProviderPool(data_ids)
+        self.provider_manager = ProviderManager(
+            pool=self.provider_pool, config=self.config, seed=seed
+        )
+        self.metadata_store = DistributedKeyValueStore(
+            provider_ids=meta_ids,
+            virtual_nodes=self.config.dht_virtual_nodes,
+            replication=self.config.metadata_replication,
+        )
+
+        # -- simulated machines ----------------------------------------------------
+        self.version_manager_node = SimNode(
+            self.env, "version-manager", self.model, role="version_manager"
+        )
+        self.provider_manager_node = SimNode(
+            self.env, "provider-manager", self.model, role="provider_manager"
+        )
+        self.data_nodes: Dict[str, SimNode] = {
+            pid: SimNode(self.env, pid, self.model, role="data_provider")
+            for pid in data_ids
+        }
+        self.meta_nodes: Dict[str, SimNode] = {
+            mid: SimNode(self.env, mid, self.model, role="metadata_provider")
+            for mid in meta_ids
+        }
+        self._client_count = 0
+        #: Event log of failure injections: (time, action, node_id).
+        self.failure_log: List[Tuple[float, str, str]] = []
+        #: Per-blob exclusive locks used only by the lock-based baseline (E9).
+        self._blob_locks: Dict[int, Any] = {}
+        #: When set, overrides every blob's replication level for new writes
+        #: (QoS feedback action; ``None`` means "use the blob's own level").
+        self.replication_override: Optional[int] = None
+
+    # -- blobs --------------------------------------------------------------------
+    def create_blob(
+        self, chunk_size: Optional[int] = None, replication: Optional[int] = None
+    ) -> BlobInfo:
+        return self.version_manager.create_blob(
+            chunk_size=chunk_size if chunk_size is not None else self.config.chunk_size,
+            replication=replication if replication is not None else self.config.replication,
+        )
+
+    # -- clients --------------------------------------------------------------------
+    def client(self, client_id: Optional[str] = None):
+        """Create a simulated client (its own machine + metadata cache)."""
+        from .protocols import SimClient  # local import avoids a cycle
+
+        if client_id is None:
+            client_id = f"client-{self._client_count:03d}"
+            self._client_count += 1
+        return SimClient(cluster=self, client_id=client_id)
+
+    def effective_replication(self, blob: BlobInfo) -> int:
+        """Replication level writes should use right now (feedback-aware)."""
+        if self.replication_override is not None:
+            return max(1, min(self.replication_override, len(self.provider_pool)))
+        return blob.replication
+
+    def blob_lock(self, blob_id: int):
+        """Per-blob exclusive lock used by the lock-based baseline protocols."""
+        from .resources import Resource  # local import keeps module load light
+
+        lock = self._blob_locks.get(blob_id)
+        if lock is None:
+            lock = Resource(self.env, capacity=1)
+            self._blob_locks[blob_id] = lock
+        return lock
+
+    # -- failure injection --------------------------------------------------------------
+    def crash_data_provider(self, provider_id: str) -> None:
+        self.provider_pool.get(provider_id).alive = False
+        self.provider_pool.get(provider_id).failures += 1
+        self.data_nodes[provider_id].crash()
+        self.failure_log.append((self.env.now, "crash", provider_id))
+
+    def recover_data_provider(self, provider_id: str) -> None:
+        self.provider_pool.get(provider_id).alive = True
+        self.data_nodes[provider_id].recover()
+        self.failure_log.append((self.env.now, "recover", provider_id))
+
+    def live_data_providers(self) -> List[str]:
+        return self.provider_pool.live_provider_ids()
+
+    # -- metadata access recording -----------------------------------------------------------
+    @contextmanager
+    def record_metadata_accesses(self) -> Iterator[List[Tuple[str, str, Any]]]:
+        """Record every (metadata provider, op, key) access made inside the block.
+
+        The simulated protocols execute the real segment-tree code inside
+        this context (instantaneously, in control-plane terms) and then
+        charge simulated time for each recorded access.
+        """
+        accesses: List[Tuple[str, str, Any]] = []
+
+        def hook(provider_id: str, op: str, key: Any) -> None:
+            accesses.append((provider_id, op, key))
+
+        previous = self.metadata_store.access_hook
+        self.metadata_store.access_hook = hook
+        try:
+            yield accesses
+        finally:
+            self.metadata_store.access_hook = previous
+
+    # -- reporting -------------------------------------------------------------------------------
+    def node_reports(self) -> List[Dict[str, Any]]:
+        nodes = [self.version_manager_node, self.provider_manager_node]
+        nodes.extend(self.data_nodes.values())
+        nodes.extend(self.meta_nodes.values())
+        return [node.report() for node in nodes]
+
+    def metadata_load(self) -> Dict[str, int]:
+        """Entries per metadata provider — shows how well the DHT spreads load."""
+        return self.metadata_store.load_per_provider()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the simulation (convenience passthrough)."""
+        return self.env.run(until=until)

@@ -1,0 +1,215 @@
+"""Minimal discrete-event simulation engine (SimPy-flavoured, generator based).
+
+The throughput experiments of the paper were run on the Grid'5000 testbed
+with hundreds of physical nodes; Python's GIL makes real concurrent-I/O
+measurements meaningless, so this repository reproduces them on a
+discrete-event simulator instead (see DESIGN.md, substitution table).  The
+engine is deliberately small: processes are generator coroutines that yield
+*waitables* (timeouts, events, other processes), and an environment advances
+a virtual clock through a heap of scheduled events.
+
+Only the features the BlobSeer protocols need are implemented:
+
+* :class:`Environment` — clock + event heap + ``process()`` / ``run()``.
+* :class:`Event` — one-shot triggerable event with waiters.
+* :class:`Timeout` — event that triggers after a delay.
+* :class:`Process` — a running coroutine; itself waitable (join semantics).
+* :func:`all_of` — barrier over several waitables (fan-out/fan-in).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    ``succeed(value)`` wakes every waiter; waiting on an already-triggered
+    event resumes immediately.  ``fail(exc)`` wakes waiters by raising the
+    exception inside them (mirroring SimPy semantics), which is how
+    simulated RPC failures propagate into protocol coroutines.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.triggered = False
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+        self._waiters: List["Process"] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for process in self._waiters:
+            self.env._schedule(0.0, process, value, None)
+        self._waiters.clear()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.exception = exception
+        for process in self._waiters:
+            self.env._schedule(0.0, process, None, exception)
+        self._waiters.clear()
+        return self
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self.triggered:
+            self.env._schedule(0.0, process, self.value, self.exception)
+        else:
+            self._waiters.append(process)
+
+
+class Timeout(Event):
+    """An event that triggers automatically after ``delay`` simulated seconds."""
+
+    def __init__(self, env: "Environment", delay: float) -> None:
+        super().__init__(env)
+        if delay < 0:
+            raise ValueError("timeout delay must be >= 0")
+        self.delay = delay
+        env._schedule_timeout(delay, self)
+
+
+class Process(Event):
+    """A running generator coroutine.  Waiting on it means joining it."""
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = "") -> None:
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick the process off at the current simulation time.
+        env._schedule(0.0, self, None, None)
+
+    def _resume(self, value: Any, exception: Optional[BaseException]) -> None:
+        try:
+            if exception is not None:
+                target = self._generator.throw(exception)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:  # propagate crashes to joiners
+            if not self.triggered:
+                self.fail(exc)
+            else:  # pragma: no cover - double fault
+                raise
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, Event):
+            target._add_waiter(self)
+        elif target is None:
+            # ``yield`` with no target: resume on the next scheduling round.
+            self.env._schedule(0.0, self, None, None)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded a non-waitable: {target!r}"
+            )
+
+
+class Environment:
+    """The simulation clock and scheduler."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List = []
+        self._counter = itertools.count()
+        self._active_processes = 0
+
+    # -- public API ------------------------------------------------------------
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(self, delay)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains or the clock passes ``until``.
+
+        Returns the final simulation time.
+        """
+        while self._queue:
+            time, _, process, value, exception = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = time
+            process._resume(value, exception)
+        return self.now
+
+    # -- scheduling internals ------------------------------------------------------
+    def _schedule(
+        self,
+        delay: float,
+        process: Process,
+        value: Any,
+        exception: Optional[BaseException],
+    ) -> None:
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._counter), process, value, exception)
+        )
+
+    def _schedule_timeout(self, delay: float, event: Timeout) -> None:
+        # Timeouts are fired by a tiny pseudo-process scheduled on the heap.
+        trigger = _TimeoutTrigger(self, event)
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._counter), trigger, None, None)
+        )
+
+
+class _TimeoutTrigger:
+    """Internal pseudo-process that fires a Timeout when scheduled."""
+
+    def __init__(self, env: Environment, event: Timeout) -> None:
+        self._event = event
+
+    def _resume(self, value: Any, exception: Optional[BaseException]) -> None:
+        if not self._event.triggered:
+            self._event.succeed(self._event.delay)
+
+
+def all_of(env: Environment, waitables: Iterable[Event]) -> Event:
+    """Return an event that triggers once every waitable has triggered.
+
+    The composite's value is the list of individual values in input order.
+    If any child fails, the composite fails with that exception (first one).
+    """
+    items = list(waitables)
+    done = env.event()
+    if not items:
+        done.succeed([])
+        return done
+    results: List[Any] = [None] * len(items)
+    remaining = {"count": len(items), "failed": False}
+
+    def watcher(index: int, item: Event) -> Generator:
+        try:
+            value = yield item
+        except BaseException as exc:
+            if not remaining["failed"] and not done.triggered:
+                remaining["failed"] = True
+                done.fail(exc)
+            return
+        results[index] = value
+        remaining["count"] -= 1
+        if remaining["count"] == 0 and not done.triggered:
+            done.succeed(results)
+
+    for index, item in enumerate(items):
+        env.process(watcher(index, item), name=f"all_of[{index}]")
+    return done

@@ -1,0 +1,128 @@
+"""Failure injection for the simulated cluster.
+
+The QoS experiment of the paper (Section IV.E) runs BlobSeer "for long
+periods of service up-time while supporting failures of the physical
+storage components".  The :class:`FailureInjector` reproduces that regime:
+data providers crash with exponentially distributed inter-failure times and
+recover after a repair delay; an optional cap keeps a minimum number of
+providers alive so the experiment measures degradation rather than total
+loss.  The injected schedule is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Parameters of the provider failure process."""
+
+    #: Mean time between failures across the whole cluster (seconds).
+    mean_time_between_failures: float = 30.0
+    #: Mean repair (recovery) time of a crashed provider (seconds).
+    mean_repair_time: float = 20.0
+    #: Providers come back with their data intact (True) or wiped (False).
+    recover_with_data: bool = True
+    #: Never crash below this many live data providers.
+    min_live_providers: int = 1
+    seed: int = 7
+
+
+@dataclass
+class FailureEvent:
+    """One entry of the injected failure schedule."""
+
+    time: float
+    action: str  # "crash" | "recover"
+    provider_id: str
+
+
+class FailureInjector:
+    """Drives provider crashes/recoveries as a simulation process."""
+
+    def __init__(self, cluster, model: Optional[FailureModel] = None) -> None:
+        self.cluster = cluster
+        self.model = model or FailureModel()
+        self._rng = random.Random(self.model.seed)
+        self.events: List[FailureEvent] = []
+
+    def start(self, horizon: float) -> None:
+        """Register the injector process; it runs until ``horizon`` sim-seconds."""
+        self.cluster.env.process(self._run(horizon), name="failure-injector")
+
+    # -- the injection process ----------------------------------------------------
+    def _run(self, horizon: float) -> Generator:
+        env = self.cluster.env
+        while env.now < horizon:
+            delay = self._rng.expovariate(1.0 / self.model.mean_time_between_failures)
+            yield env.timeout(delay)
+            if env.now >= horizon:
+                break
+            victim = self._pick_victim()
+            if victim is None:
+                continue
+            self.cluster.crash_data_provider(victim)
+            self.events.append(FailureEvent(env.now, "crash", victim))
+            env.process(self._recover_later(victim), name=f"recover-{victim}")
+
+    def _recover_later(self, provider_id: str) -> Generator:
+        env = self.cluster.env
+        repair = self._rng.expovariate(1.0 / self.model.mean_repair_time)
+        yield env.timeout(repair)
+        self.cluster.recover_data_provider(provider_id)
+        self.events.append(FailureEvent(env.now, "recover", provider_id))
+
+    def _pick_victim(self) -> Optional[str]:
+        live = self.cluster.live_data_providers()
+        if len(live) <= self.model.min_live_providers:
+            return None
+        return self._rng.choice(live)
+
+    # -- reporting ------------------------------------------------------------------
+    def crash_count(self) -> int:
+        return sum(1 for e in self.events if e.action == "crash")
+
+    def downtime_per_provider(self, horizon: float) -> dict:
+        """Total simulated seconds each provider spent crashed within the horizon."""
+        down_since: dict = {}
+        downtime: dict = {}
+        for event in sorted(self.events, key=lambda e: e.time):
+            if event.action == "crash":
+                down_since[event.provider_id] = event.time
+            else:
+                start = down_since.pop(event.provider_id, None)
+                if start is not None:
+                    downtime[event.provider_id] = downtime.get(event.provider_id, 0.0) + (
+                        event.time - start
+                    )
+        for provider_id, start in down_since.items():
+            downtime[provider_id] = downtime.get(provider_id, 0.0) + (horizon - start)
+        return downtime
+
+
+def scheduled_failures(
+    cluster, schedule: List[Tuple[float, str, str]]
+) -> None:
+    """Register a fixed failure schedule: list of (time, action, provider_id).
+
+    Useful for tests and for experiments that need exactly reproducible
+    failure points independent of the random injector.
+    """
+
+    def driver() -> Generator:
+        env = cluster.env
+        for time, action, provider_id in sorted(schedule):
+            delay = max(0.0, time - env.now)
+            if delay:
+                yield env.timeout(delay)
+            if action == "crash":
+                cluster.crash_data_provider(provider_id)
+            elif action == "recover":
+                cluster.recover_data_provider(provider_id)
+            else:
+                raise ValueError(f"unknown failure action {action!r}")
+
+    cluster.env.process(driver(), name="scheduled-failures")

@@ -1,0 +1,19 @@
+"""Physical chunk-storage backends used by data providers.
+
+Three backends are provided, mirroring the evolution described in the
+paper: a RAM-only store (the initial prototype), a persistent append-only
+log store, and a cached store that layers the RAM store over the persistent
+one (the configuration the later experiments use).
+"""
+
+from .memory_store import ChunkStore, MemoryChunkStore
+from .persistent_store import PersistentChunkStore
+from .cached_store import CachedChunkStore, LRUByteCache
+
+__all__ = [
+    "CachedChunkStore",
+    "ChunkStore",
+    "LRUByteCache",
+    "MemoryChunkStore",
+    "PersistentChunkStore",
+]

@@ -1,0 +1,130 @@
+"""Two-level chunk store: RAM cache in front of a persistent backend.
+
+The paper's design keeps the original RAM-based storage "as an underlying
+caching mechanism" once persistent storage is introduced (Section IV.B).
+:class:`CachedChunkStore` composes any two :class:`ChunkStore` objects that
+way: reads are served from the cache when possible, writes go to both, and
+the cache evicts in LRU order once it exceeds its byte budget.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from ..core.errors import ChunkNotFoundError
+from ..core.types import ChunkKey
+from .memory_store import ChunkStore
+
+
+class LRUByteCache:
+    """A byte-budgeted LRU cache of chunk payloads."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be >= 0")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[ChunkKey, bytes]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: ChunkKey) -> Optional[bytes]:
+        with self._lock:
+            data = self._entries.get(key)
+            if data is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return data
+
+    def put(self, key: ChunkKey, data: bytes) -> None:
+        if len(data) > self.capacity_bytes:
+            return  # larger than the whole cache; do not thrash it
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return
+            self._entries[key] = data
+            self._bytes += len(data)
+            while self._bytes > self.capacity_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= len(evicted)
+                self.evictions += 1
+
+    def invalidate(self, key: ChunkKey) -> None:
+        with self._lock:
+            data = self._entries.pop(key, None)
+            if data is not None:
+                self._bytes -= len(data)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def bytes_cached(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self),
+            "bytes": self.bytes_cached,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class CachedChunkStore(ChunkStore):
+    """RAM cache layered over a slower (typically persistent) backend."""
+
+    def __init__(self, backend: ChunkStore, cache_capacity_bytes: int) -> None:
+        self._backend = backend
+        self._cache = LRUByteCache(cache_capacity_bytes)
+
+    @property
+    def cache(self) -> LRUByteCache:
+        return self._cache
+
+    @property
+    def backend(self) -> ChunkStore:
+        return self._backend
+
+    def put(self, key: ChunkKey, data: bytes) -> None:
+        payload = bytes(data)
+        self._backend.put(key, payload)
+        self._cache.put(key, payload)
+
+    def get(self, key: ChunkKey) -> bytes:
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        data = self._backend.get(key)
+        self._cache.put(key, data)
+        return data
+
+    def contains(self, key: ChunkKey) -> bool:
+        if self._cache.get(key) is not None:
+            return True
+        return self._backend.contains(key)
+
+    def delete(self, key: ChunkKey) -> bool:
+        self._cache.invalidate(key)
+        return self._backend.delete(key)
+
+    def keys(self) -> List[ChunkKey]:
+        return self._backend.keys()
+
+    def __len__(self) -> int:
+        return len(self._backend)
+
+    @property
+    def bytes_stored(self) -> int:
+        return self._backend.bytes_stored

@@ -1,0 +1,113 @@
+"""RAM-based chunk store.
+
+The first BlobSeer prototype (Section IV.A of the paper) stored chunks in
+RAM only; persistent storage was added later with the RAM store retained as
+a caching layer.  This module is the RAM store: a thread-safe mapping from
+:class:`~repro.core.types.ChunkKey` to immutable byte payloads, with the
+same append-only discipline as the metadata store (chunks are never
+overwritten with different content).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.errors import ChunkNotFoundError
+from ..core.types import ChunkKey
+
+
+class ChunkStore:
+    """Abstract interface of a chunk store (duck-typed, documented here).
+
+    Concrete stores implement ``put``, ``get``, ``contains``, ``delete``,
+    ``keys``, ``__len__`` and the ``bytes_stored`` property.
+    """
+
+    def put(self, key: ChunkKey, data: bytes) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def get(self, key: ChunkKey) -> bytes:  # pragma: no cover
+        raise NotImplementedError
+
+    def contains(self, key: ChunkKey) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    def delete(self, key: ChunkKey) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    def keys(self) -> List[ChunkKey]:  # pragma: no cover
+        raise NotImplementedError
+
+    def __len__(self) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+    @property
+    def bytes_stored(self) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+
+class MemoryChunkStore(ChunkStore):
+    """Thread-safe in-memory chunk store."""
+
+    def __init__(self) -> None:
+        self._chunks: Dict[ChunkKey, bytes] = {}
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    def put(self, key: ChunkKey, data: bytes) -> None:
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError("chunk payload must be bytes")
+        payload = bytes(data)
+        with self._lock:
+            existing = self._chunks.get(key)
+            if existing is not None:
+                if existing != payload:
+                    raise ValueError(
+                        f"chunk {key} is immutable and already stored with "
+                        f"different content"
+                    )
+                return
+            self._chunks[key] = payload
+            self._bytes += len(payload)
+
+    def get(self, key: ChunkKey) -> bytes:
+        with self._lock:
+            data = self._chunks.get(key)
+        if data is None:
+            raise ChunkNotFoundError(str(key))
+        return data
+
+    def contains(self, key: ChunkKey) -> bool:
+        with self._lock:
+            return key in self._chunks
+
+    def delete(self, key: ChunkKey) -> bool:
+        with self._lock:
+            data = self._chunks.pop(key, None)
+            if data is None:
+                return False
+            self._bytes -= len(data)
+            return True
+
+    def keys(self) -> List[ChunkKey]:
+        with self._lock:
+            return list(self._chunks.keys())
+
+    def items(self) -> Iterator[Tuple[ChunkKey, bytes]]:
+        with self._lock:
+            return iter(list(self._chunks.items()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._chunks)
+
+    @property
+    def bytes_stored(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._chunks.clear()
+            self._bytes = 0

@@ -1,0 +1,37 @@
+"""Workload generation: synthetic data and access patterns used by the experiments."""
+
+from .generators import (
+    SkyImage,
+    access_log,
+    detect_transients,
+    random_text,
+    sky_image,
+    sky_survey,
+)
+from .access_patterns import (
+    AccessOp,
+    append_stream,
+    desktop_grid_output,
+    disjoint_partitions,
+    hotspot,
+    mapreduce_phases,
+    random_fine_grain,
+    sequential_scan,
+)
+
+__all__ = [
+    "AccessOp",
+    "SkyImage",
+    "access_log",
+    "append_stream",
+    "desktop_grid_output",
+    "detect_transients",
+    "disjoint_partitions",
+    "hotspot",
+    "mapreduce_phases",
+    "random_fine_grain",
+    "random_text",
+    "sequential_scan",
+    "sky_image",
+    "sky_survey",
+]

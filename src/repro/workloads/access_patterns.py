@@ -1,0 +1,138 @@
+"""Access-pattern generators: sequences of (kind, offset, size) operations.
+
+The experiments exercise a handful of recurring access patterns — fine-grain
+random reads over a huge string (supernovae detection), disjoint sequential
+reads of one file by many mappers, write-intensive random output (desktop
+grids), and append streams (data acquisition).  Generating them centrally
+keeps benchmark, test and example code consistent and seeded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class AccessOp:
+    """One operation of an access trace."""
+
+    kind: str        # "read" | "write" | "append"
+    offset: int      # ignored for appends
+    size: int
+
+
+def sequential_scan(total_size: int, request_size: int) -> List[AccessOp]:
+    """Read the whole object front to back in ``request_size`` pieces."""
+    if request_size <= 0:
+        raise ValueError("request_size must be positive")
+    ops = []
+    offset = 0
+    while offset < total_size:
+        size = min(request_size, total_size - offset)
+        ops.append(AccessOp("read", offset, size))
+        offset += size
+    return ops
+
+
+def disjoint_partitions(
+    total_size: int, num_clients: int, client_index: int
+) -> AccessOp:
+    """The contiguous slice of the object client ``client_index`` should read.
+
+    This is the MapReduce map-phase pattern: N mappers each read 1/N of the
+    same huge file.
+    """
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    if not 0 <= client_index < num_clients:
+        raise ValueError("client_index out of range")
+    share = total_size // num_clients
+    offset = client_index * share
+    size = share if client_index < num_clients - 1 else total_size - offset
+    return AccessOp("read", offset, size)
+
+
+def random_fine_grain(
+    total_size: int,
+    request_size: int,
+    num_requests: int,
+    seed: int = 0,
+    kind: str = "read",
+) -> List[AccessOp]:
+    """Uniformly random small requests over a huge object (supernovae pattern)."""
+    if request_size > total_size:
+        raise ValueError("request_size exceeds the object size")
+    rng = random.Random(seed)
+    max_offset = total_size - request_size
+    return [
+        AccessOp(kind, rng.randint(0, max_offset), request_size)
+        for _ in range(num_requests)
+    ]
+
+
+def hotspot(
+    total_size: int,
+    request_size: int,
+    num_requests: int,
+    hotspot_fraction: float = 0.1,
+    hotspot_probability: float = 0.9,
+    seed: int = 0,
+    kind: str = "read",
+) -> List[AccessOp]:
+    """Skewed accesses: most requests hit a small hot region of the object."""
+    rng = random.Random(seed)
+    hot_size = max(request_size, int(total_size * hotspot_fraction))
+    ops: List[AccessOp] = []
+    for _ in range(num_requests):
+        if rng.random() < hotspot_probability:
+            offset = rng.randint(0, max(0, hot_size - request_size))
+        else:
+            offset = rng.randint(0, total_size - request_size)
+        ops.append(AccessOp(kind, offset, request_size))
+    return ops
+
+
+def append_stream(record_size: int, num_records: int) -> List[AccessOp]:
+    """Continuous data acquisition: a stream of equal-sized appends."""
+    return [AccessOp("append", 0, record_size) for _ in range(num_records)]
+
+
+def desktop_grid_output(
+    region_size: int,
+    num_tasks: int,
+    task_index: int,
+    writes_per_task: int,
+    seed: int = 0,
+) -> List[AccessOp]:
+    """Write-intensive desktop-grid pattern (Section IV.C).
+
+    Each task owns a region of the shared output blob and writes random
+    sub-ranges of it (random access grain, as the paper describes).
+    """
+    rng = random.Random(seed * 1000 + task_index)
+    base = task_index * region_size
+    ops: List[AccessOp] = []
+    for _ in range(writes_per_task):
+        size = rng.choice([region_size // 8, region_size // 4, region_size // 2]) or 1
+        offset = base + rng.randint(0, region_size - size)
+        ops.append(AccessOp("write", offset, size))
+    return ops
+
+
+def mapreduce_phases(
+    input_size: int, num_mappers: int, reduce_output_size: int, num_reducers: int
+) -> Tuple[List[AccessOp], List[AccessOp]]:
+    """The two storage-facing phases of a MapReduce job.
+
+    Returns ``(map_reads, reduce_appends)``: the map phase is N disjoint
+    reads of the shared input, the reduce phase is M appends of result data.
+    """
+    map_reads = [
+        disjoint_partitions(input_size, num_mappers, index) for index in range(num_mappers)
+    ]
+    reduce_appends = [
+        AccessOp("append", 0, reduce_output_size) for _ in range(num_reducers)
+    ]
+    return map_reads, reduce_appends

@@ -1,0 +1,144 @@
+"""Synthetic workload data generators.
+
+The paper's motivating applications continuously acquire unstructured data:
+crawled web pages, access logs, astronomy sky images (the supernovae
+detection application of Section IV.A).  Real traces are not available, so
+these generators produce synthetic equivalents with the properties that
+matter to the storage layer: realistic record structure, controllable total
+volume, and deterministic content (seeded) so tests can verify round trips
+byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+_WORDS = (
+    "data intensive applications continuously acquire massive datasets while "
+    "performing computations over these changing datasets building up to date "
+    "search indexes storage service concurrency throughput versioning blob "
+    "chunk provider metadata segment tree snapshot append write read grid cloud"
+).split()
+
+
+def random_text(total_bytes: int, seed: int = 0, line_length: int = 80) -> bytes:
+    """Newline-delimited pseudo-natural text of roughly ``total_bytes`` bytes."""
+    if total_bytes <= 0:
+        return b""
+    rng = random.Random(seed)
+    lines: List[bytes] = []
+    produced = 0
+    while produced < total_bytes:
+        words: List[str] = []
+        length = 0
+        while length < line_length:
+            word = rng.choice(_WORDS)
+            words.append(word)
+            length += len(word) + 1
+        line = " ".join(words).encode("ascii")
+        lines.append(line)
+        produced += len(line) + 1
+    return b"\n".join(lines)[:total_bytes]
+
+
+def access_log(num_records: int, seed: int = 0) -> bytes:
+    """Synthetic web-server access log (the paper's log-analysis motivation)."""
+    rng = random.Random(seed)
+    methods = ("GET", "POST", "PUT")
+    paths = ("/index.html", "/search", "/api/data", "/static/img.png", "/login")
+    codes = (200, 200, 200, 304, 404, 500)
+    records = []
+    for index in range(num_records):
+        records.append(
+            (
+                f"10.0.{rng.randrange(256)}.{rng.randrange(256)} - - "
+                f"[2009-11-{1 + index % 28:02d}] "
+                f'"{rng.choice(methods)} {rng.choice(paths)} HTTP/1.1" '
+                f"{rng.choice(codes)} {rng.randrange(100, 50000)}"
+            ).encode("ascii")
+        )
+    return b"\n".join(records)
+
+
+@dataclass(frozen=True)
+class SkyImage:
+    """One synthetic sky tile used by the supernovae-detection example.
+
+    The tile is a small float32 brightness grid serialised row-major; a few
+    pixels may host a transient (the "supernova") whose brightness stands
+    out from the background noise.
+    """
+
+    width: int
+    height: int
+    data: bytes
+    transient_positions: Tuple[Tuple[int, int], ...]
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+    def brightness(self) -> np.ndarray:
+        return np.frombuffer(self.data, dtype=np.float32).reshape(self.height, self.width)
+
+
+def sky_image(
+    width: int = 64,
+    height: int = 64,
+    transients: int = 0,
+    seed: int = 0,
+    background: float = 100.0,
+    noise: float = 5.0,
+    transient_brightness: float = 400.0,
+) -> SkyImage:
+    """Generate one sky tile with ``transients`` bright point sources."""
+    rng = np.random.default_rng(seed)
+    grid = rng.normal(background, noise, size=(height, width)).astype(np.float32)
+    positions: List[Tuple[int, int]] = []
+    for _ in range(transients):
+        y = int(rng.integers(0, height))
+        x = int(rng.integers(0, width))
+        grid[y, x] = transient_brightness + float(rng.normal(0, noise))
+        positions.append((y, x))
+    return SkyImage(
+        width=width,
+        height=height,
+        data=grid.tobytes(),
+        transient_positions=tuple(positions),
+    )
+
+
+def sky_survey(
+    num_tiles: int,
+    width: int = 64,
+    height: int = 64,
+    transient_fraction: float = 0.1,
+    seed: int = 0,
+) -> List[SkyImage]:
+    """A sequence of sky tiles, a fraction of which contain a transient."""
+    rng = random.Random(seed)
+    tiles: List[SkyImage] = []
+    for index in range(num_tiles):
+        has_transient = rng.random() < transient_fraction
+        tiles.append(
+            sky_image(
+                width=width,
+                height=height,
+                transients=1 if has_transient else 0,
+                seed=seed * 10_000 + index,
+            )
+        )
+    return tiles
+
+
+def detect_transients(tile: SkyImage, sigma: float = 8.0) -> List[Tuple[int, int]]:
+    """Simple threshold detector: pixels more than ``sigma`` deviations above the mean."""
+    grid = tile.brightness()
+    mean = float(grid.mean())
+    std = float(grid.std()) or 1.0
+    ys, xs = np.where(grid > mean + sigma * std)
+    return list(zip(ys.tolist(), xs.tolist()))

@@ -1,0 +1,58 @@
+"""Shared fixtures for the BlobSeer reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import BlobSeerConfig, ClientConfig
+from repro.core.deployment import BlobSeerDeployment
+
+
+#: A small chunk size keeps functional tests fast while still exercising
+#: multi-chunk writes, partial chunks and tree growth.
+SMALL_CHUNK = 256
+
+
+@pytest.fixture
+def config() -> BlobSeerConfig:
+    return BlobSeerConfig(
+        num_data_providers=4,
+        num_metadata_providers=3,
+        chunk_size=SMALL_CHUNK,
+        replication=1,
+    )
+
+
+@pytest.fixture
+def deployment(config: BlobSeerConfig) -> BlobSeerDeployment:
+    dep = BlobSeerDeployment(config)
+    yield dep
+    dep.close()
+
+
+@pytest.fixture
+def client(deployment: BlobSeerDeployment):
+    return deployment.client()
+
+
+@pytest.fixture
+def blob(client):
+    return client.create_blob()
+
+
+@pytest.fixture
+def replicated_deployment() -> BlobSeerDeployment:
+    dep = BlobSeerDeployment(
+        BlobSeerConfig(
+            num_data_providers=5,
+            num_metadata_providers=3,
+            chunk_size=SMALL_CHUNK,
+            replication=3,
+        )
+    )
+    yield dep
+    dep.close()
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: slower integration tests")

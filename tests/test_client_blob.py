@@ -1,0 +1,232 @@
+"""End-to-end functional tests of the client access interface (Section I.B.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import BlobSeerConfig, ClientConfig
+from repro.core.deployment import BlobSeerDeployment
+from repro.core.errors import BlobNotFoundError, InvalidRangeError
+
+CHUNK = 256
+
+
+class TestBasicAccess:
+    def test_new_blob_is_empty_version_zero(self, blob):
+        assert blob.size() == 0
+        assert blob.latest_version() == 0
+        assert blob.read(0, 0) == b""
+
+    def test_append_then_read(self, blob):
+        version = blob.append(b"hello world")
+        assert version == 1
+        assert blob.size() == 11
+        assert blob.read(0, 11) == b"hello world"
+
+    def test_multi_chunk_append(self, blob):
+        payload = bytes(range(256)) * 5  # 1280 bytes over 256-byte chunks
+        blob.append(payload)
+        assert blob.read(0, len(payload)) == payload
+
+    def test_write_inside_existing_data(self, blob):
+        blob.append(b"a" * 600)
+        blob.write(100, b"B" * 50)
+        data = blob.read(0, 600)
+        assert data[:100] == b"a" * 100
+        assert data[100:150] == b"B" * 50
+        assert data[150:] == b"a" * 450
+
+    def test_write_extending_the_end(self, blob):
+        blob.append(b"x" * 100)
+        blob.write(80, b"y" * 100)
+        assert blob.size() == 180
+        assert blob.read(0, 180) == b"x" * 80 + b"y" * 100
+
+    def test_short_read_at_end(self, blob):
+        blob.append(b"abcdef")
+        assert blob.read(4, 100) == b"ef"
+
+    def test_read_at_exact_end_is_empty(self, blob):
+        blob.append(b"abc")
+        assert blob.read(3, 10) == b""
+
+    def test_read_beyond_end_rejected(self, blob):
+        blob.append(b"abc")
+        with pytest.raises(InvalidRangeError):
+            blob.read(4, 1)
+
+    def test_write_beyond_end_rejected(self, blob):
+        with pytest.raises(InvalidRangeError):
+            blob.write(10, b"x")
+
+    def test_empty_payload_rejected(self, blob):
+        with pytest.raises(InvalidRangeError):
+            blob.append(b"")
+        with pytest.raises(InvalidRangeError):
+            blob.write(0, b"")
+
+    def test_negative_offset_rejected(self, blob):
+        with pytest.raises(InvalidRangeError):
+            blob.read(-1, 10)
+
+    def test_open_blob_by_id(self, client, blob):
+        blob.append(b"shared")
+        same = client.open_blob(blob.blob_id)
+        assert same.read(0, 6) == b"shared"
+
+    def test_open_unknown_blob_rejected(self, client):
+        with pytest.raises(BlobNotFoundError):
+            client.open_blob(424242)
+
+    def test_list_blobs(self, client):
+        a = client.create_blob()
+        b = client.create_blob()
+        assert set(client.list_blobs()) >= {a.blob_id, b.blob_id}
+
+
+class TestVersioning:
+    def test_every_write_creates_a_version(self, blob):
+        v1 = blob.append(b"one")
+        v2 = blob.append(b"two")
+        v3 = blob.write(0, b"X")
+        assert (v1, v2, v3) == (1, 2, 3)
+        assert blob.versions() == [0, 1, 2, 3]
+
+    def test_old_versions_remain_readable(self, blob):
+        blob.append(b"aaaa")
+        blob.append(b"bbbb")
+        blob.write(0, b"cc")
+        assert blob.read(0, 4, version=1) == b"aaaa"
+        assert blob.read(0, 8, version=2) == b"aaaabbbb"
+        assert blob.read(0, 8, version=3) == b"ccaabbbb"
+
+    def test_version_sizes(self, blob):
+        blob.append(b"x" * 10)
+        blob.append(b"y" * 20)
+        assert blob.size(version=0) == 0
+        assert blob.size(version=1) == 10
+        assert blob.size(version=2) == 30
+
+    def test_history_records_all_writes(self, blob):
+        blob.append(b"x" * 10)
+        blob.write(5, b"y" * 3)
+        history = blob.history()
+        assert [(r.version, r.offset, r.size) for r in history] == [(1, 0, 10), (2, 5, 3)]
+
+    def test_snapshot_info(self, blob):
+        blob.append(b"z" * 300)
+        snapshot = blob.snapshot()
+        assert snapshot.size == 300
+        assert snapshot.root is not None
+        assert snapshot.chunk_size == CHUNK
+
+    def test_reading_unpublished_version_rejected(self, blob):
+        blob.append(b"x")
+        with pytest.raises(Exception):
+            blob.read(0, 1, version=7)
+
+    def test_only_difference_is_stored(self, deployment, blob):
+        """Overwriting one chunk of a large blob must not re-store the rest."""
+        blob.append(b"a" * (8 * CHUNK))
+        bytes_before = deployment.provider_pool.total_bytes_stored()
+        blob.write(0, b"b" * CHUNK)
+        bytes_after = deployment.provider_pool.total_bytes_stored()
+        assert bytes_after - bytes_before == CHUNK
+
+
+class TestStripingAndLocality:
+    def test_chunks_spread_over_providers(self, deployment, blob):
+        blob.append(b"c" * (CHUNK * 8))
+        stored = [p.chunks_stored for p in deployment.data_providers]
+        assert sum(stored) == 8
+        assert max(stored) <= 3  # round robin over 4 providers
+
+    def test_chunk_locations_expose_providers(self, blob):
+        blob.append(b"d" * (CHUNK * 4))
+        locations = blob.chunk_locations(0, CHUNK * 4)
+        assert len(locations) == 4
+        assert all(providers for _, _, providers in locations)
+        assert [offset for offset, _, _ in locations] == [0, CHUNK, 2 * CHUNK, 3 * CHUNK]
+
+    def test_counters_track_operations(self, client, blob):
+        blob.append(b"x" * CHUNK)
+        blob.read(0, CHUNK)
+        assert client.counters["appends"] == 1
+        assert client.counters["reads"] == 1
+        assert client.counters["bytes_written"] == CHUNK
+        assert client.counters["metadata_nodes_written"] > 0
+
+
+class TestAgainstReferenceModel:
+    """Randomised differential test: the blob must behave exactly like an
+    in-memory byte array with copy-on-write snapshots."""
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.data_too_large])
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        operations=st.integers(min_value=5, max_value=25),
+    )
+    def test_random_operations_match_model(self, seed, operations):
+        deployment = BlobSeerDeployment(
+            BlobSeerConfig(num_data_providers=3, num_metadata_providers=2, chunk_size=64)
+        )
+        blob = deployment.client().create_blob()
+        rng = random.Random(seed)
+        reference = bytearray()
+        snapshots = {0: b""}
+        for _ in range(operations):
+            size = rng.randint(1, 300)
+            payload = bytes(rng.getrandbits(8) for _ in range(size))
+            if not reference or rng.random() < 0.5:
+                version = blob.append(payload)
+                reference.extend(payload)
+            else:
+                offset = rng.randint(0, len(reference))
+                version = blob.write(offset, payload)
+                if offset + size > len(reference):
+                    reference.extend(b"\x00" * (offset + size - len(reference)))
+                reference[offset : offset + size] = payload
+            snapshots[version] = bytes(reference)
+        # Latest content and every snapshot must match the reference model.
+        assert blob.read(0, blob.size()) == bytes(reference)
+        for version, expected in snapshots.items():
+            assert blob.read(0, len(expected), version=version) == expected
+        deployment.close()
+
+
+class TestClientConfigurationEffects:
+    def test_metadata_cache_disabled_still_correct(self):
+        config = BlobSeerConfig(
+            num_data_providers=3,
+            chunk_size=128,
+            client=ClientConfig(metadata_cache=False),
+        )
+        with BlobSeerDeployment(config) as deployment:
+            blob = deployment.client().create_blob()
+            blob.append(b"q" * 500)
+            assert blob.read(100, 50) == b"q" * 50
+
+    def test_two_clients_see_each_others_writes(self, deployment):
+        writer = deployment.client("writer")
+        reader = deployment.client("reader")
+        blob = writer.create_blob()
+        blob.append(b"from-writer")
+        view = reader.open_blob(blob.blob_id)
+        assert view.read(0, view.size()) == b"from-writer"
+
+    def test_persistent_storage_roundtrip(self, tmp_path):
+        config = BlobSeerConfig(
+            num_data_providers=2,
+            chunk_size=128,
+            persistent_storage=True,
+            storage_root=str(tmp_path),
+        )
+        with BlobSeerDeployment(config) as deployment:
+            blob = deployment.client().create_blob()
+            blob.append(b"durable" * 100)
+            assert blob.read(0, 700) == (b"durable" * 100)
+        assert any(tmp_path.rglob("chunks.log"))

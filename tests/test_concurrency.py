@@ -1,0 +1,187 @@
+"""Concurrency tests: threaded clients against one deployment.
+
+The GIL prevents measuring *throughput* with threads (the simulator handles
+that), but threads are exactly right for checking the *safety* properties
+the paper claims: linearizable version assignment, readers never observing
+half-written snapshots, concurrent appenders never colliding, and writers
+never corrupting each other's data or metadata.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.config import BlobSeerConfig
+from repro.core.deployment import BlobSeerDeployment
+
+CHUNK = 128
+
+
+@pytest.fixture
+def deployment():
+    dep = BlobSeerDeployment(
+        BlobSeerConfig(num_data_providers=4, num_metadata_providers=3, chunk_size=CHUNK)
+    )
+    yield dep
+    dep.close()
+
+
+class TestConcurrentAppends:
+    def test_appends_from_many_threads_all_visible_and_disjoint(self, deployment):
+        num_clients, appends_each = 8, 5
+        blob_info = deployment.create_blob()
+
+        def worker(index: int):
+            client = deployment.client(f"w{index}")
+            blob = client.open_blob(blob_info.blob_id)
+            marker = bytes([ord("A") + index])
+            for _ in range(appends_each):
+                blob.append(marker * 100)
+
+        with ThreadPoolExecutor(max_workers=num_clients) as pool:
+            list(pool.map(worker, range(num_clients)))
+
+        reader = deployment.client("reader").open_blob(blob_info.blob_id)
+        total = num_clients * appends_each
+        assert reader.latest_version() == total
+        assert reader.size() == total * 100
+        data = reader.read(0, reader.size())
+        # Every append landed as one intact, uninterleaved 100-byte record.
+        for start in range(0, len(data), 100):
+            record = data[start : start + 100]
+            assert len(set(record)) == 1
+        # And every client's appends are all present.
+        for index in range(num_clients):
+            marker = ord("A") + index
+            assert data.count(bytes([marker])) == appends_each * 100
+
+    def test_append_offsets_are_contiguous(self, deployment):
+        blob_info = deployment.create_blob()
+
+        def worker(index: int):
+            client = deployment.client(f"w{index}")
+            blob = client.open_blob(blob_info.blob_id)
+            blob.append(b"z" * 50)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            list(pool.map(worker, range(6)))
+
+        history = deployment.client().history(blob_info.blob_id)
+        offsets = sorted(record.offset for record in history)
+        assert offsets == [index * 50 for index in range(6)]
+
+
+class TestConcurrentWrites:
+    def test_disjoint_writers_do_not_interfere(self, deployment):
+        num_writers = 6
+        region = CHUNK * 2
+        blob_info = deployment.create_blob()
+        primer = deployment.client("primer").open_blob(blob_info.blob_id)
+        primer.append(b"\x00" * (num_writers * region))
+
+        def worker(index: int):
+            client = deployment.client(f"w{index}")
+            blob = client.open_blob(blob_info.blob_id)
+            blob.write(index * region, bytes([index + 1]) * region)
+
+        with ThreadPoolExecutor(max_workers=num_writers) as pool:
+            list(pool.map(worker, range(num_writers)))
+
+        reader = deployment.client("reader").open_blob(blob_info.blob_id)
+        data = reader.read(0, num_writers * region)
+        for index in range(num_writers):
+            assert data[index * region : (index + 1) * region] == bytes([index + 1]) * region
+
+    def test_overlapping_writers_last_version_wins_atomically(self, deployment):
+        """Concurrent overwrites of the same range: the final snapshot must
+        equal exactly one writer's payload, never a mix."""
+        blob_info = deployment.create_blob()
+        primer = deployment.client("primer").open_blob(blob_info.blob_id)
+        primer.append(b"\x00" * CHUNK * 3)
+        payloads = {i: bytes([i + 1]) * (CHUNK * 3) for i in range(6)}
+
+        def worker(index: int):
+            client = deployment.client(f"w{index}")
+            client.open_blob(blob_info.blob_id).write(0, payloads[index])
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            list(pool.map(worker, range(6)))
+
+        reader = deployment.client("reader").open_blob(blob_info.blob_id)
+        final = reader.read(0, CHUNK * 3)
+        assert final in payloads.values()
+        # And each intermediate version is also exactly one payload (or the primer).
+        for version in range(2, reader.latest_version() + 1):
+            snapshot = reader.read(0, CHUNK * 3, version=version)
+            assert snapshot in payloads.values()
+
+
+class TestReadersDecoupledFromWriters:
+    def test_reader_pinned_to_version_sees_stable_data(self, deployment):
+        blob_info = deployment.create_blob()
+        writer_client = deployment.client("writer")
+        writer = writer_client.open_blob(blob_info.blob_id)
+        writer.append(b"v1" * CHUNK)
+        pinned_version = writer.latest_version()
+        expected = writer.read(0, writer.size(), version=pinned_version)
+
+        stop = threading.Event()
+        mismatches: list[str] = []
+
+        def reader_loop():
+            client = deployment.client("reader")
+            blob = client.open_blob(blob_info.blob_id)
+            while not stop.is_set():
+                data = blob.read(0, len(expected), version=pinned_version)
+                if data != expected:
+                    mismatches.append("reader observed a changing snapshot")
+                    return
+
+        def writer_loop():
+            for index in range(20):
+                writer.write(0, bytes([index]) * CHUNK)
+
+        reader_thread = threading.Thread(target=reader_loop)
+        reader_thread.start()
+        writer_loop()
+        stop.set()
+        reader_thread.join()
+        assert mismatches == []
+
+    def test_latest_version_monotonic_under_writes(self, deployment):
+        blob_info = deployment.create_blob()
+        writer = deployment.client("writer").open_blob(blob_info.blob_id)
+        observed: list[int] = []
+        stop = threading.Event()
+
+        def observer():
+            blob = deployment.client("observer").open_blob(blob_info.blob_id)
+            while not stop.is_set():
+                observed.append(blob.latest_version())
+
+        thread = threading.Thread(target=observer)
+        thread.start()
+        for _ in range(30):
+            writer.append(b"x" * 64)
+        stop.set()
+        thread.join()
+        assert observed == sorted(observed)
+        assert writer.latest_version() == 30
+
+
+class TestConcurrentBlobCreation:
+    def test_blob_ids_unique_across_threads(self, deployment):
+        ids: list[int] = []
+        lock = threading.Lock()
+
+        def worker(_):
+            blob = deployment.client().create_blob()
+            with lock:
+                ids.append(blob.blob_id)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(worker, range(32)))
+        assert len(set(ids)) == 32

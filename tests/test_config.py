@@ -1,0 +1,78 @@
+"""Configuration validation and round-trip tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import BlobSeerConfig, ClientConfig, PLACEMENT_STRATEGIES
+from repro.core.errors import InvalidConfigError
+
+
+class TestValidation:
+    def test_default_config_is_valid(self):
+        config = BlobSeerConfig()
+        assert config.num_data_providers >= 1
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_data_providers", 0),
+            ("num_metadata_providers", 0),
+            ("chunk_size", 0),
+            ("replication", 0),
+            ("dht_virtual_nodes", 0),
+            ("metadata_replication", 0),
+        ],
+    )
+    def test_non_positive_fields_rejected(self, field, value):
+        with pytest.raises(InvalidConfigError):
+            BlobSeerConfig(**{field: value})
+
+    def test_replication_cannot_exceed_providers(self):
+        with pytest.raises(InvalidConfigError):
+            BlobSeerConfig(num_data_providers=2, replication=3)
+
+    def test_metadata_replication_cannot_exceed_metadata_providers(self):
+        with pytest.raises(InvalidConfigError):
+            BlobSeerConfig(num_metadata_providers=2, metadata_replication=3)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(InvalidConfigError):
+            BlobSeerConfig(placement_strategy="clever")
+
+    @pytest.mark.parametrize("strategy", PLACEMENT_STRATEGIES)
+    def test_known_strategies_accepted(self, strategy):
+        assert BlobSeerConfig(placement_strategy=strategy).placement_strategy == strategy
+
+    def test_client_config_validation(self):
+        with pytest.raises(InvalidConfigError):
+            BlobSeerConfig(client=ClientConfig(metadata_cache_capacity=0))
+        with pytest.raises(InvalidConfigError):
+            BlobSeerConfig(client=ClientConfig(prefetch_chunks=-1))
+        with pytest.raises(InvalidConfigError):
+            BlobSeerConfig(client=ClientConfig(write_buffer_chunks=0))
+
+
+class TestDerivation:
+    def test_with_replaces_and_revalidates(self):
+        config = BlobSeerConfig(num_data_providers=4)
+        bigger = config.with_(num_data_providers=16)
+        assert bigger.num_data_providers == 16
+        assert config.num_data_providers == 4  # original untouched
+        with pytest.raises(InvalidConfigError):
+            config.with_(replication=100)
+
+    def test_dict_roundtrip(self):
+        config = BlobSeerConfig(
+            num_data_providers=7,
+            chunk_size=1234,
+            placement_strategy="load_aware",
+            client=ClientConfig(metadata_cache=False, prefetch_chunks=5),
+        )
+        rebuilt = BlobSeerConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_to_dict_contains_client_fields(self):
+        d = BlobSeerConfig().to_dict()
+        assert "client.metadata_cache" in d
+        assert "chunk_size" in d

@@ -1,0 +1,252 @@
+"""Tests for BSFS: namespace, streams, facade, locality helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import BlobSeerConfig
+from repro.core.deployment import BlobSeerDeployment
+from repro.fs import (
+    BlobSeerFileSystem,
+    BufferedBlobWriter,
+    Namespace,
+    NamespaceError,
+    PrefetchingBlobReader,
+    balance_report,
+    compute_splits,
+    locality_fraction,
+)
+from repro.workloads import random_text
+
+CHUNK = 256
+
+
+@pytest.fixture
+def deployment():
+    dep = BlobSeerDeployment(
+        BlobSeerConfig(num_data_providers=4, num_metadata_providers=2, chunk_size=CHUNK)
+    )
+    yield dep
+    dep.close()
+
+
+@pytest.fixture
+def fs(deployment):
+    return BlobSeerFileSystem(deployment)
+
+
+class TestNamespace:
+    def test_mkdir_and_listing(self):
+        ns = Namespace()
+        ns.mkdir("/a", parents=True)
+        ns.mkdir("/a/b")
+        ns.bind_file("/a/b/f", blob_id=1, chunk_size=64, replication=1)
+        assert ns.list_dir("/a") == ["/a/b"]
+        assert ns.list_dir("/a/b") == ["/a/b/f"]
+
+    def test_mkdir_parents(self):
+        ns = Namespace()
+        ns.mkdir("/x/y/z", parents=True)
+        assert ns.is_dir("/x/y") and ns.is_dir("/x/y/z")
+
+    def test_mkdir_without_parent_rejected(self):
+        with pytest.raises(NamespaceError):
+            Namespace().mkdir("/no/parent", parents=False)
+
+    def test_path_normalisation(self):
+        ns = Namespace()
+        ns.mkdir("/a//b/", parents=True)
+        assert ns.is_dir("/a/b")
+        with pytest.raises(NamespaceError):
+            ns.mkdir("relative")
+        with pytest.raises(NamespaceError):
+            ns.mkdir("/a/../b")
+
+    def test_bind_requires_parent_and_uniqueness(self):
+        ns = Namespace()
+        ns.mkdir("/d", parents=True)
+        ns.bind_file("/d/f", 1, 64, 1)
+        with pytest.raises(NamespaceError):
+            ns.bind_file("/d/f", 2, 64, 1)
+        with pytest.raises(NamespaceError):
+            ns.bind_file("/nowhere/f", 3, 64, 1)
+
+    def test_file_dir_conflicts(self):
+        ns = Namespace()
+        ns.mkdir("/d", parents=True)
+        ns.bind_file("/d/f", 1, 64, 1)
+        with pytest.raises(NamespaceError):
+            ns.mkdir("/d/f")
+
+    def test_rename(self):
+        ns = Namespace()
+        ns.mkdir("/a", parents=True)
+        ns.mkdir("/b", parents=True)
+        ns.bind_file("/a/f", 1, 64, 1)
+        ns.rename("/a/f", "/b/g")
+        assert ns.is_file("/b/g") and not ns.exists("/a/f")
+        assert ns.lookup("/b/g").blob_id == 1
+
+    def test_unlink(self):
+        ns = Namespace()
+        ns.mkdir("/a", parents=True)
+        ns.bind_file("/a/f", 1, 64, 1)
+        attributes = ns.unlink("/a/f")
+        assert attributes.blob_id == 1
+        with pytest.raises(NamespaceError):
+            ns.lookup("/a/f")
+
+    def test_rmdir_only_when_empty(self):
+        ns = Namespace()
+        ns.mkdir("/a/b", parents=True)
+        with pytest.raises(NamespaceError):
+            ns.rmdir("/a")
+        ns.rmdir("/a/b")
+        ns.rmdir("/a")
+        assert not ns.exists("/a")
+
+    def test_root_cannot_be_removed(self):
+        with pytest.raises(NamespaceError):
+            Namespace().rmdir("/")
+
+
+class TestStreams:
+    def test_buffered_writer_batches_appends(self, fs):
+        writer = fs.create("/big", buffer_chunks=4)
+        for _ in range(16):
+            writer.write(b"x" * (CHUNK // 2))   # 8 chunks total
+        writer.close()
+        # 8 chunks written with a 4-chunk buffer -> 2 appends (2 versions).
+        assert writer.appends_issued == 2
+        assert fs.file_size("/big") == 16 * (CHUNK // 2)
+
+    def test_writer_flushes_partial_tail_on_close(self, fs):
+        with fs.create("/partial") as writer:
+            writer.write(b"tail-data")
+        assert fs.read_file("/partial") == b"tail-data"
+
+    def test_writer_rejects_use_after_close(self, fs):
+        writer = fs.create("/closed")
+        writer.write(b"x")
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.write(b"y")
+
+    def test_reader_sequential_scan_with_prefetch(self, fs):
+        payload = random_text(CHUNK * 6, seed=3)
+        fs.write_file("/scan", payload)
+        reader = fs.open("/scan", prefetch_chunks=2)
+        out = bytearray()
+        while True:
+            piece = reader.read(100)
+            if not piece:
+                break
+            out.extend(piece)
+        assert bytes(out) == payload
+        # Prefetching must make far fewer blob reads than read() calls.
+        assert reader.fetches < (len(payload) // 100)
+
+    def test_reader_seek_and_tell(self, fs):
+        fs.write_file("/seek", bytes(range(256)) * 4)
+        reader = fs.open("/seek")
+        reader.seek(100)
+        assert reader.tell() == 100
+        assert reader.read(4) == bytes(range(100, 104))
+        with pytest.raises(Exception):
+            reader.seek(10_000)
+
+    def test_reader_pinned_version_ignores_later_writes(self, fs):
+        fs.write_file("/pin", b"version-one-content")
+        reader = fs.open("/pin")
+        fs.write_at("/pin", 0, b"VERSION-TWO")
+        assert reader.read() == b"version-one-content"
+
+    def test_reader_pread_does_not_move_cursor(self, fs):
+        fs.write_file("/pread", b"0123456789")
+        reader = fs.open("/pread")
+        assert reader.pread(5, 3) == b"567"
+        assert reader.tell() == 0
+
+    def test_line_iteration(self, fs):
+        fs.write_file("/lines", b"alpha\nbeta\ngamma")
+        reader = fs.open("/lines")
+        assert list(reader) == [b"alpha", b"beta", b"gamma"]
+
+
+class TestFileSystemFacade:
+    def test_write_read_roundtrip(self, fs):
+        payload = random_text(3000, seed=1)
+        fs.mkdir("/data")
+        fs.write_file("/data/f", payload)
+        assert fs.read_file("/data/f") == payload
+        assert fs.read_range("/data/f", 100, 200) == payload[100:300]
+
+    def test_concurrent_appenders_allowed(self, fs):
+        fs.write_file("/shared", b"start|")
+        writer_a = fs.append_open("/shared", buffer_chunks=1)
+        writer_b = fs.append_open("/shared", buffer_chunks=1)
+        writer_a.write(b"A" * 10)
+        writer_b.write(b"B" * 10)
+        writer_a.close()
+        writer_b.close()
+        data = fs.read_file("/shared")
+        assert data.count(b"A") == 10 and data.count(b"B") == 10
+
+    def test_write_at_creates_new_version(self, fs):
+        fs.write_file("/v", b"aaaa-bbbb")
+        fs.write_at("/v", 0, b"XXXX")
+        versions = fs.file_versions("/v")
+        assert len(versions) >= 3  # 0, initial write, overwrite
+        assert fs.read_file("/v") == b"XXXX-bbbb"
+        assert fs.read_file("/v", version=versions[-2]) == b"aaaa-bbbb"
+
+    def test_rename_and_delete(self, fs):
+        fs.mkdir("/a")
+        fs.write_file("/a/f", b"content")
+        fs.rename("/a/f", "/a/g")
+        assert fs.read_file("/a/g") == b"content"
+        assert fs.delete("/a/g")
+        assert not fs.exists("/a/g")
+        assert not fs.delete("/a/g")
+
+    def test_file_status(self, fs):
+        fs.write_file("/status", b"s" * 1000)
+        status = fs.file_status("/status")
+        assert status["size"] == 1000
+        assert status["chunk_size"] == CHUNK
+
+    def test_shared_namespace_between_clients(self, deployment):
+        namespace = Namespace()
+        fs_a = BlobSeerFileSystem(deployment, namespace=namespace)
+        fs_b = BlobSeerFileSystem(deployment, namespace=namespace)
+        fs_a.write_file("/shared-file", b"written-by-a")
+        assert fs_b.read_file("/shared-file") == b"written-by-a"
+
+
+class TestLocality:
+    def test_block_locations_cover_file(self, fs):
+        fs.write_file("/loc", b"z" * (CHUNK * 5))
+        locations = fs.block_locations("/loc", 0, CHUNK * 5)
+        assert sum(length for _, length, _ in locations) == CHUNK * 5
+
+    def test_compute_splits_have_preferred_hosts(self, fs):
+        fs.write_file("/splits", b"y" * (CHUNK * 8))
+        splits = compute_splits(fs, "/splits", split_size=CHUNK * 2)
+        assert len(splits) == 4
+        assert all(split.preferred_hosts for split in splits)
+        assert sum(split.length for split in splits) == CHUNK * 8
+
+    def test_split_size_validation(self, fs):
+        fs.write_file("/splits2", b"y" * CHUNK)
+        with pytest.raises(ValueError):
+            compute_splits(fs, "/splits2", split_size=0)
+
+    def test_locality_fraction_and_balance(self, fs):
+        fs.write_file("/balance", b"w" * (CHUNK * 4))
+        splits = compute_splits(fs, "/balance", split_size=CHUNK)
+        local = [(split, split.preferred_hosts[0]) for split in splits]
+        remote = [(split, "elsewhere") for split in splits]
+        assert locality_fraction(local) == 1.0
+        assert locality_fraction(remote) == 0.0
+        counts = balance_report(local)
+        assert sum(counts.values()) == len(splits)

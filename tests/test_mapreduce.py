@@ -1,0 +1,224 @@
+"""Tests for the MapReduce engine, scheduler and file-system adapters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import HdfsLikeFileSystem
+from repro.core.config import BlobSeerConfig
+from repro.core.deployment import BlobSeerDeployment
+from repro.fs import BlobSeerFileSystem, InputSplit
+from repro.mapreduce import (
+    HdfsAdapter,
+    LocalityAwareScheduler,
+    MapReduceEngine,
+    MapReduceJob,
+    grep_job,
+    partition_key,
+    sort_sample_job,
+    word_count_job,
+)
+from repro.workloads import access_log, random_text
+
+CHUNK = 512
+
+
+@pytest.fixture
+def deployment():
+    dep = BlobSeerDeployment(
+        BlobSeerConfig(num_data_providers=4, num_metadata_providers=2, chunk_size=CHUNK)
+    )
+    yield dep
+    dep.close()
+
+
+@pytest.fixture
+def fs(deployment):
+    fs = BlobSeerFileSystem(deployment)
+    fs.mkdir("/in")
+    return fs
+
+
+def reference_word_count(text: bytes) -> dict:
+    counts: dict = {}
+    for word in text.split():
+        counts[word.lower()] = counts.get(word.lower(), 0) + 1
+    return counts
+
+
+class TestScheduler:
+    def make_splits(self, hosts):
+        return [
+            InputSplit(path="/f", offset=i * 100, length=100, preferred_hosts=(host,))
+            for i, host in enumerate(hosts)
+        ]
+
+    def test_prefers_data_local_hosts(self):
+        scheduler = LocalityAwareScheduler(["h0", "h1", "h2"])
+        splits = self.make_splits(["h0", "h1", "h2", "h0", "h1", "h2"])
+        assignments = scheduler.assign(splits)
+        assert all(a.data_local for a in assignments)
+
+    def test_load_cap_prevents_hot_host_overload(self):
+        scheduler = LocalityAwareScheduler(["h0", "h1", "h2", "h3"])
+        splits = self.make_splits(["h0"] * 8)  # everything lives on h0
+        assignments = scheduler.assign(splits)
+        per_host = {}
+        for a in assignments:
+            per_host[a.host] = per_host.get(a.host, 0) + 1
+        assert max(per_host.values()) <= 2  # fair share of 8 tasks over 4 hosts
+        assert sum(per_host.values()) == 8
+
+    def test_spillover_marks_non_local(self):
+        scheduler = LocalityAwareScheduler(["h0", "h1"])
+        splits = self.make_splits(["h0"] * 4)
+        assignments = scheduler.assign(splits)
+        assert any(not a.data_local for a in assignments)
+
+    def test_empty_input(self):
+        assert LocalityAwareScheduler(["h0"]).assign([]) == []
+
+    def test_reduce_hosts_round_robin(self):
+        scheduler = LocalityAwareScheduler(["h0", "h1"])
+        assert scheduler.reduce_hosts(4) == ["h0", "h1", "h0", "h1"]
+
+    def test_requires_hosts_and_slots(self):
+        with pytest.raises(ValueError):
+            LocalityAwareScheduler([])
+        with pytest.raises(ValueError):
+            LocalityAwareScheduler(["h0"], slots_per_host=0)
+
+    def test_partition_key_stable_and_in_range(self):
+        for key in (b"word", "word", 42, ("a", 1)):
+            bucket = partition_key(key, 7)
+            assert 0 <= bucket < 7
+            assert bucket == partition_key(key, 7)
+
+
+class TestWordCount:
+    def test_matches_reference_counts(self, fs):
+        text = random_text(20_000, seed=5)
+        fs.write_file("/in/text", text)
+        result = MapReduceEngine(fs).run(word_count_job(num_reducers=3), ["/in/text"], "/out")
+        output = b"".join(fs.read_file(path) for path in result.output_paths)
+        counted = {
+            line.split(b"\t")[0]: int(line.split(b"\t")[1])
+            for line in output.strip().split(b"\n")
+        }
+        assert counted == reference_word_count(text)
+
+    def test_split_size_smaller_than_lines_still_exact(self, fs):
+        """Splits cutting through the middle of lines must not lose or duplicate words."""
+        text = b"\n".join([b"alpha beta gamma delta epsilon zeta"] * 200)
+        fs.write_file("/in/tiny", text)
+        job = word_count_job(num_reducers=2, split_size=97)  # deliberately awkward
+        result = MapReduceEngine(fs).run(job, ["/in/tiny"], "/out2")
+        output = b"".join(fs.read_file(path) for path in result.output_paths)
+        counted = dict(
+            (line.split(b"\t")[0], int(line.split(b"\t")[1]))
+            for line in output.strip().split(b"\n")
+        )
+        assert counted == {w: 200 for w in [b"alpha", b"beta", b"gamma", b"delta", b"epsilon", b"zeta"]}
+
+    def test_multiple_input_files(self, fs):
+        fs.write_file("/in/a", b"x y\nx")
+        fs.write_file("/in/b", b"y\nz z")
+        result = MapReduceEngine(fs).run(word_count_job(), ["/in/a", "/in/b"], "/out3")
+        output = b"".join(fs.read_file(path) for path in result.output_paths)
+        counted = dict(
+            (line.split(b"\t")[0], int(line.split(b"\t")[1]))
+            for line in output.strip().split(b"\n")
+        )
+        assert counted == {b"x": 2, b"y": 2, b"z": 2}
+
+    def test_job_statistics(self, fs):
+        text = random_text(5_000, seed=9)
+        fs.write_file("/in/stats", text)
+        result = MapReduceEngine(fs).run(word_count_job(num_reducers=2), ["/in/stats"], "/out4")
+        assert result.records_mapped == text.count(b"\n") + 1
+        assert result.bytes_read >= len(text) * 0.9
+        assert result.bytes_written > 0
+        assert 0.0 <= result.locality_fraction <= 1.0
+        assert len(result.reduce_tasks) == 2
+
+
+class TestOtherJobs:
+    def test_grep_counts_matching_lines(self, fs):
+        log = access_log(500, seed=2)
+        fs.write_file("/in/log", log)
+        matching = sum(1 for line in log.split(b"\n") if b"404" in line)
+        result = MapReduceEngine(fs).run(grep_job(b"404"), ["/in/log"], "/grep")
+        output = b"".join(fs.read_file(path) for path in result.output_paths)
+        total = sum(int(line.rsplit(b"\t", 1)[1]) for line in output.strip().split(b"\n") if line)
+        assert total == matching
+
+    def test_sort_sample_outputs_sorted_lines(self, fs):
+        fs.write_file("/in/sort", b"pear\napple\nmango\nbanana")
+        result = MapReduceEngine(fs).run(sort_sample_job(), ["/in/sort"], "/sorted")
+        output = fs.read_file(result.output_paths[0])
+        keys = [line.split(b"\t")[0] for line in output.strip().split(b"\n")]
+        assert keys == sorted(keys)
+
+    def test_custom_job_with_combiner(self, fs):
+        fs.write_file("/in/nums", b"\n".join(str(i).encode() for i in range(100)))
+
+        def mapper(_key, line):
+            yield "sum", int(line)
+
+        def reducer(key, values):
+            yield key, sum(values)
+
+        job = MapReduceJob(
+            name="sum", map_function=mapper, reduce_function=reducer, combiner=reducer
+        )
+        result = MapReduceEngine(fs).run(job, ["/in/nums"], "/sum")
+        output = fs.read_file(result.output_paths[0])
+        assert output.strip() == b"sum\t4950"
+
+    def test_invalid_reducer_count_rejected(self):
+        with pytest.raises(ValueError):
+            word_count_job(num_reducers=0)
+
+
+class TestStorageBackendComparison:
+    """The same job must produce identical results on BSFS and the HDFS-like
+    baseline — the experiments then compare only their concurrency behaviour."""
+
+    def test_wordcount_identical_on_both_backends(self, deployment, fs):
+        text = random_text(10_000, seed=7)
+        fs.write_file("/in/shared", text)
+
+        hdfs_deployment = BlobSeerDeployment(
+            BlobSeerConfig(num_data_providers=4, chunk_size=CHUNK)
+        )
+        hdfs = HdfsLikeFileSystem(hdfs_deployment.provider_pool, hdfs_deployment.config)
+        hdfs.mkdir("/in")
+        with hdfs.create("/in/shared") as writer:
+            writer.write(text)
+
+        bsfs_result = MapReduceEngine(fs).run(word_count_job(num_reducers=2), ["/in/shared"], "/o1")
+        hdfs_result = MapReduceEngine(HdfsAdapter(hdfs)).run(
+            word_count_job(num_reducers=2), ["/in/shared"], "/o2"
+        )
+        bsfs_out = b"".join(fs.read_file(p) for p in bsfs_result.output_paths)
+        hdfs_out = b"".join(hdfs.read(p) for p in hdfs_result.output_paths)
+        assert bsfs_out == hdfs_out
+        hdfs_deployment.close()
+
+    def test_bsfs_supports_concurrent_output_appends_hdfs_does_not(self, fs, deployment):
+        """The architectural difference the paper highlights: BSFS lets many
+        reducers append to one output file, HDFS-like forces one writer."""
+        fs.write_file("/in/x", b"a b c")
+        appender_one = fs.append_open("/in/x")
+        appender_two = fs.append_open("/in/x")  # no error: concurrent appends OK
+        appender_one.close()
+        appender_two.close()
+
+        hdfs = HdfsLikeFileSystem(deployment.provider_pool, deployment.config)
+        hdfs.mkdir("/in")
+        with hdfs.create("/in/x") as writer:
+            writer.write(b"a b c")
+        first = hdfs.append_open("/in/x", writer="r1")
+        with pytest.raises(Exception):
+            hdfs.append_open("/in/x", writer="r2")
+        first.close()

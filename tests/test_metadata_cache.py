@@ -1,0 +1,91 @@
+"""Tests for the client-side metadata cache wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MetadataNotFoundError
+from repro.core.metadata import MetadataCache, PassthroughMetadataStore
+from repro.dht import DistributedKeyValueStore
+
+
+def make_backend() -> DistributedKeyValueStore:
+    return DistributedKeyValueStore(["m0", "m1"], virtual_nodes=8)
+
+
+class TestMetadataCache:
+    def test_get_populates_cache(self):
+        backend = make_backend()
+        backend.put("k", "v")
+        cache = MetadataCache(backend, capacity=8)
+        assert cache.get("k") == "v"
+        assert cache.get("k") == "v"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_put_is_write_through_and_cached(self):
+        backend = make_backend()
+        cache = MetadataCache(backend, capacity=8)
+        cache.put("k", "v")
+        assert backend.get("k") == "v"
+        assert cache.get("k") == "v"
+        assert cache.misses == 0  # served locally, never re-fetched
+
+    def test_cache_hides_backend_latency_not_correctness(self):
+        backend = make_backend()
+        cache = MetadataCache(backend, capacity=8)
+        cache.put("k", "v")
+        # Another client writing through its own cache is still visible here
+        # for *new* keys (immutable nodes are never rebound).
+        other = MetadataCache(backend, capacity=8)
+        other.put("k2", "v2")
+        assert cache.get("k2") == "v2"
+
+    def test_lru_eviction(self):
+        backend = make_backend()
+        cache = MetadataCache(backend, capacity=2)
+        for i in range(3):
+            cache.put(("k", i), i)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # The evicted key is still readable through the backend.
+        assert cache.get(("k", 0)) == 0
+
+    def test_get_or_none(self):
+        backend = make_backend()
+        cache = MetadataCache(backend, capacity=4)
+        assert cache.get_or_none("missing") is None
+        backend.put("k", 1)
+        assert cache.get_or_none("k") == 1
+
+    def test_missing_key_raises(self):
+        cache = MetadataCache(make_backend(), capacity=4)
+        with pytest.raises(MetadataNotFoundError):
+            cache.get("missing")
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataCache(make_backend(), capacity=0)
+
+    def test_clear_resets_entries_not_stats(self):
+        cache = MetadataCache(make_backend(), capacity=4)
+        cache.put("k", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats["entries"] == 0
+
+
+class TestPassthrough:
+    def test_every_get_goes_to_backend(self):
+        backend = make_backend()
+        backend.put("k", "v")
+        passthrough = PassthroughMetadataStore(backend)
+        passthrough.get("k")
+        passthrough.get("k")
+        assert passthrough.misses == 2
+        assert passthrough.stats["hits"] == 0
+
+    def test_put_delegates(self):
+        backend = make_backend()
+        passthrough = PassthroughMetadataStore(backend)
+        passthrough.put("k", "v")
+        assert backend.get("k") == "v"

@@ -1,0 +1,234 @@
+"""Tests for the QoS subsystem: monitoring, behaviour modelling, feedback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlobSeerConfig
+from repro.qos import (
+    FEATURE_NAMES,
+    FeedbackPolicy,
+    KMeans,
+    Monitor,
+    QoSFeedbackController,
+    QualityReport,
+    WindowSample,
+    feature_matrix,
+    fit_behavior_model,
+)
+from repro.sim import (
+    FailureInjector,
+    FailureModel,
+    SimulatedBlobSeer,
+    run_sustained_appends,
+)
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def make_sample(throughput: float, live: float = 1.0, failures: float = 0.0) -> WindowSample:
+    return WindowSample(
+        window_start=0.0,
+        window_end=10.0,
+        live_fraction=live,
+        client_throughput=throughput,
+        failure_rate=failures,
+        write_load=throughput,
+        read_load=0.0,
+        load_imbalance=0.1,
+    )
+
+
+def synthetic_trace(n_windows: int = 40) -> list:
+    """Alternating healthy / degraded windows, clearly separable."""
+    samples = []
+    for index in range(n_windows):
+        if (index // 5) % 2 == 0:
+            samples.append(make_sample(throughput=100e6, live=1.0, failures=0.0))
+        else:
+            samples.append(make_sample(throughput=10e6, live=0.6, failures=0.4))
+    return samples
+
+
+class TestMonitoring:
+    def test_monitor_samples_cover_time_axis(self):
+        cluster = SimulatedBlobSeer(
+            BlobSeerConfig(num_data_providers=4, num_metadata_providers=2, chunk_size=64 * KB)
+        )
+        blob = cluster.create_blob()
+        monitor = Monitor(cluster)
+
+        def sampler():
+            while cluster.env.now < 3.0:
+                yield cluster.env.timeout(0.5)
+                monitor.sample()
+
+        cluster.env.process(sampler())
+        run_sustained_appends(cluster, blob, num_clients=2, append_size=1 * MB, duration=3.0)
+        assert len(monitor.samples) >= 4
+        assert monitor.samples[0].live_fraction == 1.0
+        assert any(sample.client_throughput > 0 for sample in monitor.samples)
+        assert monitor.trace().shape[1] == len(FEATURE_NAMES)
+
+    def test_feature_matrix_shape(self):
+        samples = synthetic_trace(10)
+        matrix = feature_matrix(samples)
+        assert matrix.shape == (10, len(FEATURE_NAMES))
+        assert feature_matrix([]).shape == (0, len(FEATURE_NAMES))
+
+    def test_quality_report_from_metrics(self):
+        cluster = SimulatedBlobSeer(
+            BlobSeerConfig(num_data_providers=4, num_metadata_providers=2, chunk_size=64 * KB)
+        )
+        blob = cluster.create_blob()
+        run_sustained_appends(cluster, blob, num_clients=2, append_size=1 * MB, duration=1.5)
+        report = QualityReport.from_metrics(cluster.metrics, bin_seconds=0.5)
+        assert report.mean_throughput > 0
+        assert report.coefficient_of_variation >= 0
+        assert report.failed_operations == 0
+
+
+class TestKMeans:
+    def test_separates_two_obvious_clusters(self):
+        rng = np.random.default_rng(0)
+        low = rng.normal(0.0, 0.1, size=(50, 3))
+        high = rng.normal(5.0, 0.1, size=(50, 3))
+        data = np.vstack([low, high])
+        labels = KMeans(n_clusters=2, seed=1).fit(data)
+        assert len(set(labels[:50])) == 1
+        assert len(set(labels[50:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_more_clusters_than_points_clips(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0]])
+        model = KMeans(n_clusters=5)
+        labels = model.fit(data)
+        assert len(labels) == 2
+        assert model.centroids.shape[0] == 2
+
+    def test_predict_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.zeros((1, 2)))
+
+    def test_invalid_cluster_count(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+
+
+class TestBehaviorModel:
+    def test_identifies_dangerous_states(self):
+        model = fit_behavior_model(synthetic_trace(), n_states=2, seed=2)
+        assert len(model.dangerous_states) == 1
+        healthy = [s for s in model.states if not s.dangerous][0]
+        degraded = [s for s in model.states if s.dangerous][0]
+        assert healthy.mean_client_throughput > degraded.mean_client_throughput
+
+    def test_classify_new_windows(self):
+        model = fit_behavior_model(synthetic_trace(), n_states=2, seed=2)
+        assert model.is_dangerous(make_sample(throughput=5e6, live=0.5, failures=0.5))
+        assert not model.is_dangerous(make_sample(throughput=110e6, live=1.0))
+
+    def test_transition_matrix_rows_are_distributions(self):
+        model = fit_behavior_model(synthetic_trace(), n_states=3, seed=1)
+        sums = model.transition_matrix.sum(axis=1)
+        assert np.allclose(sums[sums > 0], 1.0)
+        assert 0.0 <= model.danger_probability(0) <= 1.0
+
+    def test_requires_at_least_two_windows(self):
+        with pytest.raises(ValueError):
+            fit_behavior_model([make_sample(1.0)])
+
+    def test_state_summary_has_feature_names(self):
+        model = fit_behavior_model(synthetic_trace(), n_states=2)
+        summary = model.state_summary()
+        assert all(name in summary[0] for name in FEATURE_NAMES)
+
+
+class TestFeedbackController:
+    def make_controller(self, cluster=None):
+        cluster = cluster or SimulatedBlobSeer(
+            BlobSeerConfig(num_data_providers=6, num_metadata_providers=2, chunk_size=64 * KB)
+        )
+        model = fit_behavior_model(synthetic_trace(), n_states=2, seed=2)
+        monitor = Monitor(cluster)
+        controller = QoSFeedbackController(
+            cluster,
+            model,
+            monitor,
+            FeedbackPolicy(boosted_replication=3, recovery_windows=2),
+        )
+        return cluster, controller
+
+    def test_dangerous_window_boosts_replication(self):
+        cluster, controller = self.make_controller()
+        controller.evaluate(make_sample(throughput=1e6, live=0.5, failures=0.5))
+        assert cluster.replication_override == 3
+        assert controller.action_counts().get("boost_replication") == 1
+
+    def test_recovery_relaxes_replication(self):
+        cluster, controller = self.make_controller()
+        controller.evaluate(make_sample(throughput=1e6, live=0.5, failures=0.5))
+        for _ in range(3):
+            controller.evaluate(make_sample(throughput=120e6, live=1.0))
+        assert cluster.replication_override is None
+        assert controller.action_counts().get("relax_replication") == 1
+
+    def test_flaky_providers_get_excluded(self):
+        cluster, controller = self.make_controller()
+        flaky = cluster.provider_pool.provider_ids[0]
+        cluster.provider_pool.get(flaky).failures = 5
+        controller.evaluate(make_sample(throughput=1e6, live=0.5, failures=0.5))
+        assert flaky in cluster.provider_pool.excluded
+        assert flaky not in cluster.provider_pool.live_provider_ids()
+
+    def test_exclusion_never_empties_the_pool(self):
+        cluster, controller = self.make_controller()
+        for pid in cluster.provider_pool.provider_ids:
+            cluster.provider_pool.get(pid).failures = 9
+        controller.evaluate(make_sample(throughput=1e6, live=0.5, failures=0.5))
+        assert len(cluster.provider_pool.live_provider_ids()) >= 2
+
+    def test_effective_replication_follows_override(self):
+        cluster, controller = self.make_controller()
+        blob = cluster.create_blob(replication=1)
+        assert cluster.effective_replication(blob) == 1
+        controller.evaluate(make_sample(throughput=1e6, live=0.5, failures=0.5))
+        assert cluster.effective_replication(blob) == 3
+
+
+class TestClosedLoop:
+    def test_feedback_improves_stability_under_biased_failures(self):
+        """End-to-end E7-style check: with the controller active, the achieved
+        throughput under failures is at least as high and no less stable."""
+
+        def run(with_feedback: bool):
+            cluster = SimulatedBlobSeer(
+                BlobSeerConfig(
+                    num_data_providers=8,
+                    num_metadata_providers=4,
+                    chunk_size=128 * KB,
+                    replication=1,
+                )
+            )
+            blob = cluster.create_blob()
+            injector = FailureInjector(
+                cluster,
+                FailureModel(mean_time_between_failures=1.0, mean_repair_time=2.0, seed=5),
+            )
+            injector.start(horizon=10.0)
+            if with_feedback:
+                model = fit_behavior_model(synthetic_trace(), n_states=2, seed=2)
+                monitor = Monitor(cluster)
+                controller = QoSFeedbackController(cluster, model, monitor)
+                controller.run(window_seconds=2.0, horizon=10.0)
+            result = run_sustained_appends(
+                cluster, blob, num_clients=3, append_size=2 * MB, duration=10.0
+            )
+            return QualityReport.from_metrics(result.metrics, bin_seconds=2.0)
+
+        with_feedback = run(True)
+        without_feedback = run(False)
+        assert with_feedback.mean_throughput > 0
+        assert with_feedback.failed_operations <= without_feedback.failed_operations

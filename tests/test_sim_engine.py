@@ -1,0 +1,269 @@
+"""Tests for the discrete-event engine, resources and network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, NetworkModel, Resource, ServiceStation, SimNode, all_of
+
+
+class TestEnvironment:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        log = []
+
+        def process():
+            yield env.timeout(5.0)
+            log.append(env.now)
+            yield env.timeout(2.5)
+            log.append(env.now)
+
+        env.process(process())
+        env.run()
+        assert log == [5.0, 7.5]
+
+    def test_processes_interleave_by_time(self):
+        env = Environment()
+        order = []
+
+        def worker(name, delay):
+            yield env.timeout(delay)
+            order.append(name)
+
+        env.process(worker("slow", 10))
+        env.process(worker("fast", 1))
+        env.process(worker("medium", 5))
+        env.run()
+        assert order == ["fast", "medium", "slow"]
+
+    def test_process_return_value_via_join(self):
+        env = Environment()
+        results = []
+
+        def child():
+            yield env.timeout(1)
+            return 42
+
+        def parent():
+            value = yield env.process(child())
+            results.append(value)
+
+        env.process(parent())
+        env.run()
+        assert results == [42]
+
+    def test_event_succeed_wakes_waiters(self):
+        env = Environment()
+        gate = env.event()
+        woken = []
+
+        def waiter(name):
+            value = yield gate
+            woken.append((name, value, env.now))
+
+        def opener():
+            yield env.timeout(3)
+            gate.succeed("open")
+
+        env.process(waiter("a"))
+        env.process(waiter("b"))
+        env.process(opener())
+        env.run()
+        assert woken == [("a", "open", 3), ("b", "open", 3)]
+
+    def test_event_failure_propagates_into_waiter(self):
+        env = Environment()
+        gate = env.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield gate
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        def failer():
+            yield env.timeout(1)
+            gate.fail(RuntimeError("boom"))
+
+        env.process(waiter())
+        env.process(failer())
+        env.run()
+        assert caught == ["boom"]
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_run_until_stops_early(self):
+        env = Environment()
+
+        def ticker():
+            while True:
+                yield env.timeout(1)
+
+        env.process(ticker())
+        env.run(until=5)
+        assert env.now == 5
+
+    def test_all_of_waits_for_every_child(self):
+        env = Environment()
+        results = []
+
+        def child(delay, value):
+            yield env.timeout(delay)
+            return value
+
+        def parent():
+            procs = [env.process(child(d, d)) for d in (3, 1, 2)]
+            values = yield all_of(env, procs)
+            results.append((env.now, values))
+
+        env.process(parent())
+        env.run()
+        assert results == [(3, [3, 1, 2])]
+
+    def test_all_of_empty_list(self):
+        env = Environment()
+        results = []
+
+        def parent():
+            values = yield all_of(env, [])
+            results.append(values)
+
+        env.process(parent())
+        env.run()
+        assert results == [[]]
+
+
+class TestResource:
+    def test_fifo_queueing_serialises_holders(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def worker(name, hold):
+            grant = resource.request()
+            yield grant
+            order.append((name, env.now))
+            yield env.timeout(hold)
+            resource.release()
+
+        env.process(worker("a", 5))
+        env.process(worker("b", 5))
+        env.process(worker("c", 5))
+        env.run()
+        assert order == [("a", 0), ("b", 5), ("c", 10)]
+
+    def test_capacity_two_allows_two_concurrent(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        starts = []
+
+        def worker(name):
+            yield resource.request()
+            starts.append((name, env.now))
+            yield env.timeout(10)
+            resource.release()
+
+        for name in "abc":
+            env.process(worker(name))
+        env.run()
+        assert starts == [("a", 0), ("b", 0), ("c", 10)]
+
+    def test_release_without_request_rejected(self):
+        env = Environment()
+        resource = Resource(env)
+        with pytest.raises(RuntimeError):
+            resource.release()
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+
+class TestServiceStation:
+    def test_serve_accumulates_busy_time_and_jobs(self):
+        env = Environment()
+        station = ServiceStation(env, "svc")
+
+        def client():
+            yield from station.serve(2.0, nbytes=100)
+
+        env.process(client())
+        env.process(client())
+        env.run()
+        assert station.jobs_served == 2
+        assert station.busy_time == pytest.approx(4.0)
+        assert station.bytes_served == 200
+        assert env.now == pytest.approx(4.0)  # capacity 1 -> serialised
+
+    def test_utilization(self):
+        env = Environment()
+        station = ServiceStation(env, "svc")
+
+        def client():
+            yield from station.serve(3.0)
+            yield env.timeout(3.0)
+
+        env.process(client())
+        env.run()
+        assert station.utilization() == pytest.approx(0.5)
+
+
+class TestNetworkModel:
+    def test_transfer_time_scales_with_size(self):
+        model = NetworkModel(bandwidth=100.0)
+        assert model.transfer_time(200) == pytest.approx(2.0)
+
+    def test_send_to_charges_both_nics_and_latency(self):
+        env = Environment()
+        model = NetworkModel(bandwidth=100.0, latency=1.0)
+        a = SimNode(env, "a", model)
+        b = SimNode(env, "b", model)
+
+        def transfer():
+            yield from a.send_to(b, 100)
+
+        env.process(transfer())
+        env.run()
+        # 1s uplink serialisation + 1s latency + 1s downlink serialisation.
+        assert env.now == pytest.approx(3.0)
+        assert a.uplink.bytes_served == 100
+        assert b.downlink.bytes_served == 100
+
+    def test_concurrent_transfers_to_one_node_queue_at_its_downlink(self):
+        env = Environment()
+        model = NetworkModel(bandwidth=100.0, latency=0.0)
+        target = SimNode(env, "target", model)
+        senders = [SimNode(env, f"s{i}", model) for i in range(4)]
+
+        def transfer(sender):
+            yield from sender.send_to(target, 100)
+
+        for sender in senders:
+            env.process(transfer(sender))
+        env.run()
+        # Uplinks run in parallel (1s), then the shared downlink serialises 4s.
+        assert env.now == pytest.approx(5.0)
+
+    def test_rpc_includes_service_time(self):
+        env = Environment()
+        model = NetworkModel(bandwidth=1e6, latency=0.0, rpc_overhead=0.5)
+        client = SimNode(env, "c", model)
+        server = SimNode(env, "s", model)
+
+        def call():
+            yield from client.rpc(server, request_bytes=0, response_bytes=0)
+
+        env.process(call())
+        env.run()
+        assert env.now == pytest.approx(0.5)
+        assert server.cpu.jobs_served == 1
+
+    def test_node_report_fields(self):
+        env = Environment()
+        node = SimNode(env, "n", NetworkModel())
+        report = node.report()
+        assert report["node_id"] == "n" and report["alive"] is True

@@ -1,0 +1,251 @@
+"""Tests for the simulated BlobSeer cluster, protocols and workload drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import BlobSeerConfig, ClientConfig
+from repro.sim import (
+    FailureInjector,
+    FailureModel,
+    NetworkModel,
+    SimulatedBlobSeer,
+    prime_blob,
+    run_concurrent_appenders,
+    run_concurrent_readers,
+    run_concurrent_writers,
+    run_mixed_workload,
+    run_sustained_appends,
+    scheduled_failures,
+)
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def make_cluster(**overrides) -> SimulatedBlobSeer:
+    defaults = dict(num_data_providers=8, num_metadata_providers=4, chunk_size=64 * KB)
+    defaults.update(overrides)
+    return SimulatedBlobSeer(BlobSeerConfig(**defaults))
+
+
+class TestSimulatedWrites:
+    def test_single_append_metrics(self):
+        cluster = make_cluster()
+        blob = cluster.create_blob()
+        result = run_concurrent_appenders(cluster, blob, num_clients=1, append_size=1 * MB)
+        summary = result.metrics.summary("append")
+        assert summary["operations"] == 1
+        assert summary["total_bytes"] == 1 * MB
+        assert 0 < summary["aggregate_throughput_MBps"] < 125  # below NIC speed
+
+    def test_control_plane_matches_functional_semantics(self):
+        cluster = make_cluster()
+        blob = cluster.create_blob()
+        run_concurrent_appenders(cluster, blob, num_clients=4, append_size=256 * KB)
+        vm = cluster.version_manager
+        assert vm.latest_version(blob.blob_id) == 4
+        assert vm.get_snapshot(blob.blob_id).size == 4 * 256 * KB
+        # Chunks really were placed: providers report stored bytes.
+        assert cluster.provider_pool.total_bytes_stored() == 4 * 256 * KB
+
+    def test_metadata_nodes_land_in_the_dht(self):
+        cluster = make_cluster()
+        blob = cluster.create_blob()
+        run_concurrent_appenders(cluster, blob, num_clients=2, append_size=512 * KB)
+        load = cluster.metadata_load()
+        assert sum(load.values()) > 0
+        assert len(load) == 4
+
+    def test_appender_throughput_scales_with_clients(self):
+        def aggregate(clients):
+            cluster = make_cluster(num_data_providers=32)
+            blob = cluster.create_blob()
+            result = run_concurrent_appenders(cluster, blob, clients, append_size=2 * MB)
+            return result.metrics.aggregate_throughput("append")
+
+        assert aggregate(8) > 3.0 * aggregate(1)
+
+    def test_disjoint_writers(self):
+        cluster = make_cluster()
+        blob = cluster.create_blob()
+        prime_blob(cluster, blob, 8 * MB)
+        result = run_concurrent_writers(
+            cluster, blob, num_clients=4, write_size=1 * MB, disjoint=True
+        )
+        assert result.metrics.success_rate("write") == 1.0
+        assert cluster.version_manager.latest_version(blob.blob_id) > 0
+
+    def test_locked_writers_serialise(self):
+        """The lock-based baseline must be slower than versioning when
+        several writers hit the same blob."""
+        def run(use_locks):
+            cluster = make_cluster(num_data_providers=16)
+            blob = cluster.create_blob()
+            prime_blob(cluster, blob, 8 * MB)
+            result = run_concurrent_writers(
+                cluster, blob, num_clients=8, write_size=1 * MB, use_locks=use_locks
+            )
+            return result.metrics.aggregate_throughput("write")
+
+        assert run(False) > 1.5 * run(True)
+
+
+class TestSimulatedReads:
+    def test_read_after_prime_succeeds(self):
+        cluster = make_cluster()
+        blob = cluster.create_blob()
+        prime_blob(cluster, blob, 4 * MB)
+        result = run_concurrent_readers(cluster, blob, num_clients=4, read_size=1 * MB)
+        assert result.metrics.success_rate("read") == 1.0
+        assert result.metrics.total_bytes("read") == 4 * MB
+
+    def test_metadata_cache_reduces_metadata_traffic(self):
+        def meta_gets(cache_enabled):
+            client_config = ClientConfig(metadata_cache=cache_enabled)
+            cluster = SimulatedBlobSeer(
+                BlobSeerConfig(
+                    num_data_providers=8,
+                    num_metadata_providers=4,
+                    chunk_size=64 * KB,
+                    client=client_config,
+                )
+            )
+            blob = cluster.create_blob()
+            prime_blob(cluster, blob, 2 * MB)
+            # The same client reads the same range repeatedly (supernovae pattern).
+            client = cluster.client()
+
+            def loop():
+                for _ in range(5):
+                    yield from client.read(blob, 0, 1 * MB)
+
+            cluster.env.process(loop())
+            cluster.env.run()
+            stats = cluster.metadata_store.access_stats()
+            return sum(s["gets"] for s in stats.values())
+
+        assert meta_gets(True) < meta_gets(False)
+
+    def test_reads_of_old_version_still_served_during_writes(self):
+        cluster = make_cluster()
+        blob = cluster.create_blob()
+        prime_blob(cluster, blob, 2 * MB)
+        pinned = cluster.version_manager.latest_version(blob.blob_id)
+        client = cluster.client()
+        writer = cluster.client()
+
+        outcomes = []
+
+        def reader():
+            nbytes = yield from client.read(blob, 0, 1 * MB, version=pinned)
+            outcomes.append(nbytes)
+
+        def writing():
+            yield from writer.append(blob, 4 * MB)
+
+        cluster.env.process(writing())
+        cluster.env.process(reader())
+        cluster.env.run()
+        assert outcomes == [1 * MB]
+
+
+class TestFailuresInSimulation:
+    def test_scheduled_crash_makes_unreplicated_reads_fail(self):
+        cluster = make_cluster(num_data_providers=4, replication=1)
+        blob = cluster.create_blob()
+        prime_blob(cluster, blob, 2 * MB)
+        victim = cluster.provider_pool.provider_ids[0]
+        scheduled_failures(cluster, [(0.0, "crash", victim)])
+        result = run_concurrent_readers(cluster, blob, num_clients=4, read_size=512 * KB)
+        assert result.metrics.success_rate("read") < 1.0
+        assert not cluster.provider_pool.get(victim).alive
+
+    def test_replication_masks_crashes(self):
+        cluster = make_cluster(num_data_providers=6, replication=3)
+        blob = cluster.create_blob()
+        prime_blob(cluster, blob, 2 * MB)
+        victim = cluster.provider_pool.provider_ids[0]
+        scheduled_failures(cluster, [(0.0, "crash", victim)])
+        result = run_concurrent_readers(cluster, blob, num_clients=4, read_size=512 * KB)
+        assert result.metrics.success_rate("read") == 1.0
+
+    def test_failure_injector_produces_crashes_and_recoveries(self):
+        cluster = make_cluster(num_data_providers=8)
+        blob = cluster.create_blob()
+        injector = FailureInjector(
+            cluster, FailureModel(mean_time_between_failures=0.3, mean_repair_time=0.3, seed=3)
+        )
+        injector.start(horizon=6.0)
+        run_sustained_appends(cluster, blob, num_clients=2, append_size=1 * MB, duration=6.0)
+        assert injector.crash_count() > 0
+        actions = {action for _, action, _ in cluster.failure_log}
+        assert "crash" in actions and "recover" in actions
+        downtime = injector.downtime_per_provider(6.0)
+        assert all(value >= 0 for value in downtime.values())
+
+    def test_min_live_providers_respected(self):
+        cluster = make_cluster(num_data_providers=2)
+        injector = FailureInjector(
+            cluster,
+            FailureModel(
+                mean_time_between_failures=0.01,
+                mean_repair_time=100.0,
+                min_live_providers=1,
+                seed=1,
+            ),
+        )
+        injector.start(horizon=2.0)
+        blob = cluster.create_blob()
+        run_sustained_appends(cluster, blob, num_clients=1, append_size=512 * KB, duration=2.0)
+        assert len(cluster.live_data_providers()) >= 1
+
+
+class TestHeadlineShapes:
+    """Coarse sanity checks of the experiment shapes; the full sweeps live in
+    benchmarks/ (these keep the properties guarded by the fast test suite)."""
+
+    def test_decentralized_metadata_beats_centralized_under_concurrency(self):
+        model = NetworkModel(metadata_service=0.5e-3)
+
+        def throughput(meta_providers):
+            cluster = SimulatedBlobSeer(
+                BlobSeerConfig(
+                    num_data_providers=32,
+                    num_metadata_providers=meta_providers,
+                    chunk_size=256 * KB,
+                ),
+                model=model,
+            )
+            blob = cluster.create_blob()
+            result = run_concurrent_appenders(cluster, blob, num_clients=32, append_size=4 * MB)
+            return result.metrics.aggregate_throughput("append")
+
+        assert throughput(16) > 2.0 * throughput(1)
+
+    def test_striping_more_providers_increases_throughput(self):
+        def throughput(providers):
+            cluster = SimulatedBlobSeer(
+                BlobSeerConfig(
+                    num_data_providers=providers,
+                    num_metadata_providers=8,
+                    chunk_size=256 * KB,
+                )
+            )
+            blob = cluster.create_blob()
+            result = run_concurrent_appenders(cluster, blob, num_clients=16, append_size=2 * MB)
+            return result.metrics.aggregate_throughput("append")
+
+        assert throughput(16) > 1.5 * throughput(2)
+
+    def test_mixed_workload_versioning_beats_locking(self):
+        def throughput(use_locks):
+            cluster = make_cluster(num_data_providers=16)
+            blob = cluster.create_blob()
+            prime_blob(cluster, blob, 8 * MB)
+            result = run_mixed_workload(
+                cluster, blob, num_readers=6, num_writers=6, op_size=1 * MB, use_locks=use_locks
+            )
+            return result.metrics.aggregate_throughput()
+
+        assert throughput(False) > throughput(True)

@@ -1,0 +1,205 @@
+"""Tests for the chunk storage backends (RAM, persistent, cached)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ChunkNotFoundError
+from repro.core.types import ChunkKey
+from repro.storage import (
+    CachedChunkStore,
+    LRUByteCache,
+    MemoryChunkStore,
+    PersistentChunkStore,
+)
+
+
+def key(i: int, offset: int = 0) -> ChunkKey:
+    return ChunkKey(blob_id=1, write_id=i, offset=offset)
+
+
+class TestMemoryChunkStore:
+    def test_roundtrip(self):
+        store = MemoryChunkStore()
+        store.put(key(1), b"hello")
+        assert store.get(key(1)) == b"hello"
+        assert store.bytes_stored == 5
+        assert len(store) == 1
+
+    def test_missing_chunk_raises(self):
+        with pytest.raises(ChunkNotFoundError):
+            MemoryChunkStore().get(key(9))
+
+    def test_idempotent_identical_put(self):
+        store = MemoryChunkStore()
+        store.put(key(1), b"same")
+        store.put(key(1), b"same")
+        assert store.bytes_stored == 4
+
+    def test_conflicting_put_rejected(self):
+        store = MemoryChunkStore()
+        store.put(key(1), b"one")
+        with pytest.raises(ValueError):
+            store.put(key(1), b"two")
+
+    def test_delete_updates_accounting(self):
+        store = MemoryChunkStore()
+        store.put(key(1), b"12345")
+        assert store.delete(key(1)) is True
+        assert store.bytes_stored == 0
+        assert store.delete(key(1)) is False
+
+    def test_non_bytes_payload_rejected(self):
+        with pytest.raises(TypeError):
+            MemoryChunkStore().put(key(1), "not-bytes")  # type: ignore[arg-type]
+
+    def test_clear(self):
+        store = MemoryChunkStore()
+        store.put(key(1), b"x")
+        store.clear()
+        assert len(store) == 0 and store.bytes_stored == 0
+
+
+class TestPersistentChunkStore:
+    def test_roundtrip_and_len(self, tmp_path):
+        with PersistentChunkStore(tmp_path) as store:
+            store.put(key(1), b"abc")
+            store.put(key(2, offset=64), b"defg")
+            assert store.get(key(1)) == b"abc"
+            assert store.get(key(2, offset=64)) == b"defg"
+            assert len(store) == 2
+            assert store.bytes_stored == 7
+
+    def test_recovery_after_close(self, tmp_path):
+        with PersistentChunkStore(tmp_path) as store:
+            store.put(key(1), b"persisted")
+        reopened = PersistentChunkStore(tmp_path)
+        try:
+            assert reopened.get(key(1)) == b"persisted"
+        finally:
+            reopened.close()
+
+    def test_recovery_without_index_file_replays_log(self, tmp_path):
+        store = PersistentChunkStore(tmp_path, sync_every=0)
+        store.put(key(1), b"only-in-log")
+        store._log.flush()
+        # Simulate a crash: no close(), no index snapshot.
+        (tmp_path / PersistentChunkStore.INDEX_NAME).unlink(missing_ok=True)
+        recovered = PersistentChunkStore(tmp_path)
+        try:
+            assert recovered.get(key(1)) == b"only-in-log"
+        finally:
+            recovered.close()
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        with PersistentChunkStore(tmp_path) as store:
+            store.put(key(1), b"good")
+        # Append garbage that looks like a truncated record.
+        with open(tmp_path / PersistentChunkStore.LOG_NAME, "ab") as fh:
+            fh.write(b"\x00" * 10)
+        recovered = PersistentChunkStore(tmp_path)
+        try:
+            assert recovered.get(key(1)) == b"good"
+            assert len(recovered) == 1
+        finally:
+            recovered.close()
+
+    def test_conflicting_put_rejected(self, tmp_path):
+        with PersistentChunkStore(tmp_path) as store:
+            store.put(key(1), b"one")
+            with pytest.raises(ValueError):
+                store.put(key(1), b"two")
+
+    def test_delete_and_compact_reclaims_space(self, tmp_path):
+        with PersistentChunkStore(tmp_path) as store:
+            store.put(key(1), b"a" * 1000)
+            store.put(key(2), b"b" * 10)
+            assert store.delete(key(1))
+            reclaimed = store.compact()
+            assert reclaimed >= 1000
+            assert store.get(key(2)) == b"b" * 10
+            with pytest.raises(ChunkNotFoundError):
+                store.get(key(1))
+
+    @settings(max_examples=20, deadline=None)
+    @given(payloads=st.lists(st.binary(min_size=1, max_size=200), min_size=1, max_size=20))
+    def test_random_payload_roundtrip(self, tmp_path_factory, payloads):
+        root = tmp_path_factory.mktemp("pstore")
+        with PersistentChunkStore(root) as store:
+            for i, payload in enumerate(payloads):
+                store.put(key(i), payload)
+            for i, payload in enumerate(payloads):
+                assert store.get(key(i)) == payload
+
+
+class TestLRUByteCache:
+    def test_hit_miss_accounting(self):
+        cache = LRUByteCache(100)
+        cache.put(key(1), b"x" * 10)
+        assert cache.get(key(1)) == b"x" * 10
+        assert cache.get(key(2)) is None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_is_lru_ordered(self):
+        cache = LRUByteCache(30)
+        cache.put(key(1), b"a" * 10)
+        cache.put(key(2), b"b" * 10)
+        cache.put(key(3), b"c" * 10)
+        cache.get(key(1))  # touch 1 so 2 becomes the LRU
+        cache.put(key(4), b"d" * 10)
+        assert cache.get(key(2)) is None
+        assert cache.get(key(1)) is not None
+        assert cache.evictions == 1
+
+    def test_oversized_entry_not_cached(self):
+        cache = LRUByteCache(10)
+        cache.put(key(1), b"z" * 50)
+        assert cache.get(key(1)) is None
+
+    def test_invalidate(self):
+        cache = LRUByteCache(100)
+        cache.put(key(1), b"abc")
+        cache.invalidate(key(1))
+        assert cache.get(key(1)) is None
+        assert cache.bytes_cached == 0
+
+
+class TestCachedChunkStore:
+    def test_reads_hit_cache_after_first_fetch(self):
+        backend = MemoryChunkStore()
+        store = CachedChunkStore(backend, cache_capacity_bytes=1024)
+        store.put(key(1), b"payload")
+        # Reading twice: the second read must come from the cache.
+        assert store.get(key(1)) == b"payload"
+        assert store.get(key(1)) == b"payload"
+        assert store.cache.hits >= 1
+
+    def test_write_through_to_backend(self):
+        backend = MemoryChunkStore()
+        store = CachedChunkStore(backend, cache_capacity_bytes=1024)
+        store.put(key(1), b"data")
+        assert backend.get(key(1)) == b"data"
+
+    def test_eviction_falls_back_to_backend(self):
+        backend = MemoryChunkStore()
+        store = CachedChunkStore(backend, cache_capacity_bytes=16)
+        store.put(key(1), b"a" * 10)
+        store.put(key(2), b"b" * 10)  # evicts key(1) from the cache
+        assert store.get(key(1)) == b"a" * 10  # still served via the backend
+
+    def test_delete_invalidates_cache(self):
+        backend = MemoryChunkStore()
+        store = CachedChunkStore(backend, cache_capacity_bytes=1024)
+        store.put(key(1), b"abc")
+        assert store.delete(key(1))
+        assert not store.contains(key(1))
+
+    def test_len_and_bytes_delegate_to_backend(self):
+        backend = MemoryChunkStore()
+        store = CachedChunkStore(backend, cache_capacity_bytes=1024)
+        store.put(key(1), b"abcd")
+        assert len(store) == 1
+        assert store.bytes_stored == 4
+        assert store.keys() == [key(1)]

@@ -1,0 +1,189 @@
+"""Tests for the version manager: assignment, publication order, recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    BlobNotFoundError,
+    CommitError,
+    InvalidRangeError,
+    VersionNotFoundError,
+)
+from repro.core.version_manager import VersionManager, WriteState
+
+
+@pytest.fixture
+def vm() -> VersionManager:
+    return VersionManager()
+
+
+@pytest.fixture
+def blob_id(vm) -> int:
+    return vm.create_blob(chunk_size=64).blob_id
+
+
+class TestBlobLifecycle:
+    def test_create_blob_assigns_increasing_ids(self, vm):
+        a = vm.create_blob()
+        b = vm.create_blob()
+        assert b.blob_id == a.blob_id + 1
+        assert vm.blob_ids() == [a.blob_id, b.blob_id]
+
+    def test_blob_info_roundtrip(self, vm):
+        info = vm.create_blob(chunk_size=128, replication=2)
+        assert vm.blob_info(info.blob_id) == info
+
+    def test_unknown_blob_raises(self, vm):
+        with pytest.raises(BlobNotFoundError):
+            vm.blob_info(999)
+
+    def test_invalid_parameters_rejected(self, vm):
+        with pytest.raises(InvalidRangeError):
+            vm.create_blob(chunk_size=0)
+        with pytest.raises(InvalidRangeError):
+            vm.create_blob(replication=0)
+
+    def test_initial_snapshot_is_empty_version_zero(self, vm, blob_id):
+        snapshot = vm.get_snapshot(blob_id)
+        assert snapshot.version == 0 and snapshot.size == 0 and snapshot.root is None
+
+
+class TestRegistration:
+    def test_versions_assigned_sequentially(self, vm, blob_id):
+        t1 = vm.register_write(blob_id, 0, 10)
+        t2 = vm.register_write(blob_id, 0, 10)
+        assert (t1.version, t2.version) == (1, 2)
+
+    def test_write_layered_on_latest_assigned_size(self, vm, blob_id):
+        vm.register_append(blob_id, 100)          # v1 (pending), size 100
+        ticket = vm.register_write(blob_id, 50, 10)
+        assert ticket.base_blob_size == 100
+        assert ticket.new_blob_size == 100
+
+    def test_write_extending_the_end_grows_size(self, vm, blob_id):
+        vm.register_append(blob_id, 100)
+        ticket = vm.register_write(blob_id, 90, 50)
+        assert ticket.new_blob_size == 140
+
+    def test_write_beyond_end_rejected(self, vm, blob_id):
+        with pytest.raises(InvalidRangeError):
+            vm.register_write(blob_id, 10, 5)  # blob is still empty
+
+    def test_append_offsets_never_collide(self, vm, blob_id):
+        t1 = vm.register_append(blob_id, 30)
+        t2 = vm.register_append(blob_id, 20)
+        assert t1.offset == 0 and t2.offset == 30
+        assert t2.new_blob_size == 50
+
+    def test_zero_size_rejected(self, vm, blob_id):
+        with pytest.raises(InvalidRangeError):
+            vm.register_write(blob_id, 0, 0)
+        with pytest.raises(InvalidRangeError):
+            vm.register_append(blob_id, 0)
+
+
+class TestPublication:
+    def test_publish_advances_frontier(self, vm, blob_id):
+        ticket = vm.register_append(blob_id, 10)
+        assert vm.latest_version(blob_id) == 0
+        frontier = vm.publish(blob_id, ticket.version)
+        assert frontier == 1
+        assert vm.latest_version(blob_id) == 1
+
+    def test_out_of_order_publish_waits_for_earlier_versions(self, vm, blob_id):
+        t1 = vm.register_append(blob_id, 10)
+        t2 = vm.register_append(blob_id, 10)
+        assert vm.publish(blob_id, t2.version) == 0   # v1 still pending
+        assert vm.latest_version(blob_id) == 0
+        assert vm.publish(blob_id, t1.version) == 2   # both become visible
+        assert vm.latest_version(blob_id) == 2
+
+    def test_snapshot_reflects_published_size_only(self, vm, blob_id):
+        t1 = vm.register_append(blob_id, 10)
+        vm.register_append(blob_id, 10)  # t2 never published
+        vm.publish(blob_id, t1.version)
+        assert vm.get_snapshot(blob_id).size == 10
+
+    def test_reading_unpublished_version_rejected(self, vm, blob_id):
+        vm.register_append(blob_id, 10)
+        with pytest.raises(VersionNotFoundError):
+            vm.get_snapshot(blob_id, 1)
+
+    def test_snapshot_of_old_version(self, vm, blob_id):
+        t1 = vm.register_append(blob_id, 10)
+        t2 = vm.register_append(blob_id, 20)
+        vm.publish(blob_id, t1.version)
+        vm.publish(blob_id, t2.version)
+        assert vm.get_snapshot(blob_id, 1).size == 10
+        assert vm.get_snapshot(blob_id, 2).size == 30
+
+    def test_publish_unknown_version_rejected(self, vm, blob_id):
+        with pytest.raises(VersionNotFoundError):
+            vm.publish(blob_id, 5)
+
+    def test_publish_is_idempotent(self, vm, blob_id):
+        ticket = vm.register_append(blob_id, 10)
+        vm.publish(blob_id, ticket.version)
+        assert vm.publish(blob_id, ticket.version) == 1
+
+    def test_counters(self, vm, blob_id):
+        t1 = vm.register_append(blob_id, 10)
+        vm.publish(blob_id, t1.version)
+        assert vm.writes_registered == 1
+        assert vm.versions_published == 1
+
+
+class TestHistory:
+    def test_history_includes_pending_versions(self, vm, blob_id):
+        vm.register_append(blob_id, 10)
+        vm.register_write(blob_id, 0, 5)
+        history = vm.get_history(blob_id, 2)
+        assert [(r.version, r.offset, r.size) for r in history] == [(1, 0, 10), (2, 0, 5)]
+
+    def test_history_upto_clips(self, vm, blob_id):
+        vm.register_append(blob_id, 10)
+        vm.register_append(blob_id, 10)
+        assert len(vm.get_history(blob_id, 1)) == 1
+        assert len(vm.get_history(blob_id, 99)) == 2
+
+    def test_pending_versions_listing(self, vm, blob_id):
+        t1 = vm.register_append(blob_id, 10)
+        t2 = vm.register_append(blob_id, 10)
+        assert vm.pending_versions(blob_id) == [1, 2]
+        vm.publish(blob_id, t1.version)
+        assert vm.pending_versions(blob_id) == [2]
+
+
+class TestAbortAndRepair:
+    def test_abort_blocks_frontier_until_repair(self, vm, blob_id):
+        t1 = vm.register_append(blob_id, 10)
+        t2 = vm.register_append(blob_id, 10)
+        vm.abort(blob_id, t1.version)
+        vm.publish(blob_id, t2.version)
+        assert vm.latest_version(blob_id) == 0
+        vm.mark_repaired(blob_id, t1.version)
+        assert vm.latest_version(blob_id) == 2
+
+    def test_aborted_version_cannot_publish(self, vm, blob_id):
+        ticket = vm.register_append(blob_id, 10)
+        vm.abort(blob_id, ticket.version)
+        with pytest.raises(CommitError):
+            vm.publish(blob_id, ticket.version)
+
+    def test_published_version_cannot_abort(self, vm, blob_id):
+        ticket = vm.register_append(blob_id, 10)
+        vm.publish(blob_id, ticket.version)
+        with pytest.raises(CommitError):
+            vm.abort(blob_id, ticket.version)
+
+    def test_mark_repaired_requires_aborted_state(self, vm, blob_id):
+        ticket = vm.register_append(blob_id, 10)
+        with pytest.raises(CommitError):
+            vm.mark_repaired(blob_id, ticket.version)
+
+    def test_aborted_versions_listing(self, vm, blob_id):
+        t1 = vm.register_append(blob_id, 10)
+        vm.abort(blob_id, t1.version)
+        assert vm.aborted_versions(blob_id) == [1]
+        assert vm.version_state(blob_id, 1) == WriteState.ABORTED

@@ -1,0 +1,147 @@
+"""Tests for workload generators, access patterns and the bench harness."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench import Experiment, ResultTable, speedup, sweep
+from repro.workloads import (
+    access_log,
+    append_stream,
+    desktop_grid_output,
+    detect_transients,
+    disjoint_partitions,
+    hotspot,
+    mapreduce_phases,
+    random_fine_grain,
+    random_text,
+    sequential_scan,
+    sky_image,
+    sky_survey,
+)
+
+
+class TestGenerators:
+    def test_random_text_size_and_determinism(self):
+        a = random_text(5000, seed=1)
+        b = random_text(5000, seed=1)
+        c = random_text(5000, seed=2)
+        assert len(a) == 5000 and a == b and a != c
+        assert b"\n" in a
+
+    def test_random_text_empty(self):
+        assert random_text(0) == b""
+
+    def test_access_log_has_one_record_per_line(self):
+        log = access_log(100, seed=3)
+        lines = log.split(b"\n")
+        assert len(lines) == 100
+        assert all(b"HTTP/1.1" in line for line in lines)
+
+    def test_sky_image_with_transient_is_detectable(self):
+        tile = sky_image(32, 32, transients=1, seed=7)
+        detections = detect_transients(tile)
+        assert tile.transient_positions[0] in detections
+
+    def test_sky_image_without_transient_has_no_detection(self):
+        tile = sky_image(32, 32, transients=0, seed=7)
+        assert detect_transients(tile) == []
+
+    def test_sky_survey_fraction(self):
+        tiles = sky_survey(100, transient_fraction=0.3, seed=1)
+        with_transient = sum(1 for t in tiles if t.transient_positions)
+        assert 10 < with_transient < 60
+        assert all(t.nbytes == 64 * 64 * 4 for t in tiles)
+
+
+class TestAccessPatterns:
+    def test_sequential_scan_covers_everything_once(self):
+        ops = sequential_scan(1000, 300)
+        assert [op.offset for op in ops] == [0, 300, 600, 900]
+        assert sum(op.size for op in ops) == 1000
+
+    def test_disjoint_partitions_cover_and_do_not_overlap(self):
+        parts = [disjoint_partitions(1003, 4, i) for i in range(4)]
+        assert parts[0].offset == 0
+        assert sum(p.size for p in parts) == 1003
+        for a, b in zip(parts, parts[1:]):
+            assert a.offset + a.size == b.offset
+
+    def test_disjoint_partition_validation(self):
+        with pytest.raises(ValueError):
+            disjoint_partitions(100, 0, 0)
+        with pytest.raises(ValueError):
+            disjoint_partitions(100, 4, 9)
+
+    @given(
+        total=st.integers(min_value=100, max_value=100_000),
+        request=st.integers(min_value=1, max_value=100),
+        count=st.integers(min_value=1, max_value=50),
+    )
+    def test_random_fine_grain_stays_in_bounds(self, total, request, count):
+        ops = random_fine_grain(total, request, count, seed=1)
+        assert len(ops) == count
+        assert all(0 <= op.offset and op.offset + op.size <= total for op in ops)
+
+    def test_hotspot_concentrates_accesses(self):
+        ops = hotspot(100_000, 100, 500, hotspot_fraction=0.1, hotspot_probability=0.9, seed=4)
+        in_hot = sum(1 for op in ops if op.offset < 10_000)
+        assert in_hot > 350
+
+    def test_append_stream(self):
+        ops = append_stream(128, 10)
+        assert len(ops) == 10 and all(op.kind == "append" and op.size == 128 for op in ops)
+
+    def test_desktop_grid_output_stays_in_region(self):
+        ops = desktop_grid_output(region_size=1000, num_tasks=4, task_index=2, writes_per_task=20)
+        assert all(2000 <= op.offset and op.offset + op.size <= 3000 for op in ops)
+        assert all(op.kind == "write" for op in ops)
+
+    def test_mapreduce_phases(self):
+        reads, appends = mapreduce_phases(10_000, 4, 500, 2)
+        assert len(reads) == 4 and len(appends) == 2
+        assert sum(op.size for op in reads) == 10_000
+
+
+class TestBenchHarness:
+    def test_result_table_formatting(self):
+        table = ResultTable("demo", ["clients", "throughput"])
+        table.add(clients=1, throughput=10.0)
+        table.add(clients=2, throughput=19.5)
+        text = table.to_text()
+        assert "demo" in text and "clients" in text
+        markdown = table.to_markdown()
+        assert markdown.count("|") > 4
+        assert table.column("clients") == [1, 2]
+
+    def test_monotonic_check(self):
+        table = ResultTable("t", ["x", "y"])
+        for x, y in [(1, 10), (2, 20), (4, 35)]:
+            table.add(x=x, y=y)
+        assert table.monotonic_increasing("y")
+        table.add(x=8, y=5)
+        assert not table.monotonic_increasing("y")
+        assert table.monotonic_increasing("y", tolerance=1.0)
+
+    def test_save_json(self, tmp_path):
+        table = ResultTable("t", ["a"])
+        table.add(a=1)
+        path = tmp_path / "out.json"
+        table.save_json(path)
+        assert "rows" in path.read_text()
+
+    def test_experiment_and_sweep(self):
+        experiment = Experiment(
+            experiment_id="toy",
+            description="square the input",
+            run=lambda value, scale=1: {"result": value * value * scale},
+        )
+        rows = sweep(experiment, {"value": [1, 2, 3]}, fixed={"scale": 2})
+        assert [row["result"] for row in rows] == [2, 8, 18]
+        assert all("wall_seconds" in row and row["value"] in (1, 2, 3) for row in rows)
+
+    def test_speedup_normalisation(self):
+        rows = [{"v": 10.0}, {"v": 20.0}, {"v": 40.0}]
+        assert speedup(rows, "v") == [1.0, 2.0, 4.0]
