@@ -36,24 +36,46 @@ Quickstart::
 """
 
 from .core import (
+    AppendOp,
+    Batch,
     Blob,
     BlobSeerClient,
     BlobSeerConfig,
     BlobSeerDeployment,
+    BlobSession,
     ClientConfig,
     DEFAULT_CHUNK_SIZE,
+    DirectTransport,
+    OpFuture,
+    OpResult,
+    OpStatus,
+    ReadOp,
+    SimTransport,
+    Transport,
+    WriteOp,
 )
 from .core import errors
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AppendOp",
+    "Batch",
     "Blob",
     "BlobSeerClient",
     "BlobSeerConfig",
     "BlobSeerDeployment",
+    "BlobSession",
     "ClientConfig",
     "DEFAULT_CHUNK_SIZE",
+    "DirectTransport",
+    "OpFuture",
+    "OpResult",
+    "OpStatus",
+    "ReadOp",
+    "SimTransport",
+    "Transport",
+    "WriteOp",
     "errors",
     "__version__",
 ]

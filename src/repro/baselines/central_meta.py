@@ -30,6 +30,7 @@ from ..core.data_provider import ProviderPool
 from ..core.errors import BlobNotFoundError, InvalidRangeError
 from ..core.interval import Interval
 from ..core.provider_manager import make_strategy
+from ..core.transport import parallel_map
 from ..core.types import ChunkKey
 
 
@@ -217,3 +218,30 @@ class CentralMetaBlobStore:
             payload = self.pool.read_chunk(list(entry.providers), entry.key)
             fragments.append((index * chunk_size, payload))
         return reassemble(target, fragments)
+
+    # -- vectored interface (API parity with the batched BlobSeer client) ---------------
+    def read_many(self, requests: List[Tuple[int, int, int]]) -> List[bytes]:
+        """Read several ``(blob_id, offset, size)`` ranges, fanned out together.
+
+        Chunk fetches parallelise fine in this design too — but every
+        request still serialises on the central metadata server's lock for
+        its table lookup, which is the contention the comparison
+        experiments isolate.
+        """
+        return parallel_map(
+            [
+                (lambda blob_id=blob_id, offset=offset, size=size: self.read(blob_id, offset, size))
+                for blob_id, offset, size in requests
+            ]
+        )
+
+    def write_many(self, edits: List[Tuple[int, int, bytes]]) -> None:
+        """Apply several ``(blob_id, offset, data)`` writes.
+
+        Unlike the BlobSeer batch API there is nothing to pipeline: each
+        write holds the metadata server's lock for its table update and
+        read-modify-writes shared chunks, so batched writes degenerate to
+        the sequential loop (last writer wins per chunk, as always here).
+        """
+        for blob_id, offset, data in edits:
+            self.write(blob_id, offset, data)

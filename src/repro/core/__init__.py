@@ -6,8 +6,20 @@ instance from a :class:`BlobSeerConfig`) and the :class:`BlobSeerClient` /
 """
 
 from .config import BlobSeerConfig, ClientConfig, DEFAULT_CHUNK_SIZE
-from .client import Blob, BlobSeerClient
+from .client import Batch, Blob, BlobSeerClient, BlobSession
 from .deployment import BlobSeerDeployment
+from .ops import (
+    AppendOp,
+    Op,
+    OpFuture,
+    OpKind,
+    OpResult,
+    OpStatus,
+    OpTiming,
+    ReadOp,
+    WriteOp,
+)
+from .transport import DirectTransport, SimTransport, Transport
 from .data_provider import DataProvider, ProviderPool
 from .provider_manager import (
     LoadAwareStrategy,
@@ -33,28 +45,42 @@ from .types import (
 from . import errors
 
 __all__ = [
+    "AppendOp",
+    "Batch",
     "Blob",
     "BlobId",
     "BlobInfo",
     "BlobSeerClient",
     "BlobSeerConfig",
     "BlobSeerDeployment",
+    "BlobSession",
     "ChunkDescriptor",
     "ChunkKey",
     "ClientConfig",
     "DEFAULT_CHUNK_SIZE",
     "DataProvider",
+    "DirectTransport",
     "LoadAwareStrategy",
     "NodeKey",
+    "Op",
+    "OpFuture",
+    "OpKind",
+    "OpResult",
+    "OpStatus",
+    "OpTiming",
     "PlacementStrategy",
     "ProviderManager",
     "ProviderPool",
     "ProviderStats",
     "RandomStrategy",
+    "ReadOp",
     "RoundRobinStrategy",
+    "SimTransport",
     "SnapshotInfo",
+    "Transport",
     "Version",
     "VersionManager",
+    "WriteOp",
     "WritePlan",
     "WriteState",
     "WriteTicket",

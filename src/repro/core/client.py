@@ -21,11 +21,31 @@ Write protocol (mirrors the paper / companion papers):
 
 Appends differ only in that step 3 happens first, because the append offset
 is only known once the version manager assigns it atomically.
+
+Since the batch redesign, operations are values (:mod:`repro.core.ops`) and
+the client executes them in **batches** over a pluggable
+:class:`~repro.core.transport.Transport`:
+
+* :meth:`BlobSeerClient.batch` collects any mix of reads, writes and
+  appends; ``submit()`` runs steps 1-2 of *every* write in the batch (and
+  the fragment fetches of every read) fanned out together through the
+  transport, takes the version assignments in submission order in one
+  serialised round (step 3 stays the only serialised point), then weaves
+  and publishes the metadata of all operations (steps 4-5) with their
+  DHT traffic overlapped;
+* the classic single-operation methods (:meth:`read`, :meth:`write`,
+  :meth:`append`) are thin wrappers over one-operation batches, so their
+  signatures, return values, raised exceptions and side effects are
+  unchanged;
+* failures are isolated per operation: a batch containing a failing write
+  still completes its other operations, and the failure is reported on
+  that operation's :class:`~repro.core.ops.OpResult` rather than raised
+  globally (the wrappers re-raise, preserving the old behaviour).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .chunking import reassemble, split_payload
 from .config import ClientConfig
@@ -34,15 +54,87 @@ from .interval import Interval
 from .metadata.cache import MetadataCache, PassthroughMetadataStore
 from .metadata.segment_tree import SegmentTreeBuilder, SegmentTreeReader, WriteRecord
 from .metadata.tree_node import Fragment
+from .ops import (
+    AppendOp,
+    Op,
+    OpFuture,
+    OpResult,
+    OpStatus,
+    OpTiming,
+    ReadOp,
+    WriteOp,
+)
+from .transport import ChunkFetch, ChunkPush, DirectTransport, Transport
 from .types import BlobId, BlobInfo, ChunkKey, SnapshotInfo, Version, WriteTicket
+
+
+class _Pending:
+    """Mutable per-operation state while a batch executes."""
+
+    __slots__ = (
+        "index",
+        "op",
+        "error",
+        "info",
+        "snapshot",
+        "target",
+        "ticket",
+        "write_id",
+        "plan",
+        "push_jobs",
+        "fetch_jobs",
+        "fragments",
+        "read_fragments",
+        "data",
+        "needs_repair",
+        "finished",
+        "transfer_seconds",
+        "metadata_seconds",
+        "fragment_fetch_seconds",
+    )
+
+    def __init__(self, index: int, op: Op) -> None:
+        self.index = index
+        self.op = op
+        self.error: Optional[BaseException] = None
+        self.info: Optional[BlobInfo] = None
+        self.snapshot: Optional[SnapshotInfo] = None
+        self.target: Optional[Interval] = None
+        self.ticket: Optional[WriteTicket] = None
+        self.write_id: Optional[int] = None
+        self.plan = None
+        self.push_jobs: List[ChunkPush] = []
+        self.fetch_jobs: List[ChunkFetch] = []
+        self.fragments: List[Fragment] = []
+        self.read_fragments: List[Fragment] = []
+        self.data: Optional[bytes] = None
+        self.needs_repair = False
+        self.finished: Optional[float] = None
+        self.transfer_seconds = 0.0
+        self.metadata_seconds = 0.0
+        self.fragment_fetch_seconds: List[float] = []
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 class BlobSeerClient:
     """A client process attached to one BlobSeer deployment."""
 
-    def __init__(self, deployment, client_id: str = "client-000") -> None:
+    def __init__(
+        self,
+        deployment,
+        client_id: str = "client-000",
+        transport: Optional[Transport] = None,
+    ) -> None:
         self._deployment = deployment
         self.client_id = client_id
+        self._transport = (
+            transport
+            if transport is not None
+            else DirectTransport.for_deployment(deployment)
+        )
         client_config: ClientConfig = deployment.config.client
         if client_config.metadata_cache:
             self._metadata = MetadataCache(
@@ -56,6 +148,7 @@ class BlobSeerClient:
             "reads": 0,
             "writes": 0,
             "appends": 0,
+            "batches": 0,
             "bytes_read": 0,
             "bytes_written": 0,
             "metadata_nodes_written": 0,
@@ -92,7 +185,349 @@ class BlobSeerClient:
     def deployment(self):
         return self._deployment
 
-    # -- core operations (used by Blob; also callable directly) ---------------------------
+    @property
+    def transport(self) -> Transport:
+        """The wiring this client's operations travel over."""
+        return self._transport
+
+    # -- batched interface ----------------------------------------------------------------
+    def batch(self) -> "Batch":
+        """Start collecting operations for one pipelined submission."""
+        return Batch(self)
+
+    def session(self) -> "BlobSession":
+        """Open a session: implicit batching with explicit ``flush()``."""
+        return BlobSession(self)
+
+    def submit_ops(self, ops: Sequence[Op]) -> List[OpResult]:
+        """Execute a batch of operations through the transport.
+
+        The protocol phases are pipelined *across* operations:
+
+        1. control-plane setup in submission order — appends take their
+           version tickets (their offset is assigned atomically with the
+           version), writes and appends get placement plans, reads resolve
+           their snapshot and walk the metadata tree;
+        2. the data plane: chunk pushes of every write/append and fragment
+           fetches of every read, all fanned out together;
+        3. version assignment for writes, in submission order, batched into
+           one serialised round per blob (the only serialised step);
+        4. metadata weaving for all new snapshots, DHT traffic overlapped;
+        5. publication in assignment order.
+
+        Failures never escape an operation: each returned
+        :class:`OpResult` carries its own status/error.  Reads observe the
+        published frontier as of submission — a batch's own writes become
+        readable only in later batches.
+        """
+        transport = self._transport
+        started = transport.now()
+        pending = [_Pending(index, op) for index, op in enumerate(ops)]
+
+        self._phase_setup(pending)
+        self._phase_transfer(pending)
+        self._phase_assign_versions(pending)
+        self._phase_weave_and_publish(pending, started)
+
+        self.counters["batches"] += 1
+        results = [self._result_of(p, started) for p in pending]
+        return results
+
+    # -- phase 1: control-plane setup ------------------------------------------------------
+    def _phase_setup(self, pending: List[_Pending]) -> None:
+        vm = self._deployment.version_manager
+        pm = self._deployment.provider_manager
+        transport = self._transport
+        read_rounds: List[Tuple[_Pending, object]] = []
+        # One snapshot resolution per distinct (blob, version) in the batch:
+        # every ``version=None`` read of a blob is pinned to the same
+        # published frontier, so vectored reads are mutually consistent
+        # even under concurrent writers (and the version manager sees one
+        # round trip instead of one per range).
+        snapshots: Dict[Tuple[BlobId, Optional[Version]], SnapshotInfo] = {}
+        for p in pending:
+            op = p.op
+            try:
+                if isinstance(op, ReadOp):
+                    snapshot = snapshots.get((op.blob_id, op.version))
+                    if snapshot is None:
+                        snapshot = transport.control(
+                            "version_manager",
+                            lambda op=op: vm.get_snapshot(op.blob_id, op.version),
+                        )
+                        snapshots[(op.blob_id, op.version)] = snapshot
+                        snapshots[(op.blob_id, snapshot.version)] = snapshot
+                    p.snapshot = snapshot
+                    if op.offset > p.snapshot.size:
+                        raise InvalidRangeError(
+                            f"read offset {op.offset} is beyond the end of snapshot "
+                            f"v{p.snapshot.version} (size {p.snapshot.size})"
+                        )
+                    p.target = Interval.of(op.offset, op.size).intersection(
+                        Interval(0, p.snapshot.size)
+                    )
+                    if p.target.empty:
+                        p.data = b""
+                        continue
+                    reader = SegmentTreeReader(self._metadata, p.snapshot.chunk_size)
+                    snapshot = p.snapshot
+                    target = p.target
+                    fragments, token = transport.record_metadata(
+                        lambda: reader.lookup(snapshot.root, target)
+                    )
+                    self.counters["metadata_nodes_fetched"] += reader.nodes_fetched
+                    p.read_fragments = fragments
+                    read_rounds.append((p, token))
+                    p.fetch_jobs = [
+                        ChunkFetch(p.index, tuple(f.providers), f.key, f.length)
+                        for f in fragments
+                    ]
+                else:
+                    p.info = vm.blob_info(op.blob_id)
+                    if isinstance(op, AppendOp):
+                        # The append offset is assigned atomically with the
+                        # version, so the ticket has to come first (documented
+                        # deviation from the write path).
+                        p.ticket = transport.control(
+                            "version_manager",
+                            lambda op=op: vm.register_append(
+                                op.blob_id, len(op.data), writer=self.client_id
+                            ),
+                        )
+                        offset = p.ticket.offset
+                    else:
+                        offset = op.offset
+                    # Step 1: place and push chunks before taking a version.
+                    p.write_id, p.plan = transport.control(
+                        "provider_manager",
+                        lambda op=op, offset=offset: pm.allocate(
+                            op.blob_id,
+                            offset,
+                            len(op.data),
+                            p.info.chunk_size,
+                            replication=p.info.replication,
+                        ),
+                    )
+                    p.push_jobs = [
+                        ChunkPush(
+                            p.index,
+                            p.plan.providers_for(piece.blob_offset),
+                            ChunkKey(op.blob_id, p.write_id, piece.blob_offset),
+                            piece.data,
+                        )
+                        for piece in split_payload(offset, op.data, p.info.chunk_size)
+                    ]
+            except Exception as exc:
+                self._fail(p, exc)
+        # Charge the metadata lookups of all reads concurrently (levels
+        # within one lookup stay sequential: parents before children).
+        durations = transport.replay_metadata(
+            [token for _, token in read_rounds], leveled=True
+        )
+        for (p, _), elapsed in zip(read_rounds, durations):
+            p.metadata_seconds += elapsed
+
+    # -- phase 2: data plane ---------------------------------------------------------------
+    def _phase_transfer(self, pending: List[_Pending]) -> None:
+        transport = self._transport
+        pushes = [job for p in pending if not p.failed for job in p.push_jobs]
+        fetches = [job for p in pending if not p.failed for job in p.fetch_jobs]
+        push_outcomes, fetch_outcomes = transport.transfer(pushes, fetches)
+
+        for outcome in push_outcomes:
+            p = pending[outcome.job.op_index]
+            p.transfer_seconds = max(p.transfer_seconds, outcome.elapsed)
+            if p.failed:
+                continue
+            if outcome.error is not None:
+                self._fail(p, outcome.error)
+            elif outcome.replicas_stored < 1:
+                self._fail(
+                    p,
+                    ReplicationError(
+                        f"no live replica accepted chunk {outcome.job.key} "
+                        f"(requested providers: {outcome.job.providers})"
+                    ),
+                )
+            else:
+                p.fragments.append(
+                    Fragment(
+                        key=outcome.job.key,
+                        providers=outcome.job.providers,
+                        blob_offset=outcome.job.key.offset,
+                        length=len(outcome.job.data),
+                        chunk_offset=0,
+                    )
+                )
+        for p in pending:
+            if p.plan is not None:
+                self._deployment.provider_manager.complete(p.plan)
+
+        payloads: Dict[int, Dict[ChunkKey, bytes]] = {}
+        for outcome in fetch_outcomes:
+            p = pending[outcome.job.op_index]
+            p.transfer_seconds = max(p.transfer_seconds, outcome.elapsed)
+            p.fragment_fetch_seconds.append(outcome.elapsed)
+            if outcome.error is not None:
+                if not p.failed:
+                    self._fail(p, outcome.error)
+            else:
+                payloads.setdefault(p.index, {})[outcome.job.key] = outcome.payload
+        for p in pending:
+            if p.failed or not isinstance(p.op, ReadOp) or p.target is None:
+                continue
+            if p.target.empty:
+                continue
+            found = payloads.get(p.index, {})
+            pieces: List[Tuple[int, bytes]] = []
+            for fragment in p.read_fragments:
+                payload = found[fragment.key]
+                pieces.append(
+                    (
+                        fragment.blob_offset,
+                        payload[fragment.chunk_offset : fragment.chunk_offset + fragment.length],
+                    )
+                )
+            p.data = reassemble(p.target, pieces)
+            p.finished = self._transport.now()
+            self.counters["reads"] += 1
+            self.counters["bytes_read"] += p.target.size
+
+    # -- phase 3: version assignment (the serialised step) -----------------------------------
+    def _phase_assign_versions(self, pending: List[_Pending]) -> None:
+        vm = self._deployment.version_manager
+        transport = self._transport
+        # Appends whose pushes failed already hold a version: abort it now so
+        # the repair in phase 4 lets the publication frontier pass it.
+        for p in pending:
+            if p.failed and isinstance(p.op, AppendOp) and p.ticket is not None:
+                vm.abort(p.op.blob_id, p.ticket.version)
+                p.needs_repair = True
+        # Writes register in submission order, one serialised round per blob.
+        groups: Dict[BlobId, List[_Pending]] = {}
+        for p in pending:
+            if isinstance(p.op, WriteOp) and not p.failed:
+                groups.setdefault(p.op.blob_id, []).append(p)
+        for blob_id, group in groups.items():
+            specs = [(p.op.offset, len(p.op.data)) for p in group]
+            outcomes = transport.control(
+                "version_manager",
+                lambda blob_id=blob_id, specs=specs: vm.register_writes(
+                    blob_id, specs, writer=self.client_id
+                ),
+            )
+            for p, outcome in zip(group, outcomes):
+                if isinstance(outcome, Exception):
+                    self._fail(p, outcome)
+                else:
+                    p.ticket = outcome
+
+    # -- phases 4-5: weave metadata, publish ---------------------------------------------------
+    def _phase_weave_and_publish(self, pending: List[_Pending], started: float) -> None:
+        vm = self._deployment.version_manager
+        transport = self._transport
+        weave_rounds: List[Tuple[_Pending, object]] = []
+        repair_rounds: List[Tuple[_Pending, object]] = []
+        # Trees must be *built* in version order per blob: a later version's
+        # partial-chunk merge reads leaves of the version below it, which —
+        # inside one batch — may belong to a sibling op whose version number
+        # does not follow submission order (appends ticket in phase 1,
+        # writes in phase 3).  Repairs participate for the same reason: the
+        # no-op tree of an aborted version is the base of its successor.
+        ordered = sorted(
+            (p for p in pending if p.ticket is not None and (p.needs_repair or not p.failed)),
+            key=lambda p: (p.op.blob_id, p.ticket.version),
+        )
+        for p in ordered:
+            if p.needs_repair:
+                blob_id, version = p.op.blob_id, p.ticket.version
+                _, token = transport.record_metadata(
+                    lambda blob_id=blob_id, version=version: self._build_repair(
+                        blob_id, version
+                    )
+                )
+                repair_rounds.append((p, token))
+                continue
+            info = p.info
+            ticket = p.ticket
+            history = vm.get_history(info.blob_id, ticket.version - 1)
+            builder = SegmentTreeBuilder(self._metadata, info.chunk_size)
+            fragments = p.fragments
+            try:
+                _, token = transport.record_metadata(
+                    lambda: builder.build(
+                        blob_id=info.blob_id,
+                        version=ticket.version,
+                        write_interval=Interval.of(ticket.offset, ticket.size),
+                        new_fragments=fragments,
+                        history=history,
+                        base_size=ticket.base_blob_size,
+                        new_size=ticket.new_blob_size,
+                    )
+                )
+            except Exception as exc:
+                vm.abort(info.blob_id, ticket.version)
+                self._fail(p, exc)
+                continue
+            self.counters["metadata_nodes_written"] += builder.nodes_written
+            weave_rounds.append((p, token))
+        # Charge every operation's DHT traffic concurrently (weaves of
+        # independent snapshots and repairs never conflict: tree nodes are
+        # immutable and versioned).
+        rounds = weave_rounds + repair_rounds
+        durations = transport.replay_metadata([token for _, token in rounds])
+        for (p, _), elapsed in zip(rounds, durations):
+            p.metadata_seconds += elapsed
+        for p, _ in repair_rounds:
+            vm.mark_repaired(p.op.blob_id, p.ticket.version)
+        # Step 5: publish, in version-assignment order.
+        for p, _ in weave_rounds:
+            transport.control(
+                "version_manager",
+                lambda p=p: vm.publish(p.op.blob_id, p.ticket.version),
+            )
+            p.finished = transport.now()
+            if isinstance(p.op, AppendOp):
+                self.counters["appends"] += 1
+            else:
+                self.counters["writes"] += 1
+            self.counters["bytes_written"] += len(p.op.data)
+
+    # -- batch bookkeeping ------------------------------------------------------------------
+    def _fail(self, p: _Pending, error: BaseException) -> None:
+        p.error = error
+        p.finished = self._transport.now()
+
+    def _result_of(self, p: _Pending, started: float) -> OpResult:
+        finished = p.finished if p.finished is not None else self._transport.now()
+        timing = OpTiming(
+            started=started,
+            finished=finished,
+            transfer_seconds=p.transfer_seconds,
+            metadata_seconds=p.metadata_seconds,
+            fragment_fetch_seconds=tuple(p.fragment_fetch_seconds),
+        )
+        if p.failed:
+            return OpResult(
+                index=p.index,
+                op=p.op,
+                status=OpStatus.FAILED,
+                write_id=p.write_id,
+                error=p.error,
+                timing=timing,
+            )
+        return OpResult(
+            index=p.index,
+            op=p.op,
+            status=OpStatus.OK,
+            version=p.ticket.version if p.ticket is not None else None,
+            write_id=p.write_id,
+            offset=p.ticket.offset if p.ticket is not None else None,
+            data=p.data,
+            timing=timing,
+        )
+
+    # -- core operations (thin wrappers over one-operation batches) ---------------------------
     def read(
         self,
         blob_id: BlobId,
@@ -106,139 +541,22 @@ class BlobSeerClient:
         reads starting beyond the end raise :class:`InvalidRangeError`.
         Ranges never written in any ancestor snapshot read back as zeros.
         """
-        if offset < 0 or size < 0:
-            raise InvalidRangeError("read offset and size must be >= 0")
-        snapshot = self._deployment.version_manager.get_snapshot(blob_id, version)
-        if offset > snapshot.size:
-            raise InvalidRangeError(
-                f"read offset {offset} is beyond the end of snapshot "
-                f"v{snapshot.version} (size {snapshot.size})"
-            )
-        target = Interval.of(offset, size).intersection(Interval(0, snapshot.size))
-        if target.empty:
-            return b""
-        reader = SegmentTreeReader(self._metadata, snapshot.chunk_size)
-        fragments = reader.lookup(snapshot.root, target)
-        self.counters["metadata_nodes_fetched"] += reader.nodes_fetched
-        pieces: List[Tuple[int, bytes]] = []
-        pool = self._deployment.provider_pool
-        for fragment in fragments:
-            payload = pool.read_chunk(list(fragment.providers), fragment.key)
-            data = payload[fragment.chunk_offset : fragment.chunk_offset + fragment.length]
-            pieces.append((fragment.blob_offset, data))
-        self.counters["reads"] += 1
-        self.counters["bytes_read"] += target.size
-        return reassemble(target, pieces)
+        result = self.submit_ops([ReadOp(blob_id, offset, size, version)])[0]
+        return result.raise_if_failed().data
 
     def write(self, blob_id: BlobId, offset: int, data: bytes) -> Version:
         """Write ``data`` at ``offset``, producing (and publishing) a new snapshot."""
-        if not data:
-            raise InvalidRangeError("write payload must not be empty")
-        if offset < 0:
-            raise InvalidRangeError("write offset must be >= 0")
-        info = self._deployment.version_manager.blob_info(blob_id)
-        # Steps 1-2: place and push chunks before taking a version.
-        write_id, fragments = self._push_chunks(info, offset, data)
-        # Step 3: the serialised version assignment.
-        ticket = self._deployment.version_manager.register_write(
-            blob_id, offset, len(data), writer=self.client_id
-        )
-        # Steps 4-5: weave metadata, then publish.
-        self._finish_write(info, ticket, fragments)
-        self.counters["writes"] += 1
-        self.counters["bytes_written"] += len(data)
-        return ticket.version
+        result = self.submit_ops([WriteOp(blob_id, offset, data)])[0]
+        return result.raise_if_failed().version
 
     def append(self, blob_id: BlobId, data: bytes) -> Version:
         """Append ``data`` to the end of the blob, producing a new snapshot."""
-        if not data:
-            raise InvalidRangeError("append payload must not be empty")
-        info = self._deployment.version_manager.blob_info(blob_id)
-        # The append offset is assigned atomically with the version, so the
-        # ticket has to come first (documented deviation from the write path).
-        ticket = self._deployment.version_manager.register_append(
-            blob_id, len(data), writer=self.client_id
-        )
-        try:
-            write_id, fragments = self._push_chunks(info, ticket.offset, data)
-        except Exception:
-            self._deployment.version_manager.abort(blob_id, ticket.version)
-            self.repair_version(blob_id, ticket.version)
-            raise
-        self._finish_write(info, ticket, fragments)
-        self.counters["appends"] += 1
-        self.counters["bytes_written"] += len(data)
-        return ticket.version
-
-    # -- write helpers ------------------------------------------------------------------
-    def _push_chunks(
-        self, info: BlobInfo, offset: int, data: bytes
-    ) -> Tuple[int, List[Fragment]]:
-        """Steps 1-2 of the write protocol: allocate providers and push chunks."""
-        deployment = self._deployment
-        write_id, plan = deployment.provider_manager.allocate(
-            info.blob_id, offset, len(data), info.chunk_size, replication=info.replication
-        )
-        fragments: List[Fragment] = []
-        try:
-            for piece in split_payload(offset, data, info.chunk_size):
-                providers = plan.providers_for(piece.blob_offset)
-                key = ChunkKey(info.blob_id, write_id, piece.blob_offset)
-                stored = deployment.provider_pool.write_chunk(
-                    list(providers), key, piece.data
-                )
-                if stored < 1:
-                    raise ReplicationError(
-                        f"no live replica accepted chunk {key} "
-                        f"(requested providers: {providers})"
-                    )
-                fragments.append(
-                    Fragment(
-                        key=key,
-                        providers=providers,
-                        blob_offset=piece.blob_offset,
-                        length=piece.size,
-                        chunk_offset=0,
-                    )
-                )
-        finally:
-            deployment.provider_manager.complete(plan)
-        return write_id, fragments
-
-    def _finish_write(
-        self, info: BlobInfo, ticket: WriteTicket, fragments: Sequence[Fragment]
-    ) -> None:
-        """Steps 4-5: build the snapshot's metadata tree and publish the version."""
-        history = self._deployment.version_manager.get_history(
-            info.blob_id, ticket.version - 1
-        )
-        builder = SegmentTreeBuilder(self._metadata, info.chunk_size)
-        try:
-            builder.build(
-                blob_id=info.blob_id,
-                version=ticket.version,
-                write_interval=Interval.of(ticket.offset, ticket.size),
-                new_fragments=fragments,
-                history=history,
-                base_size=ticket.base_blob_size,
-                new_size=ticket.new_blob_size,
-            )
-        except Exception:
-            self._deployment.version_manager.abort(info.blob_id, ticket.version)
-            raise
-        self.counters["metadata_nodes_written"] += builder.nodes_written
-        self._deployment.version_manager.publish(info.blob_id, ticket.version)
+        result = self.submit_ops([AppendOp(blob_id, data)])[0]
+        return result.raise_if_failed().version
 
     # -- failure recovery ------------------------------------------------------------------
-    def repair_version(self, blob_id: BlobId, version: Version) -> None:
-        """Install no-op metadata for an aborted version so readers can pass it.
-
-        If a writer crashes after its version was assigned but before its
-        metadata exists, the published frontier (and therefore every later
-        write) would stall forever.  Repair builds a metadata tree for that
-        version which simply re-exposes the base snapshot's content over the
-        announced interval, then marks the version repaired.
-        """
+    def _build_repair(self, blob_id: BlobId, version: Version) -> None:
+        """Install no-op metadata for an aborted version (tree building only)."""
         vm = self._deployment.version_manager
         info = vm.blob_info(blob_id)
         history = vm.get_history(blob_id, version)
@@ -254,7 +572,18 @@ class BlobSeerClient:
             base_size=base_size,
             new_size=record.new_size,
         )
-        vm.mark_repaired(blob_id, version)
+
+    def repair_version(self, blob_id: BlobId, version: Version) -> None:
+        """Install no-op metadata for an aborted version so readers can pass it.
+
+        If a writer crashes after its version was assigned but before its
+        metadata exists, the published frontier (and therefore every later
+        write) would stall forever.  Repair builds a metadata tree for that
+        version which simply re-exposes the base snapshot's content over the
+        announced interval, then marks the version repaired.
+        """
+        self._build_repair(blob_id, version)
+        self._deployment.version_manager.mark_repaired(blob_id, version)
 
     # -- introspection ------------------------------------------------------------------
     def snapshot(self, blob_id: BlobId, version: Optional[Version] = None) -> SnapshotInfo:
@@ -263,6 +592,167 @@ class BlobSeerClient:
     def history(self, blob_id: BlobId) -> List[WriteRecord]:
         latest = self._deployment.version_manager.latest_version(blob_id)
         return self._deployment.version_manager.get_history(blob_id, latest)
+
+
+class Batch:
+    """A set of operations submitted (and pipelined) together.
+
+    Enqueue operations with :meth:`read` / :meth:`write` / :meth:`append`
+    (argument validation happens immediately; state-dependent errors are
+    reported per operation at submission), then :meth:`submit` once.  Also
+    usable as a context manager: the batch submits on clean exit::
+
+        with client.batch() as batch:
+            f1 = batch.append(blob_id, b"...")
+            f2 = batch.read(blob_id, 0, 1024)
+        print(f1.result().version, f2.result().data)
+    """
+
+    def __init__(self, client: BlobSeerClient) -> None:
+        self._client = client
+        self._futures: List[OpFuture] = []
+        self._results: Optional[List[OpResult]] = None
+
+    # -- enqueue --------------------------------------------------------------------
+    def read(
+        self,
+        blob_id: BlobId,
+        offset: int,
+        size: int,
+        version: Optional[Version] = None,
+    ) -> OpFuture:
+        return self._add(ReadOp(blob_id, offset, size, version))
+
+    def write(self, blob_id: BlobId, offset: int, data: bytes) -> OpFuture:
+        return self._add(WriteOp(blob_id, offset, data))
+
+    def append(self, blob_id: BlobId, data: bytes) -> OpFuture:
+        return self._add(AppendOp(blob_id, data))
+
+    def add(self, op: Op) -> OpFuture:
+        """Enqueue an already-constructed operation object."""
+        return self._add(op)
+
+    def _add(self, op: Op) -> OpFuture:
+        if self._results is not None:
+            raise RuntimeError("batch was already submitted")
+        future = OpFuture(len(self._futures), op)
+        self._futures.append(future)
+        return future
+
+    # -- submission -----------------------------------------------------------------
+    def submit(self) -> List[OpResult]:
+        """Execute all enqueued operations; returns their results in order."""
+        if self._results is not None:
+            raise RuntimeError("batch was already submitted")
+        self._results = self._client.submit_ops([f.op for f in self._futures])
+        for future, result in zip(self._futures, self._results):
+            future._resolve(result)
+        return self._results
+
+    @property
+    def futures(self) -> List[OpFuture]:
+        return list(self._futures)
+
+    @property
+    def results(self) -> List[OpResult]:
+        if self._results is None:
+            raise RuntimeError("batch has not been submitted yet")
+        return list(self._results)
+
+    @property
+    def submitted(self) -> bool:
+        return self._results is not None
+
+    def __len__(self) -> int:
+        return len(self._futures)
+
+    def __enter__(self) -> "Batch":
+        return self
+
+    def __exit__(self, exc_type, *exc: object) -> None:
+        if exc_type is None and self._results is None and self._futures:
+            self.submit()
+
+
+class BlobSession:
+    """Implicit batching over one client: enqueue freely, ``flush()`` to run.
+
+    A session accumulates operations into a current batch and submits it on
+    :meth:`flush` (or on clean context-manager exit), aggregating result
+    statistics across flushes — the shape long-lived application loops
+    want: queue work as it arises, pipeline it at natural barriers.
+    """
+
+    def __init__(self, client: BlobSeerClient) -> None:
+        self._client = client
+        self._current: Optional[Batch] = None
+        #: Aggregated over every flushed batch of this session.
+        self.stats: Dict[str, int] = {
+            "batches_flushed": 0,
+            "ops_ok": 0,
+            "ops_failed": 0,
+            "bytes_read": 0,
+            "bytes_written": 0,
+        }
+
+    @property
+    def client(self) -> BlobSeerClient:
+        return self._client
+
+    def batch(self) -> Batch:
+        """An explicit standalone batch on the session's client."""
+        return self._client.batch()
+
+    # -- implicit batch -------------------------------------------------------------
+    def _batch(self) -> Batch:
+        if self._current is None:
+            self._current = self._client.batch()
+        return self._current
+
+    def read(
+        self,
+        blob_id: BlobId,
+        offset: int,
+        size: int,
+        version: Optional[Version] = None,
+    ) -> OpFuture:
+        return self._batch().read(blob_id, offset, size, version)
+
+    def write(self, blob_id: BlobId, offset: int, data: bytes) -> OpFuture:
+        return self._batch().write(blob_id, offset, data)
+
+    def append(self, blob_id: BlobId, data: bytes) -> OpFuture:
+        return self._batch().append(blob_id, data)
+
+    @property
+    def pending_ops(self) -> int:
+        return 0 if self._current is None else len(self._current)
+
+    def flush(self) -> List[OpResult]:
+        """Submit everything enqueued since the last flush."""
+        batch, self._current = self._current, None
+        if batch is None or len(batch) == 0:
+            return []
+        results = batch.submit()
+        self.stats["batches_flushed"] += 1
+        for result in results:
+            if result.ok:
+                self.stats["ops_ok"] += 1
+                if isinstance(result.op, ReadOp):
+                    self.stats["bytes_read"] += len(result.data or b"")
+                else:
+                    self.stats["bytes_written"] += len(result.op.data)
+            else:
+                self.stats["ops_failed"] += 1
+        return results
+
+    def __enter__(self) -> "BlobSession":
+        return self
+
+    def __exit__(self, exc_type, *exc: object) -> None:
+        if exc_type is None:
+            self.flush()
 
 
 class Blob:
@@ -308,6 +798,44 @@ class Blob:
         """Append ``data`` at the end of the blob; returns the new snapshot's version."""
         return self._client.append(self.blob_id, data)
 
+    # -- vectored interface (one pipelined batch per call) ----------------------------
+    def read_many(
+        self,
+        ranges: Iterable[Tuple[int, int]],
+        version: Optional[Version] = None,
+    ) -> List[bytes]:
+        """Read several ``(offset, size)`` ranges in one pipelined batch.
+
+        All ranges are read from the *same* snapshot (``version`` or the
+        published frontier at submission), so the results are mutually
+        consistent even under concurrent writers.  Equivalent to sequential
+        :meth:`read` calls — including raising the first range's error —
+        but the fragment fetches of every range travel together.
+        """
+        batch = self._client.batch()
+        futures = [batch.read(self.blob_id, off, size, version) for off, size in ranges]
+        batch.submit()
+        return [f.result().raise_if_failed().data for f in futures]
+
+    def write_many(self, edits: Iterable[Tuple[int, bytes]]) -> List[Version]:
+        """Write several ``(offset, data)`` edits in one pipelined batch.
+
+        Chunk pushes of all edits fan out together; version numbers are
+        assigned in list order in a single serialised round.  Returns the
+        new snapshot versions, oldest first.
+        """
+        batch = self._client.batch()
+        futures = [batch.write(self.blob_id, off, data) for off, data in edits]
+        batch.submit()
+        return [f.result().raise_if_failed().version for f in futures]
+
+    def append_many(self, payloads: Iterable[bytes]) -> List[Version]:
+        """Append several payloads in one pipelined batch (list order)."""
+        batch = self._client.batch()
+        futures = [batch.append(self.blob_id, data) for data in payloads]
+        batch.submit()
+        return [f.result().raise_if_failed().version for f in futures]
+
     # -- versioning ------------------------------------------------------------------
     def latest_version(self) -> Version:
         return self._client.deployment.version_manager.latest_version(self.blob_id)
@@ -342,6 +870,7 @@ class Blob:
             return []
         reader = SegmentTreeReader(self._client.metadata_store, snapshot.chunk_size)
         fragments = reader.lookup(snapshot.root, target)
+        self._client.counters["metadata_nodes_fetched"] += reader.nodes_fetched
         return [
             (fragment.blob_offset, fragment.length, fragment.providers)
             for fragment in fragments

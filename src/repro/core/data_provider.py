@@ -10,6 +10,7 @@ fault-tolerance experiments can crash and recover providers.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 from ..storage.memory_store import ChunkStore, MemoryChunkStore
@@ -34,6 +35,9 @@ class DataProvider:
         self._capacity_bytes = capacity_bytes
         self._alive = True
         self.stats = ProviderStats(provider_id=provider_id)
+        # Batched clients fan chunk pushes out across a worker pool, so the
+        # capacity check and the statistics must update atomically.
+        self._lock = threading.Lock()
 
     # -- liveness ---------------------------------------------------------------
     @property
@@ -62,21 +66,23 @@ class DataProvider:
     def put_chunk(self, key: ChunkKey, data: bytes) -> None:
         """Store one chunk (idempotent for identical content)."""
         self._check_alive()
-        if self._capacity_bytes is not None:
-            if self._store.bytes_stored + len(data) > self._capacity_bytes:
-                raise ProviderUnavailableError(
-                    f"{self.provider_id} (capacity exhausted)"
-                )
-        already = self._store.contains(key)
-        self._store.put(key, data)
-        if not already:
-            self.stats.record_write(len(data))
+        with self._lock:
+            if self._capacity_bytes is not None:
+                if self._store.bytes_stored + len(data) > self._capacity_bytes:
+                    raise ProviderUnavailableError(
+                        f"{self.provider_id} (capacity exhausted)"
+                    )
+            already = self._store.contains(key)
+            self._store.put(key, data)
+            if not already:
+                self.stats.record_write(len(data))
 
     def get_chunk(self, key: ChunkKey) -> bytes:
         """Fetch one chunk's payload."""
         self._check_alive()
         data = self._store.get(key)
-        self.stats.record_read(len(data))
+        with self._lock:
+            self.stats.record_read(len(data))
         return data
 
     def has_chunk(self, key: ChunkKey) -> bool:

@@ -71,14 +71,36 @@ class BlobSeerDeployment:
         return CachedChunkStore(persistent, cache_capacity_bytes=64 * 1024 * 1024)
 
     # -- clients --------------------------------------------------------------------
-    def client(self, client_id: Optional[str] = None):
-        """Create a new client attached to this deployment."""
+    def client(self, client_id: Optional[str] = None, transport=None):
+        """Create a new client attached to this deployment.
+
+        ``transport`` selects the wiring the client's operations travel
+        over (see :mod:`repro.core.transport`); the default is the direct
+        in-process :class:`~repro.core.transport.DirectTransport`.
+        """
         from .client import BlobSeerClient  # local import avoids a cycle
 
         if client_id is None:
             client_id = f"client-{self._next_client_id:03d}"
             self._next_client_id += 1
-        return BlobSeerClient(deployment=self, client_id=client_id)
+        return BlobSeerClient(deployment=self, client_id=client_id, transport=transport)
+
+    def sim_client(self, client_id: Optional[str] = None, model=None):
+        """Create a client whose transport runs on simulated network time.
+
+        The returned client moves payloads for real (reads are byte-exact)
+        but charges every transfer and RPC against the
+        :class:`~repro.sim.network.NetworkModel`, so
+        ``client.transport.now()`` measures honestly how long batched vs
+        sequential operations would take on a contended network.
+        """
+        from .transport import SimTransport  # local import avoids a cycle
+
+        if client_id is None:
+            client_id = f"client-{self._next_client_id:03d}"
+            self._next_client_id += 1
+        transport = SimTransport.for_deployment(self, model=model, client_id=client_id)
+        return self.client(client_id=client_id, transport=transport)
 
     # -- convenience shortcuts ---------------------------------------------------------
     def create_blob(

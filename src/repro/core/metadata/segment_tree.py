@@ -25,6 +25,7 @@ without reading each other's (possibly not yet written) metadata.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -271,6 +272,10 @@ class SegmentTreeBuilder:
                     pieces.extend(base_leaf.fragments_in(part))
         return LeafNode(key=key, fragments=merge_fragments(pieces))
 
+    #: Bounded poll for a base leaf still being woven by a concurrent writer.
+    BASE_LEAF_RETRIES = 100
+    BASE_LEAF_RETRY_SLEEP = 0.002
+
     def _fetch_base_leaf(
         self,
         key: NodeKey,
@@ -283,7 +288,22 @@ class SegmentTreeBuilder:
             return None
         base_key = NodeKey(key.blob_id, borrowed, key.offset, key.size)
         self.base_leaves_fetched += 1
-        node = self._store.get(base_key)
+        node = None
+        for attempt in range(self.BASE_LEAF_RETRIES):
+            try:
+                node = self._store.get(base_key)
+                break
+            except MetadataNotFoundError:
+                # The borrowed leaf belongs to a writer holding an earlier
+                # version ticket that has pushed its chunks but not finished
+                # weaving: the node is guaranteed to appear (its writer
+                # publishes, or the repair protocol installs it).  Writers
+                # never wait for each other *except* on exactly this
+                # metadata-only dependency, so poll briefly before declaring
+                # the metadata lost.
+                if attempt == self.BASE_LEAF_RETRIES - 1:
+                    raise
+                time.sleep(self.BASE_LEAF_RETRY_SLEEP)
         if not isinstance(node, LeafNode):  # pragma: no cover - defensive
             raise MetadataNotFoundError(base_key)
         return node

@@ -130,6 +130,22 @@ class BlobSeerFileSystem:
         blob = self._blob_of(path)
         return blob.read(offset, size, version=version)
 
+    def read_ranges(
+        self,
+        path: str,
+        ranges: List[Tuple[int, int]],
+        version: Optional[int] = None,
+    ) -> List[bytes]:
+        """Read several ``(offset, size)`` ranges of one file in a single batch.
+
+        All ranges come from the same snapshot and their fragment fetches
+        are pipelined through the client's transport — record readers that
+        need a split plus its boundary bytes issue one vectored call
+        instead of several round trips.
+        """
+        blob = self._blob_of(path)
+        return blob.read_many(ranges, version=version)
+
     def write_at(self, path: str, offset: int, data: bytes) -> int:
         """Random-access overwrite inside an existing file (BlobSeer extra)."""
         if offset < 0:

@@ -36,27 +36,41 @@ class BufferedBlobWriter:
 
     # -- write API -----------------------------------------------------------------
     def write(self, data: bytes) -> int:
-        """Buffer ``data``; flush in chunk-aligned batches when the buffer fills."""
+        """Buffer ``data``; flush in chunk-aligned batches when the buffer fills.
+
+        A large ``write()`` that fills the buffer several times over flushes
+        all full segments as *one* pipelined batch (each segment is still
+        its own append, and therefore its own snapshot version, but their
+        chunk pushes travel together through the client's transport).
+        """
         if self._closed:
             raise ValueError("writer is closed")
         if not data:
             return 0
         self._buffer.extend(data)
+        segments: list = []
         while len(self._buffer) >= self._buffer_limit:
-            self._flush_bytes(self._buffer_limit)
+            segments.append(bytes(self._buffer[: self._buffer_limit]))
+            del self._buffer[: self._buffer_limit]
+        self._flush_segments(segments)
         self.bytes_written += len(data)
         return len(data)
 
-    def _flush_bytes(self, nbytes: int) -> None:
-        payload = bytes(self._buffer[:nbytes])
-        del self._buffer[:nbytes]
-        self._blob.append(payload)
-        self.appends_issued += 1
+    def _flush_segments(self, segments: list) -> None:
+        if not segments:
+            return
+        if len(segments) == 1:
+            self._blob.append(segments[0])
+        else:
+            self._blob.append_many(segments)
+        self.appends_issued += len(segments)
 
     def flush(self) -> None:
         """Flush whatever is buffered (possibly a partial chunk)."""
         if self._buffer:
-            self._flush_bytes(len(self._buffer))
+            payload = bytes(self._buffer)
+            del self._buffer[:]
+            self._flush_segments([payload])
 
     def close(self) -> None:
         if self._closed:

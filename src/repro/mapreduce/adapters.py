@@ -38,6 +38,15 @@ class HdfsAdapter:
     def read_range(self, path: str, offset: int, size: int) -> bytes:
         return self.hdfs.read(path, offset, size)
 
+    def read_ranges(self, path: str, ranges: List[Tuple[int, int]]) -> List[bytes]:
+        """Vectored read, for facade parity with BSFS.
+
+        HDFS has no batched client protocol, so this is simply the
+        sequential loop — which is exactly the asymmetry the BSFS-vs-HDFS
+        comparison experiments are after.
+        """
+        return [self.hdfs.read(path, offset, size) for offset, size in ranges]
+
     def read_file(self, path: str) -> bytes:
         return self.hdfs.read(path)
 

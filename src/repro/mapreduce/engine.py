@@ -119,11 +119,22 @@ class MapReduceEngine:
         Returns the adjusted payload and the file offset of its first byte.
         """
         file_size = self.fs.file_size(split.path)
-        data = self.fs.read_range(split.path, split.offset, split.length)
         record_offset = split.offset
+        # The split payload and the byte preceding it (needed for the
+        # boundary decision below) travel in one vectored read when the
+        # file system supports batching (BSFS pipelines the fetches).
+        read_ranges = getattr(self.fs, "read_ranges", None)
+        if split.offset > 0 and read_ranges is not None:
+            data, previous = read_ranges(
+                split.path, [(split.offset, split.length), (split.offset - 1, 1)]
+            )
+        else:
+            data = self.fs.read_range(split.path, split.offset, split.length)
+            previous = None
         # Skip the leading partial record unless we start at a boundary.
         if split.offset > 0:
-            previous = self.fs.read_range(split.path, split.offset - 1, 1)
+            if previous is None:
+                previous = self.fs.read_range(split.path, split.offset - 1, 1)
             if previous != b"\n":
                 newline = data.find(b"\n")
                 if newline == -1:
