@@ -30,6 +30,7 @@ from .provider_manager import (
     make_strategy,
 )
 from .version_manager import VersionManager, WriteState
+from .version_coordinator import ShardedVersionManager, VersionCoordinator
 from .types import (
     BlobId,
     BlobInfo,
@@ -75,10 +76,12 @@ __all__ = [
     "RandomStrategy",
     "ReadOp",
     "RoundRobinStrategy",
+    "ShardedVersionManager",
     "SimTransport",
     "SnapshotInfo",
     "Transport",
     "Version",
+    "VersionCoordinator",
     "VersionManager",
     "WriteOp",
     "WritePlan",

@@ -64,7 +64,7 @@ from .ops import (
     ReadOp,
     WriteOp,
 )
-from .transport import ChunkFetch, ChunkPush, DirectTransport, Transport
+from .transport import ChunkFetch, ChunkPush, ControlCall, DirectTransport, Transport
 from .types import BlobId, BlobInfo, ChunkKey, SnapshotInfo, Version, WriteTicket
 
 
@@ -211,9 +211,11 @@ class BlobSeerClient:
         2. the data plane: chunk pushes of every write/append and fragment
            fetches of every read, all fanned out together;
         3. version assignment for writes, in submission order, batched into
-           one serialised round per blob (the only serialised step);
+           one serialised round per coordinator *shard* (the only
+           serialised step), the shards' rounds fanned out in parallel;
         4. metadata weaving for all new snapshots, DHT traffic overlapped;
-        5. publication in assignment order.
+        5. publication in assignment order, one ``publish_many`` round per
+           (blob, shard).
 
         Failures never escape an operation: each returned
         :class:`OpResult` carries its own status/error.  Reads observe the
@@ -254,6 +256,7 @@ class BlobSeerClient:
                         snapshot = transport.control(
                             "version_manager",
                             lambda op=op: vm.get_snapshot(op.blob_id, op.version),
+                            shard=vm.shard_index(op.blob_id),
                         )
                         snapshots[(op.blob_id, op.version)] = snapshot
                         snapshots[(op.blob_id, snapshot.version)] = snapshot
@@ -293,6 +296,7 @@ class BlobSeerClient:
                             lambda op=op: vm.register_append(
                                 op.blob_id, len(op.data), writer=self.client_id
                             ),
+                            shard=vm.shard_index(op.blob_id),
                         )
                         offset = p.ticket.offset
                     else:
@@ -403,24 +407,44 @@ class BlobSeerClient:
             if p.failed and isinstance(p.op, AppendOp) and p.ticket is not None:
                 vm.abort(p.op.blob_id, p.ticket.version)
                 p.needs_repair = True
-        # Writes register in submission order, one serialised round per blob.
+        # Writes register in submission order.  Blobs are grouped by their
+        # owning coordinator shard, so the serialised step is one bulk round
+        # per *shard* — and the rounds of different shards, holding different
+        # locks on different machines, fan out in parallel.
         groups: Dict[BlobId, List[_Pending]] = {}
         for p in pending:
             if isinstance(p.op, WriteOp) and not p.failed:
                 groups.setdefault(p.op.blob_id, []).append(p)
+        if not groups:
+            return
+        shard_batches: Dict[int, List[Tuple[BlobId, List[_Pending]]]] = {}
         for blob_id, group in groups.items():
-            specs = [(p.op.offset, len(p.op.data)) for p in group]
-            outcomes = transport.control(
-                "version_manager",
-                lambda blob_id=blob_id, specs=specs: vm.register_writes(
-                    blob_id, specs, writer=self.client_id
-                ),
+            shard_batches.setdefault(vm.shard_index(blob_id), []).append((blob_id, group))
+        calls: List[ControlCall] = []
+        call_groups: List[List[Tuple[BlobId, List[_Pending]]]] = []
+        for shard, batches in sorted(shard_batches.items()):
+            specs = [
+                (blob_id, [(p.op.offset, len(p.op.data)) for p in group])
+                for blob_id, group in batches
+            ]
+            calls.append(
+                ControlCall(
+                    "version_manager",
+                    fn=lambda specs=specs: vm.register_writes_bulk(
+                        specs, writer=self.client_id
+                    ),
+                    shard=shard,
+                    units=sum(len(blob_specs) for _, blob_specs in specs),
+                )
             )
-            for p, outcome in zip(group, outcomes):
-                if isinstance(outcome, Exception):
-                    self._fail(p, outcome)
-                else:
-                    p.ticket = outcome
+            call_groups.append(batches)
+        for batches, (shard_outcomes, _) in zip(call_groups, transport.control_many(calls)):
+            for (_, group), outcomes in zip(batches, shard_outcomes):
+                for p, outcome in zip(group, outcomes):
+                    if isinstance(outcome, Exception):
+                        self._fail(p, outcome)
+                    else:
+                        p.ticket = outcome
 
     # -- phases 4-5: weave metadata, publish ---------------------------------------------------
     def _phase_weave_and_publish(self, pending: List[_Pending], started: float) -> None:
@@ -438,15 +462,17 @@ class BlobSeerClient:
             (p for p in pending if p.ticket is not None and (p.needs_repair or not p.failed)),
             key=lambda p: (p.op.blob_id, p.ticket.version),
         )
+
+        def queue_repair(p: _Pending) -> None:
+            blob_id, version = p.op.blob_id, p.ticket.version
+            _, token = transport.record_metadata(
+                lambda: self._build_repair(blob_id, version)
+            )
+            repair_rounds.append((p, token))
+
         for p in ordered:
             if p.needs_repair:
-                blob_id, version = p.op.blob_id, p.ticket.version
-                _, token = transport.record_metadata(
-                    lambda blob_id=blob_id, version=version: self._build_repair(
-                        blob_id, version
-                    )
-                )
-                repair_rounds.append((p, token))
+                queue_repair(p)
                 continue
             info = p.info
             ticket = p.ticket
@@ -466,8 +492,14 @@ class BlobSeerClient:
                     )
                 )
             except Exception as exc:
+                # The assigned version has no readable metadata; abort it and
+                # install no-op repair metadata in its place (here, in version
+                # order — a same-batch successor's tree builds on top of it)
+                # so the published frontier never stalls behind it.
                 vm.abort(info.blob_id, ticket.version)
                 self._fail(p, exc)
+                p.needs_repair = True
+                queue_repair(p)
                 continue
             self.counters["metadata_nodes_written"] += builder.nodes_written
             weave_rounds.append((p, token))
@@ -480,18 +512,37 @@ class BlobSeerClient:
             p.metadata_seconds += elapsed
         for p, _ in repair_rounds:
             vm.mark_repaired(p.op.blob_id, p.ticket.version)
-        # Step 5: publish, in version-assignment order.
+        # Step 5: publish.  One coordinator round per (blob, shard) — a
+        # batch's publications of one blob collapse into a single
+        # ``publish_many`` carrying every version in assignment order, and
+        # the rounds of different blobs fan out across their shards.
+        publish_groups: Dict[BlobId, List[_Pending]] = {}
         for p, _ in weave_rounds:
-            transport.control(
-                "version_manager",
-                lambda p=p: vm.publish(p.op.blob_id, p.ticket.version),
+            publish_groups.setdefault(p.op.blob_id, []).append(p)
+        calls: List[ControlCall] = []
+        for blob_id, group in publish_groups.items():
+            # publish_many orders the versions itself; the group just names them.
+            versions = [p.ticket.version for p in group]
+            calls.append(
+                ControlCall(
+                    "version_manager",
+                    fn=lambda blob_id=blob_id, versions=versions: vm.publish_many(
+                        blob_id, versions
+                    ),
+                    shard=vm.shard_index(blob_id),
+                    units=len(versions),
+                )
             )
-            p.finished = transport.now()
-            if isinstance(p.op, AppendOp):
-                self.counters["appends"] += 1
-            else:
-                self.counters["writes"] += 1
-            self.counters["bytes_written"] += len(p.op.data)
+        for group, (_, completed_at) in zip(
+            publish_groups.values(), transport.control_many(calls)
+        ):
+            for p in group:
+                p.finished = completed_at
+                if isinstance(p.op, AppendOp):
+                    self.counters["appends"] += 1
+                else:
+                    self.counters["writes"] += 1
+                self.counters["bytes_written"] += len(p.op.data)
 
     # -- batch bookkeeping ------------------------------------------------------------------
     def _fail(self, p: _Pending, error: BaseException) -> None:

@@ -45,6 +45,9 @@ class BlobSeerConfig:
 
     num_data_providers: int = 4
     num_metadata_providers: int = 4
+    #: Number of version-coordinator shards; blobs are routed to shards by
+    #: consistent hash on blob id, so cross-blob commits never contend.
+    num_version_managers: int = 1
     chunk_size: int = DEFAULT_CHUNK_SIZE
     replication: int = 1
     placement_strategy: str = "round_robin"
@@ -71,6 +74,7 @@ class BlobSeerConfig:
         d: Dict[str, Any] = {
             "num_data_providers": self.num_data_providers,
             "num_metadata_providers": self.num_metadata_providers,
+            "num_version_managers": self.num_version_managers,
             "chunk_size": self.chunk_size,
             "replication": self.replication,
             "placement_strategy": self.placement_strategy,
@@ -109,6 +113,8 @@ def validate_config(config: BlobSeerConfig) -> None:
         raise InvalidConfigError("num_data_providers must be >= 1")
     if config.num_metadata_providers < 1:
         raise InvalidConfigError("num_metadata_providers must be >= 1")
+    if config.num_version_managers < 1:
+        raise InvalidConfigError("num_version_managers must be >= 1")
     if config.chunk_size < 1:
         raise InvalidConfigError("chunk_size must be >= 1 byte")
     if config.replication < 1:

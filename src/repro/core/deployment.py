@@ -23,7 +23,7 @@ from .config import BlobSeerConfig
 from .data_provider import DataProvider, ProviderPool
 from .provider_manager import ProviderManager
 from .types import BlobInfo
-from .version_manager import VersionManager
+from .version_coordinator import ShardedVersionManager
 
 
 class BlobSeerDeployment:
@@ -50,7 +50,12 @@ class BlobSeerDeployment:
             virtual_nodes=self.config.dht_virtual_nodes,
             replication=self.config.metadata_replication,
         )
-        self.version_manager = VersionManager()
+        # The version-coordinator service: blobs are routed to one of
+        # ``num_version_managers`` shards, each its own serialisation domain.
+        self.version_manager = ShardedVersionManager(
+            num_shards=self.config.num_version_managers,
+            virtual_nodes=self.config.dht_virtual_nodes,
+        )
         self.provider_manager = ProviderManager(
             pool=self.provider_pool, config=self.config, seed=seed
         )

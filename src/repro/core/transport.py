@@ -37,8 +37,26 @@ from .types import ChunkKey
 
 T = TypeVar("T")
 
-#: Control-plane services a transport knows how to reach.
+#: Control-plane services a transport knows how to reach.  The version
+#: manager is a *sharded* service: requests carry the owning shard's index
+#: so the wiring can charge the right coordinator machine.
 CONTROL_SERVICES = ("version_manager", "provider_manager")
+
+
+@dataclass(frozen=True, slots=True)
+class ControlCall:
+    """One control-plane request, addressed to a shard of a service.
+
+    ``units`` is the number of logical operations folded into this round —
+    a bulk ``register_writes_bulk`` of 32 specs is *one* round trip but
+    still 32 serialised assignments at the coordinator, and an honest
+    transport charges its service time accordingly.
+    """
+
+    service: str
+    fn: Callable[[], Any]
+    shard: int = 0
+    units: int = 1
 
 
 # ---------------------------------------------------------------------------
@@ -142,13 +160,38 @@ class Transport:
         """Current time on this transport's clock (wall or simulated)."""
         raise NotImplementedError
 
-    def control(self, service: str, fn: Callable[[], T]) -> T:
+    def control(
+        self, service: str, fn: Callable[[], T], shard: int = 0, units: int = 1
+    ) -> T:
         """Execute one control-plane request against ``service``.
 
-        ``service`` is one of :data:`CONTROL_SERVICES`; the transport charges
-        whatever a round trip to that process costs, then runs ``fn``.
+        ``service`` is one of :data:`CONTROL_SERVICES`; ``shard`` selects
+        which coordinator shard the request is addressed to (services with
+        one process ignore it); ``units`` is the number of serialised
+        operations the round carries (bulk rounds pay latency once but
+        service time per operation).  The transport charges whatever the
+        round trip costs, then runs ``fn``.
         """
         raise NotImplementedError
+
+    def control_many(self, calls: Sequence[ControlCall]) -> List[Tuple[Any, float]]:
+        """Execute independent control rounds, as concurrently as possible.
+
+        The batch engine uses this to fan a batch's per-shard commit rounds
+        out in parallel: requests to *different* shards proceed
+        concurrently, requests to the same shard queue at that shard.  The
+        default is sequential execution (correct for any wiring); concurrent
+        transports override it.  Returns one ``(result, completed_at)``
+        pair per call, in call order — the completion timestamp is each
+        round's own finish on this transport's clock, so concurrent rounds
+        against shards of different load report different times.  The first
+        exception (by position) propagates.
+        """
+        results = []
+        for call in calls:
+            value = self.control(call.service, call.fn, shard=call.shard, units=call.units)
+            results.append((value, self.now()))
+        return results
 
     def transfer(
         self, pushes: Sequence[ChunkPush], fetches: Sequence[ChunkFetch]
@@ -214,8 +257,18 @@ class DirectTransport(Transport):
     def now(self) -> float:
         return time.perf_counter()
 
-    def control(self, service: str, fn: Callable[[], T]) -> T:
+    def control(
+        self, service: str, fn: Callable[[], T], shard: int = 0, units: int = 1
+    ) -> T:
         return fn()
+
+    def control_many(self, calls: Sequence[ControlCall]) -> List[Tuple[Any, float]]:
+        # Rounds to different shards hold different locks, so fanning them
+        # out over the worker pool is real parallelism, not just shape.
+        return parallel_map(
+            [(lambda call=call: (call.fn(), self.now())) for call in calls],
+            max_workers=self._max_workers,
+        )
 
     # -- data plane ----------------------------------------------------------------
     def transfer(
@@ -303,6 +356,7 @@ class SimTransport(Transport):
         metadata_store,
         model=None,
         client_id: str = "client",
+        num_version_shards: int = 1,
     ) -> None:
         # Imported lazily: core must stay importable without the sim package
         # (and the sim package imports core, so a top-level import cycles).
@@ -314,9 +368,18 @@ class SimTransport(Transport):
         self.model = model if model is not None else NetworkModel()
         self.env = Environment()
         self.client_node = SimNode(self.env, f"{client_id}.nic", self.model, role="client")
-        self.version_manager_node = SimNode(
-            self.env, "version-manager", self.model, role="version_manager"
-        )
+        #: One simulated machine per version-coordinator shard: commit RPCs
+        #: are charged to the *owning shard's* node, so a single hot shard
+        #: queues while spread-out commits proceed in parallel.
+        self.version_manager_nodes = [
+            SimNode(
+                self.env,
+                f"version-manager-{index:03d}",
+                self.model,
+                role="version_manager",
+            )
+            for index in range(max(1, num_version_shards))
+        ]
         self.provider_manager_node = SimNode(
             self.env, "provider-manager", self.model, role="provider_manager"
         )
@@ -336,31 +399,64 @@ class SimTransport(Transport):
             deployment.metadata_store,
             model=model,
             client_id=client_id,
+            num_version_shards=getattr(deployment.version_manager, "num_shards", 1),
         )
+
+    @property
+    def version_manager_node(self):
+        """The first coordinator shard's machine (single-shard compatibility)."""
+        return self.version_manager_nodes[0]
 
     # -- clock / control ---------------------------------------------------------
     def now(self) -> float:
         return self.env.now
 
-    def _service_node(self, service: str):
+    def _service_node(self, service: str, shard: int = 0):
         if service == "version_manager":
-            return self.version_manager_node, self.model.version_manager_service
+            node = self.version_manager_nodes[shard % len(self.version_manager_nodes)]
+            return node, self.model.version_manager_service
         if service == "provider_manager":
             return self.provider_manager_node, self.model.provider_manager_service
         raise ValueError(f"unknown control service {service!r}")
 
-    def control(self, service: str, fn: Callable[[], T]) -> T:
-        node, service_time = self._service_node(service)
+    def control(
+        self, service: str, fn: Callable[[], T], shard: int = 0, units: int = 1
+    ) -> T:
+        value, _ = self.control_many(
+            [ControlCall(service, fn, shard=shard, units=units)]
+        )[0]
+        return value
 
-        def round_trip():
-            yield from self.client_node.rpc(node, service=service_time)
-            return fn()
+    def control_many(self, calls: Sequence[ControlCall]) -> List[Tuple[Any, float]]:
+        """Run independent control rounds concurrently on simulated time.
 
-        process = self.env.process(round_trip(), name=f"control.{service}")
+        Each round pays one request/response exchange with its shard's
+        machine plus ``units`` service times at that machine's CPU (a bulk
+        round saves the round trips, not the serialised work).  Rounds to
+        different shards overlap; rounds to the same shard queue at its
+        single-capacity CPU — exactly the contention the sharding removes.
+        Each call's completion timestamp is its own round's finish, so a
+        round against an idle shard reports an earlier time than one queued
+        behind a hot shard.
+        """
+        results: List[Tuple[Any, float]] = [(None, 0.0)] * len(calls)
+
+        def round_trip(index: int, call: ControlCall):
+            node, service_time = self._service_node(call.service, call.shard)
+            yield from self.client_node.rpc(
+                node, service=service_time * max(1, call.units)
+            )
+            results[index] = (call.fn(), self.env.now)
+
+        processes = [
+            self.env.process(round_trip(index, call), name=f"control.{call.service}")
+            for index, call in enumerate(calls)
+        ]
         self.env.run()
-        if process.exception is not None:
-            raise process.exception
-        return process.value
+        for process in processes:
+            if process.exception is not None:
+                raise process.exception
+        return results
 
     # -- data plane ----------------------------------------------------------------
     def _data_node(self, pid: str):

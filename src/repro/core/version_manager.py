@@ -77,7 +77,14 @@ class _BlobState:
 
 
 class VersionManager:
-    """Central (but extremely lightweight) version assignment and publication."""
+    """Central (but extremely lightweight) version assignment and publication.
+
+    A single ``VersionManager`` is also the degenerate one-shard case of the
+    :class:`~repro.core.version_coordinator.VersionCoordinator` service: it
+    exposes the same routing surface (:meth:`shard_index`, :attr:`num_shards`)
+    so every layer above can be written against one protocol whether the
+    deployment runs one coordinator process or sixteen.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -86,19 +93,45 @@ class VersionManager:
         #: Counters exposed for monitoring / benchmark harnesses.
         self.writes_registered = 0
         self.versions_published = 0
+        #: Serialised rounds taken (one bulk call = one round, however many
+        #: operations it carried) — what the sharding benchmarks contend on.
+        self.register_rounds = 0
+        self.publish_rounds = 0
+
+    # -- coordinator surface (degenerate single-shard case) ----------------------
+    @property
+    def num_shards(self) -> int:
+        return 1
+
+    def shard_index(self, blob_id: BlobId) -> int:
+        """Owning shard of ``blob_id`` (always 0: there is only this one)."""
+        return 0
 
     # -- blob lifecycle ---------------------------------------------------------
     def create_blob(
-        self, chunk_size: int = DEFAULT_CHUNK_SIZE, replication: int = 1
+        self,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        replication: int = 1,
+        blob_id: Optional[BlobId] = None,
     ) -> BlobInfo:
-        """Create an empty blob and return its immutable parameters."""
+        """Create an empty blob and return its immutable parameters.
+
+        ``blob_id`` is normally assigned here; a sharded coordinator
+        allocates ids globally and passes the chosen one down so that every
+        shard's namespace stays disjoint.
+        """
         if chunk_size < 1:
             raise InvalidRangeError("chunk_size must be >= 1")
         if replication < 1:
             raise InvalidRangeError("replication must be >= 1")
         with self._lock:
-            blob_id = self._next_blob_id
-            self._next_blob_id += 1
+            if blob_id is None:
+                blob_id = self._next_blob_id
+                self._next_blob_id += 1
+            else:
+                if blob_id in self._blobs:
+                    raise CommitError(f"blob {blob_id} already exists")
+                self._next_blob_id = max(self._next_blob_id, blob_id + 1)
             info = BlobInfo(blob_id=blob_id, chunk_size=chunk_size, replication=replication)
             self._blobs[blob_id] = _BlobState(info=info)
             return info
@@ -154,26 +187,50 @@ class VersionManager:
         per-operation failure isolation, so one bad write in a batch never
         poisons its siblings.
         """
-        results: List[Union[WriteTicket, Exception]] = []
+        return self.register_writes_bulk([(blob_id, writes)], writer=writer)[0]
+
+    def register_writes_bulk(
+        self,
+        batches: Sequence[Tuple[BlobId, Sequence[Tuple[int, int]]]],
+        writer: Optional[str] = None,
+    ) -> List[List[Union[WriteTicket, Exception]]]:
+        """Register the writes of several blobs in one serialised round.
+
+        This is the per-shard bulk form the batch engine uses: all blobs of
+        a batch owned by one coordinator shard take their version
+        assignments under a single lock acquisition — one round trip per
+        *shard*, not per blob or per operation.  Results are aligned with
+        ``batches``: one ticket-or-exception list per (blob, specs) entry,
+        in spec order.  An unknown blob id fails the round *before* any
+        version is assigned (all-or-nothing) — otherwise the earlier
+        blobs' freshly assigned tickets would be orphaned behind the
+        exception and stall their frontiers forever; invalid specs of
+        known blobs keep their per-spec isolation.
+        """
+        results: List[List[Union[WriteTicket, Exception]]] = []
         with self._lock:
-            state = self._state(blob_id)
-            for offset, size in writes:
-                if size <= 0:
-                    results.append(InvalidRangeError("write size must be > 0"))
-                    continue
-                if offset < 0:
-                    results.append(InvalidRangeError("write offset must be >= 0"))
-                    continue
-                base_size = state.tentative_size
-                if offset > base_size:
-                    results.append(
-                        InvalidRangeError(
-                            f"write offset {offset} is beyond the blob end ({base_size}); "
-                            f"writing past the end would create an unreadable gap"
+            self.register_rounds += 1
+            resolved = [(self._state(blob_id), writes) for blob_id, writes in batches]
+            for state, writes in resolved:
+                outcomes: List[Union[WriteTicket, Exception]] = []
+                for offset, size in writes:
+                    if size <= 0:
+                        outcomes.append(InvalidRangeError("write size must be > 0"))
+                        continue
+                    if offset < 0:
+                        outcomes.append(InvalidRangeError("write offset must be >= 0"))
+                        continue
+                    base_size = state.tentative_size
+                    if offset > base_size:
+                        outcomes.append(
+                            InvalidRangeError(
+                                f"write offset {offset} is beyond the blob end ({base_size}); "
+                                f"writing past the end would create an unreadable gap"
+                            )
                         )
-                    )
-                    continue
-                results.append(self._register_locked(state, offset, size, False, writer))
+                        continue
+                    outcomes.append(self._register_locked(state, offset, size, False, writer))
+                results.append(outcomes)
         return results
 
     def register_append(
@@ -187,6 +244,7 @@ class VersionManager:
         if size <= 0:
             raise InvalidRangeError("append size must be > 0")
         with self._lock:
+            self.register_rounds += 1
             state = self._state(blob_id)
             return self._register_locked(state, state.tentative_size, size, True, writer)
 
@@ -224,15 +282,36 @@ class VersionManager:
         exactly the paper's "readers see a consistent snapshot at all
         times").
         """
+        return self.publish_many(blob_id, [version])
+
+    def publish_many(self, blob_id: BlobId, versions: Sequence[Version]) -> Version:
+        """Mark several of one blob's versions completed in a single round.
+
+        The bulk form of :meth:`publish` (mirroring
+        :meth:`register_writes`): a batch that produced N snapshots of one
+        blob notifies the coordinator once instead of N times.  Versions are
+        processed in ascending order and the frontier advances once at the
+        end; the same ordering rules apply — nothing becomes visible while
+        an earlier version is still pending.  Returns the new frontier.
+        """
         with self._lock:
+            self.publish_rounds += 1
             state = self._state(blob_id)
-            if version < 1 or version > len(state.entries):
-                raise VersionNotFoundError(blob_id, version)
-            entry = state.entry(version)
-            if entry.state == WriteState.ABORTED:
-                raise CommitError(f"version {version} was aborted and cannot be published")
-            if entry.state == WriteState.PENDING:
-                entry.state = WriteState.COMPLETED
+            ordered = sorted(versions)
+            # Validate the whole round before mutating anything: a rejected
+            # version must not leave its siblings half-completed behind an
+            # exception the caller reads as total failure.
+            for version in ordered:
+                if version < 1 or version > len(state.entries):
+                    raise VersionNotFoundError(blob_id, version)
+                if state.entry(version).state == WriteState.ABORTED:
+                    raise CommitError(
+                        f"version {version} was aborted and cannot be published"
+                    )
+            for version in ordered:
+                entry = state.entry(version)
+                if entry.state == WriteState.PENDING:
+                    entry.state = WriteState.COMPLETED
             self._advance_frontier_locked(state)
             return state.published_frontier
 
@@ -335,3 +414,32 @@ class VersionManager:
             if version < 1 or version > len(state.entries):
                 raise VersionNotFoundError(blob_id, version)
             return state.entry(version).state
+
+    # -- monitoring ----------------------------------------------------------------------
+    def backlog(self) -> int:
+        """Versions assigned but not yet published, across all blobs.
+
+        This is the coordinator's queue depth: how far the published
+        frontier lags behind assignment.  A persistently high backlog on
+        one shard is the "hot shard" signal the QoS monitor watches.
+        """
+        with self._lock:
+            return self._backlog_locked()
+
+    def _backlog_locked(self) -> int:
+        return sum(
+            len(state.entries) - state.published_frontier
+            for state in self._blobs.values()
+        )
+
+    def report(self) -> Dict[str, int]:
+        """Monitoring counters of this (one) coordinator process."""
+        with self._lock:
+            return {
+                "blobs": len(self._blobs),
+                "writes_registered": self.writes_registered,
+                "versions_published": self.versions_published,
+                "register_rounds": self.register_rounds,
+                "publish_rounds": self.publish_rounds,
+                "backlog": self._backlog_locked(),
+            }

@@ -17,7 +17,7 @@ training input of the GloBeM-style behaviour model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,7 +35,17 @@ FEATURE_NAMES = (
 
 @dataclass(frozen=True, slots=True)
 class WindowSample:
-    """Aggregated observation of one sampling window."""
+    """Aggregated observation of one sampling window.
+
+    The per-shard version-coordinator fields are observational extras (not
+    part of :data:`FEATURE_NAMES`, so the behaviour model's input layout is
+    unchanged): ``vm_shard_commits`` is how many versions each coordinator
+    shard published during the window, ``vm_shard_backlog`` its queue depth
+    (versions assigned but not yet published) at the window end, and
+    ``vm_shard_imbalance`` the coefficient of variation of the per-shard
+    commit counts — the signal that exposes a hot shard to the feedback
+    loop.
+    """
 
     window_start: float
     window_end: float
@@ -45,6 +55,15 @@ class WindowSample:
     write_load: float
     read_load: float
     load_imbalance: float
+    vm_shard_commits: Tuple[int, ...] = ()
+    vm_shard_backlog: Tuple[int, ...] = ()
+    vm_shard_imbalance: float = 0.0
+
+    def hottest_vm_shard(self) -> Optional[int]:
+        """Index of the shard with the deepest commit backlog (None if idle)."""
+        if not self.vm_shard_backlog or max(self.vm_shard_backlog) == 0:
+            return None
+        return int(np.argmax(self.vm_shard_backlog))
 
     def features(self) -> np.ndarray:
         return np.array(
@@ -84,6 +103,7 @@ class Monitor:
         self._last_bytes_read: Dict[str, int] = {}
         self._last_failures = 0
         self._last_ops_bytes = 0
+        self._last_shard_published: Dict[int, int] = {}
 
     def sample(self) -> WindowSample:
         """Take one sample covering the window since the previous call."""
@@ -117,6 +137,26 @@ class Monitor:
         read_load = float(np.sum(read_deltas)) / window
         imbalance = _coefficient_of_variation(write_deltas)
 
+        # Version-coordinator shards: per-window commit counts and queue
+        # depths (only when the cluster runs the sharded coordinator).
+        shard_commits: Tuple[int, ...] = ()
+        shard_backlog: Tuple[int, ...] = ()
+        shard_imbalance = 0.0
+        vm = getattr(self.cluster, "version_manager", None)
+        shard_reports = getattr(vm, "shard_reports", None)
+        if callable(shard_reports):
+            commits: List[int] = []
+            backlog: List[int] = []
+            for report in shard_reports():
+                shard = report["shard"]
+                published = report["versions_published"]
+                commits.append(published - self._last_shard_published.get(shard, 0))
+                self._last_shard_published[shard] = published
+                backlog.append(report["backlog"])
+            shard_commits = tuple(commits)
+            shard_backlog = tuple(backlog)
+            shard_imbalance = _coefficient_of_variation(commits)
+
         sample = WindowSample(
             window_start=self._last_time,
             window_end=now,
@@ -126,6 +166,9 @@ class Monitor:
             write_load=write_load,
             read_load=read_load,
             load_imbalance=imbalance,
+            vm_shard_commits=shard_commits,
+            vm_shard_backlog=shard_backlog,
+            vm_shard_imbalance=shard_imbalance,
         )
         self._last_time = now
         self.samples.append(sample)

@@ -22,6 +22,7 @@ from .driver import (
     run_concurrent_readers,
     run_concurrent_writers,
     run_mixed_workload,
+    run_multi_blob_appenders,
     run_sustained_appends,
 )
 
@@ -50,6 +51,7 @@ __all__ = [
     "run_concurrent_readers",
     "run_concurrent_writers",
     "run_mixed_workload",
+    "run_multi_blob_appenders",
     "run_sustained_appends",
     "scheduled_failures",
 ]

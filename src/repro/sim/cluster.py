@@ -24,7 +24,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 from ..core.config import BlobSeerConfig
 from ..core.provider_manager import ProviderManager
 from ..core.types import BlobInfo
-from ..core.version_manager import VersionManager
+from ..core.version_coordinator import ShardedVersionManager
 from ..dht.distributed_store import DistributedKeyValueStore
 from .engine import Environment
 from .metrics import MetricsCollector
@@ -119,7 +119,10 @@ class SimulatedBlobSeer:
         self.metrics = MetricsCollector()
 
         # -- real control plane -------------------------------------------------
-        self.version_manager = VersionManager()
+        self.version_manager = ShardedVersionManager(
+            num_shards=self.config.num_version_managers,
+            virtual_nodes=self.config.dht_virtual_nodes,
+        )
         data_ids = [f"provider-{i:03d}" for i in range(self.config.num_data_providers)]
         meta_ids = [f"meta-{i:03d}" for i in range(self.config.num_metadata_providers)]
         self.provider_pool = SimProviderPool(data_ids)
@@ -133,9 +136,18 @@ class SimulatedBlobSeer:
         )
 
         # -- simulated machines ----------------------------------------------------
-        self.version_manager_node = SimNode(
-            self.env, "version-manager", self.model, role="version_manager"
-        )
+        #: One machine per version-coordinator shard; commit RPCs are charged
+        #: to the shard owning the blob, so a single coordinator saturates
+        #: while a sharded service spreads the load.
+        self.version_manager_nodes: List[SimNode] = [
+            SimNode(
+                self.env,
+                f"version-manager-{index:03d}",
+                self.model,
+                role="version_manager",
+            )
+            for index in range(self.config.num_version_managers)
+        ]
         self.provider_manager_node = SimNode(
             self.env, "provider-manager", self.model, role="provider_manager"
         )
@@ -155,6 +167,16 @@ class SimulatedBlobSeer:
         #: When set, overrides every blob's replication level for new writes
         #: (QoS feedback action; ``None`` means "use the blob's own level").
         self.replication_override: Optional[int] = None
+
+    # -- version-coordinator routing ------------------------------------------------
+    @property
+    def version_manager_node(self) -> SimNode:
+        """The first coordinator shard's machine (single-shard compatibility)."""
+        return self.version_manager_nodes[0]
+
+    def version_node_for(self, blob_id: int) -> SimNode:
+        """The simulated machine of the shard owning ``blob_id``."""
+        return self.version_manager_nodes[self.version_manager.shard_index(blob_id)]
 
     # -- blobs --------------------------------------------------------------------
     def create_blob(
@@ -229,7 +251,7 @@ class SimulatedBlobSeer:
 
     # -- reporting -------------------------------------------------------------------------------
     def node_reports(self) -> List[Dict[str, Any]]:
-        nodes = [self.version_manager_node, self.provider_manager_node]
+        nodes = [*self.version_manager_nodes, self.provider_manager_node]
         nodes.extend(self.data_nodes.values())
         nodes.extend(self.meta_nodes.values())
         return [node.report() for node in nodes]

@@ -116,6 +116,34 @@ def run_concurrent_appenders(
     return WorkloadResult(cluster=cluster, metrics=cluster.metrics, makespan=makespan)
 
 
+def run_multi_blob_appenders(
+    cluster: SimulatedBlobSeer,
+    blobs: Sequence[BlobInfo],
+    num_clients: int,
+    append_size: int,
+    appends_per_client: int = 1,
+) -> WorkloadResult:
+    """N clients append concurrently, spread round-robin over M blobs.
+
+    This is the multi-blob commit storm of the version-sharding experiment
+    (E11): every append is independent across blobs, so the only cross-client
+    coupling left is the version-coordinator service itself — one shard
+    serialises everything, N shards spread the register/publish RPCs over N
+    simulated machines.
+    """
+    clients = [cluster.client() for _ in range(num_clients)]
+
+    def client_workload(index: int, client: SimClient) -> Generator:
+        blob = blobs[index % len(blobs)]
+        for _ in range(appends_per_client):
+            yield from client.append(blob, append_size)
+
+    for index, client in enumerate(clients):
+        cluster.env.process(client_workload(index, client), name=f"appender-{index}")
+    makespan = _run_all(cluster, clients)
+    return WorkloadResult(cluster=cluster, metrics=cluster.metrics, makespan=makespan)
+
+
 # ---------------------------------------------------------------------------
 # Read workloads
 # ---------------------------------------------------------------------------

@@ -112,16 +112,17 @@ class SimClient:
         cluster.provider_manager.complete(plan)
         if not pushed_ok:
             return None
-        # Step 3: the serialised version assignment.
+        # Step 3: the serialised version assignment, at the owning shard.
         yield from self.node.rpc(
-            cluster.version_manager_node, service=model.version_manager_service
+            cluster.version_node_for(blob.blob_id),
+            service=model.version_manager_service,
         )
         ticket = cluster.version_manager.register_write(
             blob.blob_id, offset, size, writer=self.client_id
         )
         # Steps 4-5: metadata weaving + publication.
-        yield from self._build_and_publish(blob, ticket, fragments)
-        return ticket.version
+        published = yield from self._build_and_publish(blob, ticket, fragments)
+        return ticket.version if published else None
 
     def _do_append(self, blob: BlobInfo, size: int) -> Generator:
         cluster = self.cluster
@@ -129,7 +130,8 @@ class SimClient:
         # Appends take the version ticket first: the offset is assigned
         # atomically with the version.
         yield from self.node.rpc(
-            cluster.version_manager_node, service=model.version_manager_service
+            cluster.version_node_for(blob.blob_id),
+            service=model.version_manager_service,
         )
         ticket = cluster.version_manager.register_append(
             blob.blob_id, size, writer=self.client_id
@@ -149,8 +151,8 @@ class SimClient:
             cluster.version_manager.abort(blob.blob_id, ticket.version)
             yield from self._repair(blob, ticket.version)
             return None
-        yield from self._build_and_publish(blob, ticket, fragments)
-        return ticket.version
+        published = yield from self._build_and_publish(blob, ticket, fragments)
+        return ticket.version if published else None
 
     def _push_chunks(
         self, blob: BlobInfo, write_id: int, plan, offset: int, size: int
@@ -212,26 +214,46 @@ class SimClient:
     def _build_and_publish(
         self, blob: BlobInfo, ticket, fragments: Sequence[Fragment]
     ) -> Generator:
+        """Steps 4-5 for one assigned ticket; returns whether it published.
+
+        A weave failure here — for a plain write just as much as for an
+        append — leaves an already-assigned version with no readable
+        metadata.  Without an abort the published frontier (and therefore
+        every later write of the blob) would stall behind the dead version
+        forever, so the failure path aborts the ticket and installs no-op
+        repair metadata before reporting the operation as failed.
+        """
         cluster = self.cluster
         model = self.model
         history = cluster.version_manager.get_history(blob.blob_id, ticket.version - 1)
         builder = SegmentTreeBuilder(self.metadata, blob.chunk_size)
-        with cluster.record_metadata_accesses() as accesses:
-            builder.build(
-                blob_id=blob.blob_id,
-                version=ticket.version,
-                write_interval=Interval.of(ticket.offset, ticket.size),
-                new_fragments=fragments,
-                history=history,
-                base_size=ticket.base_blob_size,
-                new_size=ticket.new_blob_size,
+        try:
+            with cluster.record_metadata_accesses() as accesses:
+                builder.build(
+                    blob_id=blob.blob_id,
+                    version=ticket.version,
+                    write_interval=Interval.of(ticket.offset, ticket.size),
+                    new_fragments=fragments,
+                    history=history,
+                    base_size=ticket.base_blob_size,
+                    new_size=ticket.new_blob_size,
+                )
+        except Exception:
+            yield from self.node.rpc(
+                cluster.version_node_for(blob.blob_id),
+                service=model.version_manager_service,
             )
+            cluster.version_manager.abort(blob.blob_id, ticket.version)
+            yield from self._repair(blob, ticket.version)
+            return False
         yield from self._replay_metadata_accesses(accesses, parallel=True)
-        # Step 5: notify the version manager (publication).
+        # Step 5: notify the owning version-coordinator shard (publication).
         yield from self.node.rpc(
-            cluster.version_manager_node, service=model.version_manager_service
+            cluster.version_node_for(blob.blob_id),
+            service=model.version_manager_service,
         )
         cluster.version_manager.publish(blob.blob_id, ticket.version)
+        return True
 
     def _repair(self, blob: BlobInfo, version: Version) -> Generator:
         """Install no-op metadata for an aborted append (see client library)."""
@@ -266,9 +288,10 @@ class SimClient:
         cluster = self.cluster
         model = self.model
         start = self.env.now
-        # Step 1: ask the version manager which snapshot to read.
+        # Step 1: ask the owning version-coordinator shard which snapshot to read.
         yield from self.node.rpc(
-            cluster.version_manager_node, service=model.version_manager_service
+            cluster.version_node_for(blob.blob_id),
+            service=model.version_manager_service,
         )
         snapshot = cluster.version_manager.get_snapshot(blob.blob_id, version)
         target = Interval.of(offset, size).intersection(Interval(0, snapshot.size))

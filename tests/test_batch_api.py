@@ -360,6 +360,129 @@ class TestSimTransport:
         assert client.transport.now() > after_write
 
 
+class TestShardedCoordinatorBatches:
+    @pytest.fixture
+    def sharded_deployment(self):
+        dep = BlobSeerDeployment(
+            BlobSeerConfig(
+                num_data_providers=4,
+                num_metadata_providers=3,
+                chunk_size=CHUNK,
+                num_version_managers=4,
+            )
+        )
+        yield dep
+        dep.close()
+
+    def test_batch_takes_one_register_round_per_shard(self, sharded_deployment):
+        client = sharded_deployment.client()
+        vm = sharded_deployment.version_manager
+        blobs = [client.create_blob() for _ in range(4)]
+        for blob in blobs:
+            blob.append(b"\x00" * CHUNK)
+        shards = {vm.shard_index(blob.blob_id) for blob in blobs}
+        rounds_before = vm.register_rounds
+        batch = client.batch()
+        for blob in blobs:
+            for _ in range(3):
+                batch.write(blob.blob_id, 0, b"x" * CHUNK)
+        results = batch.submit()
+        assert all(r.ok for r in results)
+        # 12 writes over 4 blobs collapse to one bulk round per owning shard.
+        assert vm.register_rounds - rounds_before == len(shards)
+
+    def test_batch_takes_one_publish_round_per_blob(self, sharded_deployment):
+        client = sharded_deployment.client()
+        vm = sharded_deployment.version_manager
+        blobs = [client.create_blob() for _ in range(3)]
+        for blob in blobs:
+            blob.append(b"\x00" * CHUNK)
+        rounds_before = vm.publish_rounds
+        batch = client.batch()
+        for blob in blobs:
+            for _ in range(4):
+                batch.append(blob.blob_id, b"y" * CHUNK)
+        results = batch.submit()
+        assert all(r.ok for r in results)
+        # 12 publications collapse to one publish_many round per blob.
+        assert vm.publish_rounds - rounds_before == len(blobs)
+        for blob in blobs:
+            assert blob.latest_version() == 5
+
+    def test_weave_failure_in_batch_repairs_its_version(self, deployment, monkeypatch):
+        """A write whose metadata weave fails must not stall the frontier.
+
+        Mirrors the simulator-path regression: the assigned version is
+        aborted *and* repaired with no-op metadata, so the blob keeps
+        committing afterwards.
+        """
+        from repro.core.metadata.segment_tree import SegmentTreeBuilder
+
+        client = deployment.client()
+        blob = client.create_blob()
+        blob.append(b"\x00" * CHUNK)  # v1
+
+        real_build = SegmentTreeBuilder.build
+        fail_versions = {2}
+
+        def flaky_build(builder, *, version, **kwargs):
+            if version in fail_versions:
+                fail_versions.discard(version)
+                raise RuntimeError("injected weave failure")
+            return real_build(builder, version=version, **kwargs)
+
+        monkeypatch.setattr(SegmentTreeBuilder, "build", flaky_build)
+
+        batch = client.batch()
+        doomed = batch.write(blob.blob_id, 0, b"a" * CHUNK)   # v2: weave fails
+        sibling = batch.write(blob.blob_id, 0, b"b" * CHUNK)  # v3: must publish
+        batch.submit()
+        assert not doomed.result().ok
+        assert isinstance(doomed.result().error, RuntimeError)
+        assert sibling.result().ok and sibling.result().version == 3
+        # The dead version was repaired, the frontier moved past it, and
+        # the sibling's data is readable.
+        vm = deployment.version_manager
+        assert vm.aborted_versions(blob.blob_id) == []
+        assert vm.pending_versions(blob.blob_id) == []
+        assert blob.latest_version() == 3
+        assert blob.read(0, CHUNK) == b"b" * CHUNK
+        # The repaired v2 re-exposes v1's content over the announced range.
+        assert blob.read(0, CHUNK, version=2) == b"\x00" * CHUNK
+        # And the blob keeps committing afterwards.
+        assert blob.write(0, b"c" * CHUNK) == 4
+
+    def test_multi_blob_batch_results_identical_at_any_shard_count(self):
+        def run(num_shards):
+            dep = BlobSeerDeployment(
+                BlobSeerConfig(
+                    num_data_providers=4,
+                    num_metadata_providers=3,
+                    chunk_size=CHUNK,
+                    num_version_managers=num_shards,
+                )
+            )
+            try:
+                client = dep.client()
+                blobs = [client.create_blob() for _ in range(3)]
+                batch = client.batch()
+                for index, blob in enumerate(blobs):
+                    batch.append(blob.blob_id, bytes([index + 1]) * CHUNK)
+                    batch.append(blob.blob_id, bytes([index + 65]) * CHUNK)
+                results = batch.submit()
+                assert all(r.ok for r in results)
+                return [
+                    (r.version, r.offset, client.read(r.op.blob_id, 0, 2 * CHUNK))
+                    for r in results
+                ]
+            finally:
+                dep.close()
+
+        # The 1-shard configuration is today's single version manager; more
+        # shards must not change any observable outcome.
+        assert run(1) == run(4) == run(16)
+
+
 class TestRegisterWritesBulk:
     def test_bulk_registration_isolates_invalid_specs(self, deployment):
         vm = deployment.version_manager

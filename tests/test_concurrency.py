@@ -172,6 +172,131 @@ class TestReadersDecoupledFromWriters:
         assert writer.latest_version() == 30
 
 
+class TestShardedCoordinatorStorm:
+    """Multi-blob storms against a sharded version coordinator.
+
+    The shard routing must be invisible to clients: every safety property
+    that held with one version manager (per-blob version monotonicity,
+    snapshot isolation, intact appends) must hold identically when blobs
+    are spread over several coordinator shards.
+    """
+
+    @pytest.fixture
+    def sharded_deployment(self):
+        dep = BlobSeerDeployment(
+            BlobSeerConfig(
+                num_data_providers=4,
+                num_metadata_providers=3,
+                chunk_size=CHUNK,
+                num_version_managers=4,
+            )
+        )
+        yield dep
+        dep.close()
+
+    def test_multi_blob_append_storm_keeps_per_blob_monotonicity(self, sharded_deployment):
+        deployment = sharded_deployment
+        num_blobs, num_clients, appends_each = 6, 8, 4
+        blobs = [deployment.create_blob() for _ in range(num_blobs)]
+        # The storm only exercises cross-shard concurrency if the blobs
+        # actually land on more than one shard.
+        vm = deployment.version_manager
+        assert len({vm.shard_index(b.blob_id) for b in blobs}) > 1
+
+        def worker(index: int):
+            client = deployment.client(f"w{index}")
+            marker = bytes([ord("A") + index])
+            for round_index in range(appends_each):
+                # Every worker touches every blob, rotating the start blob so
+                # shards see interleaved traffic from many clients at once.
+                for step in range(num_blobs):
+                    blob_info = blobs[(index + round_index + step) % num_blobs]
+                    client.open_blob(blob_info.blob_id).append(marker * 20)
+
+        with ThreadPoolExecutor(max_workers=num_clients) as pool:
+            list(pool.map(worker, range(num_clients)))
+
+        reader = deployment.client("reader")
+        per_blob = num_clients * appends_each
+        for blob_info in blobs:
+            blob = reader.open_blob(blob_info.blob_id)
+            assert blob.latest_version() == per_blob
+            assert blob.size() == per_blob * 20
+            data = blob.read(0, blob.size())
+            # Appends landed intact: each 20-byte record is one marker.
+            for start in range(0, len(data), 20):
+                assert len(set(data[start : start + 20])) == 1
+            history = blob.history()
+            assert [r.version for r in history] == list(range(1, per_blob + 1))
+            offsets = sorted(r.offset for r in history)
+            assert offsets == [i * 20 for i in range(per_blob)]
+
+    def test_snapshot_isolation_holds_under_cross_shard_writes(self, sharded_deployment):
+        deployment = sharded_deployment
+        blobs = [deployment.create_blob() for _ in range(4)]
+        writer_client = deployment.client("writer")
+        expected = {}
+        for blob_info in blobs:
+            blob = writer_client.open_blob(blob_info.blob_id)
+            blob.append(b"base" * CHUNK)
+            expected[blob_info.blob_id] = blob.read(0, blob.size(), version=1)
+
+        stop = threading.Event()
+        mismatches: list[str] = []
+
+        def reader_loop():
+            client = deployment.client("reader")
+            while not stop.is_set():
+                for blob_info in blobs:
+                    data = client.read(
+                        blob_info.blob_id, 0, len(expected[blob_info.blob_id]), version=1
+                    )
+                    if data != expected[blob_info.blob_id]:
+                        mismatches.append(f"blob {blob_info.blob_id} changed under reader")
+                        return
+
+        def writer_loop():
+            for index in range(10):
+                for blob_info in blobs:
+                    writer_client.write(blob_info.blob_id, 0, bytes([index]) * CHUNK)
+
+        thread = threading.Thread(target=reader_loop)
+        thread.start()
+        writer_loop()
+        stop.set()
+        thread.join()
+        assert mismatches == []
+        for blob_info in blobs:
+            assert deployment.version_manager.latest_version(blob_info.blob_id) == 11
+
+    def test_batched_multi_blob_writers_from_many_threads(self, sharded_deployment):
+        deployment = sharded_deployment
+        num_blobs, num_clients = 5, 6
+        blobs = [deployment.create_blob() for _ in range(num_blobs)]
+        primer = deployment.client("primer")
+        for blob_info in blobs:
+            primer.open_blob(blob_info.blob_id).append(b"\x00" * CHUNK)
+
+        def worker(index: int):
+            client = deployment.client(f"w{index}")
+            # One batch spanning every blob: register rounds group by shard.
+            batch = client.batch()
+            for blob_info in blobs:
+                batch.write(blob_info.blob_id, 0, bytes([index + 1]) * CHUNK)
+            results = batch.submit()
+            assert all(r.ok for r in results)
+
+        with ThreadPoolExecutor(max_workers=num_clients) as pool:
+            list(pool.map(worker, range(num_clients)))
+
+        reader = deployment.client("reader")
+        for blob_info in blobs:
+            blob = reader.open_blob(blob_info.blob_id)
+            assert blob.latest_version() == 1 + num_clients
+            final = blob.read(0, CHUNK)
+            assert len(set(final)) == 1 and final[0] in range(1, num_clients + 1)
+
+
 class TestConcurrentBlobCreation:
     def test_blob_ids_unique_across_threads(self, deployment):
         ids: list[int] = []

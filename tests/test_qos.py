@@ -72,6 +72,58 @@ class TestMonitoring:
         assert any(sample.client_throughput > 0 for sample in monitor.samples)
         assert monitor.trace().shape[1] == len(FEATURE_NAMES)
 
+    def test_monitor_sees_per_shard_coordinator_load(self):
+        cluster = SimulatedBlobSeer(
+            BlobSeerConfig(
+                num_data_providers=4,
+                num_metadata_providers=2,
+                chunk_size=64 * KB,
+                num_version_managers=4,
+            )
+        )
+        blobs = [cluster.create_blob() for _ in range(6)]
+        monitor = Monitor(cluster)
+
+        from repro.sim import run_multi_blob_appenders
+
+        run_multi_blob_appenders(cluster, blobs, num_clients=6, append_size=256 * KB)
+        sample = monitor.sample()
+        assert len(sample.vm_shard_commits) == 4
+        assert len(sample.vm_shard_backlog) == 4
+        assert sum(sample.vm_shard_commits) == 6
+        # Per-shard counts follow the blob routing exactly.
+        vm = cluster.version_manager
+        expected = [0, 0, 0, 0]
+        for index in range(6):
+            expected[vm.shard_index(blobs[index % len(blobs)].blob_id)] += 1
+        assert list(sample.vm_shard_commits) == expected
+        # Everything published, so no shard reports a backlog (and there is
+        # no hot shard to point at).
+        assert sample.vm_shard_backlog == (0, 0, 0, 0)
+        assert sample.hottest_vm_shard() is None
+        # A second window with no commits shows zero deltas.
+        follow_up = monitor.sample()
+        assert sum(follow_up.vm_shard_commits) == 0
+
+    def test_hottest_vm_shard_flags_backlogged_shard(self):
+        cluster = SimulatedBlobSeer(
+            BlobSeerConfig(
+                num_data_providers=4,
+                num_metadata_providers=2,
+                chunk_size=64 * KB,
+                num_version_managers=2,
+            )
+        )
+        blob = cluster.create_blob()
+        vm = cluster.version_manager
+        # An assigned-but-never-published version is exactly the queue depth
+        # the monitor must surface.
+        vm.register_append(blob.blob_id, 1024)
+        monitor = Monitor(cluster)
+        sample = monitor.sample()
+        assert sample.hottest_vm_shard() == vm.shard_index(blob.blob_id)
+        assert sum(sample.vm_shard_backlog) == 1
+
     def test_feature_matrix_shape(self):
         samples = synthetic_trace(10)
         matrix = feature_matrix(samples)

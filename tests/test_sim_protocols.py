@@ -201,6 +201,115 @@ class TestFailuresInSimulation:
         assert len(cluster.live_data_providers()) >= 1
 
 
+class TestCommitAbortRepair:
+    """A failed commit must never stall the published frontier.
+
+    Regression coverage for the write path: a weave failure *after* the
+    version was assigned (inside ``_build_and_publish``) used to leave a
+    plain write's ticket pending forever — only appends aborted theirs —
+    so every later version of the blob queued behind a dead one.
+    """
+
+    def _flaky_builder(self, monkeypatch, fail_versions):
+        from repro.core.metadata.segment_tree import SegmentTreeBuilder
+
+        real_build = SegmentTreeBuilder.build
+
+        def build(builder, *, version, **kwargs):
+            if version in fail_versions:
+                fail_versions.discard(version)
+                raise RuntimeError("injected weave failure")
+            return real_build(builder, version=version, **kwargs)
+
+        monkeypatch.setattr(SegmentTreeBuilder, "build", build)
+
+    def test_failed_plain_write_aborts_and_repairs_its_ticket(self, monkeypatch):
+        from repro.core.version_manager import WriteState
+
+        cluster = make_cluster()
+        blob = cluster.create_blob()
+        prime_blob(cluster, blob, 256 * KB)  # version 1
+        self._flaky_builder(monkeypatch, fail_versions={2})
+        client = cluster.client()
+        outcomes = []
+
+        def failing_then_ok():
+            version = yield from client.write(blob, 0, 64 * KB)
+            outcomes.append(version)
+            version = yield from client.write(blob, 0, 64 * KB)
+            outcomes.append(version)
+
+        cluster.env.process(failing_then_ok())
+        cluster.env.run()
+        vm = cluster.version_manager
+        # The failed write reported no version; the retry committed as v3
+        # and the frontier passed the repaired dead version.
+        assert outcomes == [None, 3]
+        assert vm.version_state(blob.blob_id, 2) == WriteState.PUBLISHED
+        assert vm.pending_versions(blob.blob_id) == []
+        assert vm.latest_version(blob.blob_id) == 3
+        # The repaired no-op version re-exposes the base snapshot's bytes.
+        assert vm.get_snapshot(blob.blob_id, 2).size == 256 * KB
+        records = [r for r in cluster.metrics.records if r.kind == "write"]
+        assert [r.ok for r in records] == [False, True]
+
+    def test_failed_append_weave_aborts_and_repairs_its_ticket(self, monkeypatch):
+        from repro.core.version_manager import WriteState
+
+        cluster = make_cluster()
+        blob = cluster.create_blob()
+        prime_blob(cluster, blob, 256 * KB)
+        self._flaky_builder(monkeypatch, fail_versions={2})
+        client = cluster.client()
+        outcomes = []
+
+        def failing_then_ok():
+            version = yield from client.append(blob, 64 * KB)
+            outcomes.append(version)
+            version = yield from client.append(blob, 64 * KB)
+            outcomes.append(version)
+
+        cluster.env.process(failing_then_ok())
+        cluster.env.run()
+        vm = cluster.version_manager
+        assert outcomes == [None, 3]
+        assert vm.version_state(blob.blob_id, 2) == WriteState.PUBLISHED
+        assert vm.latest_version(blob.blob_id) == 3
+        # The repaired append contributes its announced size (the interval
+        # was already public when the version was assigned); the successful
+        # retry lands after it.
+        assert vm.get_snapshot(blob.blob_id, 3).size == 256 * KB + 2 * 64 * KB
+
+
+class TestShardedCoordinatorInSim:
+    def test_commit_rpcs_charge_the_owning_shard_node(self):
+        cluster = make_cluster(num_version_managers=4)
+        blobs = [cluster.create_blob() for _ in range(8)]
+        from repro.sim import run_multi_blob_appenders
+
+        run_multi_blob_appenders(cluster, blobs, num_clients=8, append_size=256 * KB)
+        vm = cluster.version_manager
+        busy = {
+            node.node_id: node.cpu.busy_time for node in cluster.version_manager_nodes
+        }
+        # Every shard that owns one of the blobs served commit RPCs; shards
+        # owning none stayed idle.
+        owning = {f"version-manager-{vm.shard_index(b.blob_id):03d}" for b in blobs}
+        for node_id, cpu_busy in busy.items():
+            if node_id in owning:
+                assert cpu_busy > 0
+            else:
+                assert cpu_busy == 0
+
+    def test_sharded_cluster_matches_functional_semantics(self):
+        cluster = make_cluster(num_version_managers=4)
+        blob = cluster.create_blob()
+        run_concurrent_appenders(cluster, blob, num_clients=4, append_size=256 * KB)
+        vm = cluster.version_manager
+        assert vm.latest_version(blob.blob_id) == 4
+        assert vm.get_snapshot(blob.blob_id).size == 4 * 256 * KB
+
+
 class TestHeadlineShapes:
     """Coarse sanity checks of the experiment shapes; the full sweeps live in
     benchmarks/ (these keep the properties guarded by the fast test suite)."""

@@ -1,4 +1,10 @@
-"""Tests for the version manager: assignment, publication order, recovery."""
+"""Tests for the version manager: assignment, publication order, recovery.
+
+Also covers the sharded version-coordinator service built on top of it:
+routing invariants (a blob always maps to the same shard), per-blob
+semantics preserved at any shard count, and the bulk register/publish
+rounds the batch engine uses.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +16,7 @@ from repro.core.errors import (
     InvalidRangeError,
     VersionNotFoundError,
 )
+from repro.core.version_coordinator import ShardedVersionManager, VersionCoordinator
 from repro.core.version_manager import VersionManager, WriteState
 
 
@@ -187,3 +194,162 @@ class TestAbortAndRepair:
         vm.abort(blob_id, t1.version)
         assert vm.aborted_versions(blob_id) == [1]
         assert vm.version_state(blob_id, 1) == WriteState.ABORTED
+
+
+class TestBulkRounds:
+    def test_publish_many_advances_frontier_once(self, vm, blob_id):
+        tickets = [vm.register_append(blob_id, 10) for _ in range(3)]
+        rounds_before = vm.publish_rounds
+        frontier = vm.publish_many(blob_id, [t.version for t in tickets])
+        assert frontier == 3
+        assert vm.latest_version(blob_id) == 3
+        assert vm.publish_rounds == rounds_before + 1
+
+    def test_publish_many_waits_for_missing_earlier_version(self, vm, blob_id):
+        vm.register_append(blob_id, 10)  # v1, never completed
+        t2 = vm.register_append(blob_id, 10)
+        t3 = vm.register_append(blob_id, 10)
+        assert vm.publish_many(blob_id, [t3.version, t2.version]) == 0
+        assert vm.latest_version(blob_id) == 0
+        assert vm.publish(blob_id, 1) == 3
+
+    def test_publish_many_rejects_aborted_version(self, vm, blob_id):
+        t1 = vm.register_append(blob_id, 10)
+        vm.abort(blob_id, t1.version)
+        with pytest.raises(CommitError):
+            vm.publish_many(blob_id, [t1.version])
+
+    def test_publish_many_is_all_or_nothing_on_error(self, vm, blob_id):
+        t1 = vm.register_append(blob_id, 10)
+        t2 = vm.register_append(blob_id, 10)
+        vm.abort(blob_id, t2.version)
+        with pytest.raises(CommitError):
+            vm.publish_many(blob_id, [t1.version, t2.version])
+        # The failed round mutated nothing: v1 is still pending, not
+        # half-completed behind an exception the caller read as failure.
+        assert vm.version_state(blob_id, t1.version) == WriteState.PENDING
+        assert vm.latest_version(blob_id) == 0
+        with pytest.raises(VersionNotFoundError):
+            vm.publish_many(blob_id, [t1.version, 99])
+        assert vm.version_state(blob_id, t1.version) == WriteState.PENDING
+
+    def test_register_writes_bulk_unknown_blob_assigns_nothing(self, vm, blob_id):
+        vm.register_append(blob_id, 100)
+        with pytest.raises(BlobNotFoundError):
+            vm.register_writes_bulk([(blob_id, [(0, 10)]), (999, [(0, 5)])])
+        # The known blob's round was not half-applied: no orphaned ticket.
+        assert vm.pending_versions(blob_id) == [1]
+        assert vm.writes_registered == 1
+
+    def test_register_writes_bulk_spans_blobs_in_one_round(self, vm):
+        a = vm.create_blob(chunk_size=64).blob_id
+        b = vm.create_blob(chunk_size=64).blob_id
+        vm.register_append(a, 100)
+        vm.register_append(b, 50)
+        rounds_before = vm.register_rounds
+        results = vm.register_writes_bulk([(a, [(0, 10), (0, 20)]), (b, [(0, 5)])])
+        assert vm.register_rounds == rounds_before + 1
+        assert [t.version for t in results[0]] == [2, 3]
+        assert results[1][0].version == 2
+        assert results[1][0].blob_id == b
+
+    def test_report_counts_backlog(self, vm, blob_id):
+        t1 = vm.register_append(blob_id, 10)
+        vm.register_append(blob_id, 10)
+        vm.publish(blob_id, t1.version)
+        report = vm.report()
+        assert report["blobs"] == 1
+        assert report["writes_registered"] == 2
+        assert report["versions_published"] == 1
+        assert report["backlog"] == 1
+
+
+class TestShardedCoordinator:
+    def test_version_manager_is_a_coordinator(self):
+        assert isinstance(VersionManager(), VersionCoordinator)
+        assert isinstance(ShardedVersionManager(num_shards=4), VersionCoordinator)
+
+    def test_routing_is_stable_and_deterministic(self):
+        svm = ShardedVersionManager(num_shards=8)
+        blob_ids = [svm.create_blob().blob_id for _ in range(64)]
+        first = {blob_id: svm.shard_index(blob_id) for blob_id in blob_ids}
+        for _ in range(3):
+            assert {b: svm.shard_index(b) for b in blob_ids} == first
+        # Routing depends only on the blob id: a fresh coordinator with the
+        # same shard count maps every blob identically (clients and servers
+        # can compute ownership independently).
+        other = ShardedVersionManager(num_shards=8)
+        assert {b: other.shard_index(b) for b in blob_ids} == first
+
+    def test_blobs_spread_over_shards(self):
+        svm = ShardedVersionManager(num_shards=8)
+        for _ in range(200):
+            svm.create_blob()
+        distribution = svm.blob_distribution()
+        assert sum(distribution.values()) == 200
+        assert all(count > 0 for count in distribution.values())
+
+    def test_single_shard_routes_everything_to_shard_zero(self):
+        svm = ShardedVersionManager(num_shards=1)
+        blob_ids = [svm.create_blob().blob_id for _ in range(16)]
+        assert {svm.shard_index(b) for b in blob_ids} == {0}
+        assert svm.num_shards == 1
+
+    def test_blob_ids_globally_unique_and_sequential(self):
+        svm = ShardedVersionManager(num_shards=4)
+        ids = [svm.create_blob().blob_id for _ in range(20)]
+        assert ids == list(range(1, 21))
+        assert svm.blob_ids() == ids
+
+    def test_per_blob_semantics_preserved_across_shards(self):
+        svm = ShardedVersionManager(num_shards=4)
+        blobs = [svm.create_blob(chunk_size=64).blob_id for _ in range(8)]
+        for blob_id in blobs:
+            t1 = svm.register_append(blob_id, 100)
+            t2 = svm.register_write(blob_id, 0, 10)
+            assert (t1.version, t2.version) == (1, 2)
+            assert svm.latest_version(blob_id) == 0
+            assert svm.publish_many(blob_id, [t2.version]) == 0  # v1 pending
+            assert svm.publish(blob_id, t1.version) == 2
+            assert svm.get_snapshot(blob_id).size == 100
+            assert len(svm.get_history(blob_id, 2)) == 2
+
+    def test_unknown_blob_raises_through_routing(self):
+        svm = ShardedVersionManager(num_shards=4)
+        with pytest.raises(BlobNotFoundError):
+            svm.blob_info(999)
+
+    def test_register_writes_bulk_routes_mixed_shards(self):
+        svm = ShardedVersionManager(num_shards=4)
+        blobs = [svm.create_blob(chunk_size=64).blob_id for _ in range(6)]
+        for blob_id in blobs:
+            svm.register_append(blob_id, 100)
+        batches = [(blob_id, [(0, 10)]) for blob_id in blobs]
+        results = svm.register_writes_bulk(batches, writer="w")
+        assert [outcomes[0].blob_id for outcomes in results] == blobs
+        assert all(outcomes[0].version == 2 for outcomes in results)
+
+    def test_aggregate_counters_sum_over_shards(self):
+        svm = ShardedVersionManager(num_shards=4)
+        blobs = [svm.create_blob(chunk_size=64).blob_id for _ in range(8)]
+        for blob_id in blobs:
+            ticket = svm.register_append(blob_id, 10)
+            svm.publish(blob_id, ticket.version)
+        assert svm.writes_registered == 8
+        assert svm.versions_published == 8
+        assert svm.backlog() == 0
+        reports = svm.shard_reports()
+        assert len(reports) == 4
+        assert sum(r["writes_registered"] for r in reports) == 8
+        assert sum(r["blobs"] for r in reports) == 8
+
+    def test_abort_and_repair_route_to_owning_shard(self):
+        svm = ShardedVersionManager(num_shards=4)
+        blob_id = svm.create_blob(chunk_size=64).blob_id
+        t1 = svm.register_append(blob_id, 10)
+        t2 = svm.register_append(blob_id, 10)
+        svm.abort(blob_id, t1.version)
+        svm.publish(blob_id, t2.version)
+        assert svm.latest_version(blob_id) == 0
+        assert svm.mark_repaired(blob_id, t1.version) == 2
+        assert svm.aborted_versions(blob_id) == []
