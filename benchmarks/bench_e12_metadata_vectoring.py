@@ -1,0 +1,226 @@
+"""E12 — Vectored metadata I/O: level-parallel tree traversal and batched weaves.
+
+BlobSeer's fine-grain access cost is dominated by metadata-tree traffic: a
+read descends the distributed segment tree and a write weaves O(chunks +
+depth) new nodes into the metadata DHT.  The seed implementation issued one
+DHT round trip per node — O(nodes) sequential RPCs for a deep-tree read.
+This experiment measures what vectoring buys: the reader fetches each tree
+level in a single ``get_many`` (keys grouped by owning provider, one bulk
+request per provider, providers in parallel) and the builder flushes its
+nodes with one ``put_many`` round per level, children before parents.
+
+Two views of the same effect:
+
+* **modelled time (SimTransport)** — deep-tree reads and writes at several
+  tree depths, ``vectored_metadata`` on vs off.  The sequential path pays
+  one request/response exchange per node; the vectored path pays one per
+  level per provider, and a level is charged as the max over its providers.
+* **wall clock (DirectTransport wiring)** — the same traversal against the
+  real in-process DHT behind a fixed per-round-trip latency shim (the RTT a
+  remote metadata provider would add).  Wall time then counts *rounds*, so
+  the O(depth)-vs-O(nodes) gap shows up on a real clock, not only on the
+  simulated one.
+
+Round counts are asserted, not just timed: a cold vectored lookup must cost
+exactly one ``get_many`` round per tree level (depth + 1 rounds for a
+full-span read), the cheap perf-regression guard CI runs on every push.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.core import BlobSeerConfig, BlobSeerDeployment
+from repro.core.config import ClientConfig
+from repro.core.interval import Interval
+from repro.core.metadata import SegmentTreeReader
+from repro.sim import NetworkModel
+
+from _helpers import KB, save_table
+
+CHUNK = 1 * KB
+#: Tree depths to sweep: chunks = 2**depth, nodes = 2**(depth+1) - 1.
+DEPTHS = [4, 6, 8]
+#: The depth CI's round-count guard runs at (256 chunks, 511 nodes).
+REFERENCE_DEPTH = 8
+MODEL = NetworkModel()
+#: Round-trip latency the wall-clock part charges per metadata round.
+DIRECT_RTT = 0.2e-3
+
+
+def _config(vectored: bool) -> BlobSeerConfig:
+    return BlobSeerConfig(
+        num_data_providers=16,
+        num_metadata_providers=16,
+        chunk_size=CHUNK,
+        client=ClientConfig(metadata_cache=False, vectored_metadata=vectored),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Part A: modelled time through SimTransport
+# ---------------------------------------------------------------------------
+
+
+def _sim_deep_tree(depth: int, vectored: bool):
+    """Write + read one full-span deep tree; returns times and round counts."""
+    span = (2**depth) * CHUNK
+    with BlobSeerDeployment(_config(vectored)) as deployment:
+        client = deployment.sim_client(model=MODEL)
+        blob = client.create_blob()
+        start = client.transport.now()
+        blob.append(b"e" * span)
+        write_time = client.transport.now() - start
+        put_rounds = client.counters["metadata_put_rounds"]
+        start = client.transport.now()
+        data = blob.read(0, span)
+        read_time = client.transport.now() - start
+        assert data == b"e" * span
+        return {
+            "write_time": write_time,
+            "read_time": read_time,
+            "put_rounds": put_rounds,
+            "get_rounds": client.counters["metadata_levels_fetched"],
+            "nodes": client.counters["metadata_nodes_fetched"],
+        }
+
+
+def run_sim_sweep() -> ResultTable:
+    table = ResultTable(
+        "E12: deep-tree metadata I/O — sequential vs vectored (SimTransport, "
+        "cache off, 16 metadata providers)",
+        [
+            "depth",
+            "nodes",
+            "seq_read_s",
+            "vec_read_s",
+            "read_speedup",
+            "seq_get_rounds",
+            "vec_get_rounds",
+            "seq_write_s",
+            "vec_write_s",
+            "write_speedup",
+        ],
+    )
+    for depth in DEPTHS:
+        seq = _sim_deep_tree(depth, vectored=False)
+        vec = _sim_deep_tree(depth, vectored=True)
+        assert seq["nodes"] == vec["nodes"] == 2 ** (depth + 1) - 1
+        table.add(
+            depth=depth,
+            nodes=vec["nodes"],
+            seq_read_s=seq["read_time"],
+            vec_read_s=vec["read_time"],
+            read_speedup=seq["read_time"] / vec["read_time"],
+            seq_get_rounds=seq["get_rounds"],
+            vec_get_rounds=vec["get_rounds"],
+            seq_write_s=seq["write_time"],
+            vec_write_s=vec["write_time"],
+            write_speedup=seq["write_time"] / vec["write_time"],
+            vec_put_rounds=vec["put_rounds"],
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Part B: wall clock against an RTT-charged store (DirectTransport wiring)
+# ---------------------------------------------------------------------------
+
+
+class RttStore:
+    """Charge one fixed round-trip latency per metadata request.
+
+    Wraps the real DHT: a scalar get is one round, a ``get_many`` is one
+    round no matter how many keys it carries (the payload cost is the
+    backend's real work) — the latency profile of a remote provider.
+    """
+
+    def __init__(self, backend, rtt: float) -> None:
+        self.backend = backend
+        self.rtt = rtt
+        self.rounds = 0
+
+    def get(self, key):
+        self.rounds += 1
+        time.sleep(self.rtt)
+        return self.backend.get(key)
+
+    def get_many(self, keys):
+        self.rounds += 1
+        time.sleep(self.rtt)
+        return self.backend.get_many(keys)
+
+
+def run_direct_sweep() -> ResultTable:
+    table = ResultTable(
+        "E12b: deep-tree lookup wall clock at 0.2 ms metadata RTT — "
+        "sequential vs vectored traversal",
+        ["depth", "nodes", "seq_wall_s", "vec_wall_s", "speedup", "vec_rounds"],
+    )
+    with BlobSeerDeployment(_config(vectored=True)) as deployment:
+        client = deployment.client()
+        for depth in DEPTHS:
+            span = (2**depth) * CHUNK
+            blob = client.create_blob()
+            blob.append(b"w" * span)
+            snapshot = client.snapshot(blob.blob_id)
+            target = Interval.of(0, span)
+            results = {}
+            for vectored in (False, True):
+                store = RttStore(deployment.metadata_store, DIRECT_RTT)
+                reader = SegmentTreeReader(store, CHUNK, vectored=vectored)
+                start = time.perf_counter()
+                fragments = reader.lookup(snapshot.root, target)
+                elapsed = time.perf_counter() - start
+                results[vectored] = (elapsed, store.rounds, fragments)
+            seq_wall, seq_rounds, seq_fragments = results[False]
+            vec_wall, vec_rounds, vec_fragments = results[True]
+            assert vec_fragments == seq_fragments
+            assert seq_rounds == 2 ** (depth + 1) - 1
+            assert vec_rounds == depth + 1
+            table.add(
+                depth=depth,
+                nodes=seq_rounds,
+                seq_wall_s=seq_wall,
+                vec_wall_s=vec_wall,
+                speedup=seq_wall / vec_wall,
+                vec_rounds=vec_rounds,
+            )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Benchmarks
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="e12-metadata-vectoring")
+def test_e12_vectored_metadata_speeds_up_deep_trees(benchmark, results_dir):
+    table = benchmark.pedantic(run_sim_sweep, rounds=1, iterations=1)
+    save_table(results_dir, "e12_metadata_vectoring", table)
+    # The acceptance bar: >= 1.5x modelled read time for deep trees (the
+    # measured gain at depth 8 is far larger), and the gain grows with depth.
+    read_speedups = table.column("read_speedup")
+    assert read_speedups[-1] >= 1.5
+    assert read_speedups[-1] > read_speedups[0]
+    assert all(speedup >= 1.0 for speedup in read_speedups)
+    # Writes benefit too: the weave flushes levels instead of nodes.
+    assert table.column("write_speedup")[-1] >= 1.5
+    # The regression guard CI relies on: a cold vectored lookup costs one
+    # get_many round per tree level — depth + 1 rounds, never more.
+    for row in table.rows:
+        assert row["vec_get_rounds"] <= row["depth"] + 1
+    reference = [row for row in table.rows if row["depth"] == REFERENCE_DEPTH]
+    assert reference and reference[0]["vec_get_rounds"] == REFERENCE_DEPTH + 1
+
+
+@pytest.mark.benchmark(group="e12-metadata-vectoring")
+def test_e12_direct_wall_clock_counts_rounds(benchmark, results_dir):
+    table = benchmark.pedantic(run_direct_sweep, rounds=1, iterations=1)
+    save_table(results_dir, "e12_direct_rtt", table)
+    speedups = table.column("speedup")
+    assert speedups[-1] >= 1.5
+    assert speedups[-1] > speedups[0]

@@ -143,7 +143,12 @@ class BlobSeerClient:
             )
         else:
             self._metadata = PassthroughMetadataStore(deployment.metadata_store)
+        self._vectored = client_config.vectored_metadata
         #: Operation counters (reads/writes issued, bytes moved) for harnesses.
+        #: ``metadata_levels_fetched`` / ``metadata_put_rounds`` count metadata
+        #: *round trips* (one vectored round per tree level), the number the
+        #: vectoring work drives down — compare against the per-node
+        #: ``metadata_nodes_*`` counters to see the batching factor.
         self.counters: Dict[str, int] = {
             "reads": 0,
             "writes": 0,
@@ -153,6 +158,8 @@ class BlobSeerClient:
             "bytes_written": 0,
             "metadata_nodes_written": 0,
             "metadata_nodes_fetched": 0,
+            "metadata_levels_fetched": 0,
+            "metadata_put_rounds": 0,
         }
 
     # -- blob lifecycle --------------------------------------------------------------
@@ -272,13 +279,16 @@ class BlobSeerClient:
                     if p.target.empty:
                         p.data = b""
                         continue
-                    reader = SegmentTreeReader(self._metadata, p.snapshot.chunk_size)
+                    reader = SegmentTreeReader(
+                        self._metadata, p.snapshot.chunk_size, vectored=self._vectored
+                    )
                     snapshot = p.snapshot
                     target = p.target
                     fragments, token = transport.record_metadata(
                         lambda: reader.lookup(snapshot.root, target)
                     )
                     self.counters["metadata_nodes_fetched"] += reader.nodes_fetched
+                    self.counters["metadata_levels_fetched"] += reader.levels_fetched
                     p.read_fragments = fragments
                     read_rounds.append((p, token))
                     p.fetch_jobs = [
@@ -477,7 +487,9 @@ class BlobSeerClient:
             info = p.info
             ticket = p.ticket
             history = vm.get_history(info.blob_id, ticket.version - 1)
-            builder = SegmentTreeBuilder(self._metadata, info.chunk_size)
+            builder = SegmentTreeBuilder(
+                self._metadata, info.chunk_size, vectored=self._vectored
+            )
             fragments = p.fragments
             try:
                 _, token = transport.record_metadata(
@@ -502,6 +514,7 @@ class BlobSeerClient:
                 queue_repair(p)
                 continue
             self.counters["metadata_nodes_written"] += builder.nodes_written
+            self.counters["metadata_put_rounds"] += builder.put_rounds
             weave_rounds.append((p, token))
         # Charge every operation's DHT traffic concurrently (weaves of
         # independent snapshots and repairs never conflict: tree nodes are
@@ -614,7 +627,9 @@ class BlobSeerClient:
         record = history[version - 1]
         base_history = history[: version - 1]
         base_size = base_history[-1].new_size if base_history else 0
-        builder = SegmentTreeBuilder(self._metadata, info.chunk_size)
+        builder = SegmentTreeBuilder(
+            self._metadata, info.chunk_size, vectored=self._vectored
+        )
         builder.build_noop(
             blob_id=blob_id,
             version=version,
@@ -623,6 +638,7 @@ class BlobSeerClient:
             base_size=base_size,
             new_size=record.new_size,
         )
+        self.counters["metadata_put_rounds"] += builder.put_rounds
 
     def repair_version(self, blob_id: BlobId, version: Version) -> None:
         """Install no-op metadata for an aborted version so readers can pass it.
@@ -919,9 +935,14 @@ class Blob:
         target = Interval.of(offset, size).intersection(Interval(0, snapshot.size))
         if target.empty:
             return []
-        reader = SegmentTreeReader(self._client.metadata_store, snapshot.chunk_size)
+        reader = SegmentTreeReader(
+            self._client.metadata_store,
+            snapshot.chunk_size,
+            vectored=self._client._vectored,
+        )
         fragments = reader.lookup(snapshot.root, target)
         self._client.counters["metadata_nodes_fetched"] += reader.nodes_fetched
+        self._client.counters["metadata_levels_fetched"] += reader.levels_fetched
         return [
             (fragment.blob_offset, fragment.length, fragment.providers)
             for fragment in fragments

@@ -33,6 +33,11 @@ class ClientConfig:
     metadata_cache: bool = True
     #: Maximum number of tree nodes kept in the client cache (LRU).
     metadata_cache_capacity: int = 65536
+    #: Vector metadata I/O per tree level (frontier-BFS lookups, batched
+    #: weave flushes): O(depth) metadata round trips instead of O(nodes).
+    #: ``False`` keeps the sequential one-RPC-per-node seed path (the
+    #: baseline the E12 benchmark measures against).
+    vectored_metadata: bool = True
     #: Number of chunks prefetched ahead of a sequential stream (BSFS).
     prefetch_chunks: int = 2
     #: Buffer size (bytes) used by BSFS streaming writes before flushing.
@@ -86,6 +91,7 @@ class BlobSeerConfig:
             {
                 "client.metadata_cache": self.client.metadata_cache,
                 "client.metadata_cache_capacity": self.client.metadata_cache_capacity,
+                "client.vectored_metadata": self.client.vectored_metadata,
                 "client.prefetch_chunks": self.client.prefetch_chunks,
                 "client.write_buffer_chunks": self.client.write_buffer_chunks,
             }

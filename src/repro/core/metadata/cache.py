@@ -4,14 +4,16 @@ Section IV.A of the paper highlights "the benefits of metadata caching on
 the client side" for fine-grain concurrent access.  Because metadata tree
 nodes are immutable (versioning means a key is never rebound), a plain LRU
 cache is always coherent: there is nothing to invalidate.  The cache wraps
-the distributed store with the same ``get``/``put`` interface, so the
-segment-tree builder and reader are oblivious to whether caching is on.
+the distributed store with the same ``get``/``put`` — and vectored
+``get_many``/``put_many`` — interface, so the segment-tree builder and
+reader are oblivious to whether caching is on.  Vectored gets serve hits
+locally and forward only the misses to the backend in one bulk request.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 class MetadataCache:
@@ -67,9 +69,45 @@ class MetadataCache:
         self._backend.put(key, value)
         self._insert(key, value)
 
+    # -- vectored interface ----------------------------------------------------
+    def get_many(self, keys: Sequence[Any]) -> Dict[Any, Any]:
+        """Bulk get: serve hits locally, forward only the misses to the DHT.
+
+        Returns the keys found (local hits plus backend hits); missing keys
+        are simply absent, mirroring the backend's ``get_many``.  Hit/miss
+        counters advance per key, exactly as the scalar sequence would.
+        """
+        found: Dict[Any, Any] = {}
+        missing: List[Any] = []
+        for key in keys:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                found[key] = cached
+            else:
+                self.misses += 1
+                missing.append(key)
+        if missing:
+            fetched = self._backend.get_many(missing)
+            for key, value in fetched.items():
+                self._insert(key, value)
+            found.update(fetched)
+        return found
+
+    def put_many(self, items: Iterable[Tuple[Any, Any]]) -> None:
+        """Bulk write-through: one backend ``put_many``, all pairs retained."""
+        pairs = list(items)
+        self._backend.put_many(pairs)
+        for key, value in pairs:
+            self._insert(key, value)
+
     # -- internals ---------------------------------------------------------------
     def _insert(self, key: Any, value: Any) -> None:
         if key in self._entries:
+            # Refresh the stored value: a re-put of an (immutable, hence
+            # equal) node may still carry a fresher object identity.
+            self._entries[key] = value
             self._entries.move_to_end(key)
             return
         self._entries[key] = value
@@ -117,6 +155,13 @@ class PassthroughMetadataStore:
 
     def put(self, key: Any, value: Any) -> None:
         self._backend.put(key, value)
+
+    def get_many(self, keys: Sequence[Any]) -> Dict[Any, Any]:
+        self.misses += len(keys)
+        return self._backend.get_many(keys)
+
+    def put_many(self, items: Iterable[Tuple[Any, Any]]) -> None:
+        self._backend.put_many(items)
 
     def clear(self) -> None:  # pragma: no cover - nothing to clear
         return None

@@ -13,7 +13,22 @@ This module is the heart of BlobSeer's metadata scheme (Section I.B.3,
   concurrent writers only ever add new keys to the DHT and readers of older
   snapshots are never disturbed.
 * :class:`SegmentTreeReader` walks a snapshot's tree top-down and returns
-  the fragments covering a requested byte range.
+  the fragments covering a requested byte range.  The walk is a **frontier
+  BFS**: the reader keeps the set of node keys of one tree level (the
+  frontier), fetches the whole level in a single vectored ``get_many``
+  round against the metadata DHT, then derives the next frontier from the
+  children that overlap the target — so a lookup costs O(depth) metadata
+  round trips instead of O(nodes) sequential RPCs.  Within a round the DHT
+  groups the keys by owning provider and issues one bulk request per
+  provider, so a level's fan-out is bounded by the slowest provider, not by
+  the level's node count.
+
+The builder is vectored symmetrically: it accumulates the nodes of the new
+tree and flushes them with one ``put_many`` round per level, **children
+before parents** — a writer crashing mid-weave can leave orphan subtrees
+(never referenced, harmless) but never a parent pointing at an unwritten
+child.  Base-leaf lookups for partial-chunk merges are batched the same
+way, one ``get_many`` for all the leaves a build borrows.
 
 Which older node a borrowed reference points to is computed *locally* from
 the blob's write history (the list of ``(version, offset, size)`` of all
@@ -107,6 +122,39 @@ def latest_version_touching(
 
 
 # ---------------------------------------------------------------------------
+# Vectored store access (fallback-tolerant)
+# ---------------------------------------------------------------------------
+
+
+def _bulk_get(store, keys: Sequence[NodeKey]) -> Dict[NodeKey, TreeNode]:
+    """Fetch ``keys`` through the store's ``get_many`` (one round per level).
+
+    Falls back to scalar gets for minimal store stubs; either way the result
+    contains only the keys found — callers decide whether a miss is fatal.
+    """
+    getter = getattr(store, "get_many", None)
+    if getter is not None:
+        return getter(list(keys))
+    found: Dict[NodeKey, TreeNode] = {}
+    for key in keys:
+        try:
+            found[key] = store.get(key)
+        except MetadataNotFoundError:
+            continue
+    return found
+
+
+def _bulk_put(store, items: Sequence[Tuple[NodeKey, TreeNode]]) -> None:
+    """Write one level of nodes through the store's ``put_many``."""
+    putter = getattr(store, "put_many", None)
+    if putter is not None:
+        putter(list(items))
+        return
+    for key, node in items:
+        store.put(key, node)
+
+
+# ---------------------------------------------------------------------------
 # Builder (write path)
 # ---------------------------------------------------------------------------
 
@@ -114,23 +162,47 @@ def latest_version_touching(
 class SegmentTreeBuilder:
     """Builds the metadata tree of one new snapshot.
 
+    The default (vectored) mode accumulates the new nodes and flushes them
+    level by level with one ``put_many`` round per level, children before
+    parents: a crash mid-weave can leave unreferenced orphan subtrees but
+    never a parent pointing at an unwritten child.  ``vectored=False`` keeps
+    the historical one-``put``-per-node recursion (used by benchmarks as the
+    sequential baseline).
+
     Parameters
     ----------
     metadata_store:
-        Object with ``put(key, node)`` and ``get(key) -> node`` — in practice
-        the :class:`~repro.dht.DistributedKeyValueStore` (or the client's
-        write-through cache wrapping it).
+        Object with ``put``/``get`` (and ideally ``put_many``/``get_many``)
+        — in practice the :class:`~repro.dht.DistributedKeyValueStore` or
+        the client's write-through cache wrapping it.
     chunk_size:
         The blob's chunk size.
+    vectored:
+        Batch metadata I/O per tree level (the default).
     """
 
-    def __init__(self, metadata_store, chunk_size: int) -> None:
+    def __init__(self, metadata_store, chunk_size: int, vectored: bool = True) -> None:
         self._store = metadata_store
         self._chunk_size = chunk_size
+        self._vectored = vectored
         #: Number of tree nodes written by the last ``build`` call.
         self.nodes_written = 0
         #: Number of base-tree leaves fetched for partial-chunk merges.
         self.base_leaves_fetched = 0
+        #: Number of ``put`` rounds the last build flushed (== tree levels
+        #: touched when vectored, == nodes written in scalar mode).
+        self.put_rounds = 0
+
+    def _level_offsets(self, write_interval: Interval, size: int):
+        """Aligned node offsets of one level that overlap ``write_interval``.
+
+        The written interval is contiguous, so the overlapping nodes of a
+        level form one contiguous aligned run — enumerated directly instead
+        of scanning the whole span.
+        """
+        first = (write_interval.start // size) * size
+        last = ((write_interval.end - 1) // size) * size
+        return range(first, last + size, size)
 
     def build(
         self,
@@ -152,44 +224,46 @@ class SegmentTreeBuilder:
             raise ValueError("cannot build metadata for an empty write")
         cs = self._chunk_size
         span = span_bytes(new_size, cs)
-        base_span = span_bytes(base_size, cs) if base_size > 0 else 0
         base_version = version - 1
         self.nodes_written = 0
         self.base_leaves_fetched = 0
+        self.put_rounds = 0
 
         fragments = sorted(new_fragments, key=lambda f: f.blob_offset)
 
-        def build_range(offset: int, size: int) -> NodeKey:
-            key = NodeKey(blob_id, version, offset, size)
-            node_iv = Interval.of(offset, size)
-            if size == cs:
-                node = self._build_leaf(
-                    key, node_iv, write_interval, fragments, history, base_version
-                )
-            else:
-                children: List[Optional[NodeKey]] = []
-                for child_offset, child_size in halves(offset, size):
-                    child_iv = Interval.of(child_offset, child_size)
-                    if child_iv.overlaps(write_interval):
-                        children.append(build_range(child_offset, child_size))
-                    else:
-                        # Untouched half: borrow the most recent older node
-                        # covering it (this includes the "tree grew, left
-                        # half is the old root span" case).
-                        borrowed = latest_version_touching(
-                            history, child_iv, base_version
-                        )
-                        children.append(
-                            NodeKey(blob_id, borrowed, child_offset, child_size)
-                            if borrowed is not None
-                            else None
-                        )
-                node = InnerNode(key=key, left=children[0], right=children[1])
-            self._store.put(key, node)
-            self.nodes_written += 1
-            return key
+        if not self._vectored:
+            return self._build_scalar(
+                blob_id, version, write_interval, fragments, history, span, base_version
+            )
 
-        return build_range(0, span)
+        # Which leaves need base-snapshot content (partial-chunk merges)?
+        base_key_of: Dict[int, NodeKey] = {}
+        for offset in self._level_offsets(write_interval, cs):
+            node_iv = Interval.of(offset, cs)
+            if node_iv.subtract(write_interval):
+                borrowed = latest_version_touching(history, node_iv, base_version)
+                if borrowed is not None:
+                    base_key_of[offset] = NodeKey(blob_id, borrowed, offset, cs)
+        base_leaves = self._fetch_base_leaves_bulk(list(base_key_of.values()))
+
+        def make_leaf(key: NodeKey) -> LeafNode:
+            node_iv = Interval.of(key.offset, key.size)
+            written_part = node_iv.intersection(write_interval)
+            pieces: List[Fragment] = []
+            for frag in fragments:
+                clipped = frag.clip(written_part)
+                if clipped is not None:
+                    pieces.append(clipped)
+            surviving = node_iv.subtract(write_interval)
+            base_leaf = base_leaves.get(base_key_of.get(key.offset))
+            if surviving and base_leaf is not None:
+                for part in surviving:
+                    pieces.extend(base_leaf.fragments_in(part))
+            return LeafNode(key=key, fragments=merge_fragments(pieces))
+
+        return self._flush_levels(
+            blob_id, version, write_interval, history, span, base_version, make_leaf
+        )
 
     def build_noop(
         self,
@@ -215,21 +289,66 @@ class SegmentTreeBuilder:
         base_version = version - 1
         self.nodes_written = 0
         self.base_leaves_fetched = 0
+        self.put_rounds = 0
 
-        def build_range(offset: int, size: int) -> NodeKey:
-            key = NodeKey(blob_id, version, offset, size)
-            node_iv = Interval.of(offset, size)
-            if size == cs:
-                base_leaf = self._fetch_base_leaf(key, history, base_version)
-                fragments = base_leaf.fragments if base_leaf is not None else ()
-                node: TreeNode = LeafNode(key=key, fragments=fragments)
-            else:
+        if not self._vectored:
+            return self._build_noop_scalar(
+                blob_id, version, write_interval, history, span, base_version
+            )
+
+        base_key_of: Dict[int, NodeKey] = {}
+        for offset in self._level_offsets(write_interval, cs):
+            node_iv = Interval.of(offset, cs)
+            borrowed = latest_version_touching(history, node_iv, base_version)
+            if borrowed is not None:
+                base_key_of[offset] = NodeKey(blob_id, borrowed, offset, cs)
+        base_leaves = self._fetch_base_leaves_bulk(list(base_key_of.values()))
+
+        def make_leaf(key: NodeKey) -> LeafNode:
+            base_leaf = base_leaves.get(base_key_of.get(key.offset))
+            fragments = base_leaf.fragments if base_leaf is not None else ()
+            return LeafNode(key=key, fragments=fragments)
+
+        return self._flush_levels(
+            blob_id, version, write_interval, history, span, base_version, make_leaf
+        )
+
+    # -- vectored level construction -------------------------------------------
+    def _flush_levels(
+        self,
+        blob_id: BlobId,
+        version: Version,
+        write_interval: Interval,
+        history: Sequence[WriteRecord],
+        span: int,
+        base_version: Version,
+        make_leaf: Callable[[NodeKey], LeafNode],
+    ) -> NodeKey:
+        """Materialise every level of the new tree, then flush bottom-up."""
+        cs = self._chunk_size
+        levels: List[List[Tuple[NodeKey, TreeNode]]] = [
+            [
+                (key, make_leaf(key))
+                for offset in self._level_offsets(write_interval, cs)
+                for key in (NodeKey(blob_id, version, offset, cs),)
+            ]
+        ]
+        size = cs * 2
+        while size <= span:
+            items: List[Tuple[NodeKey, TreeNode]] = []
+            for offset in self._level_offsets(write_interval, size):
+                key = NodeKey(blob_id, version, offset, size)
                 children: List[Optional[NodeKey]] = []
                 for child_offset, child_size in halves(offset, size):
                     child_iv = Interval.of(child_offset, child_size)
                     if child_iv.overlaps(write_interval):
-                        children.append(build_range(child_offset, child_size))
+                        children.append(
+                            NodeKey(blob_id, version, child_offset, child_size)
+                        )
                     else:
+                        # Untouched half: borrow the most recent older node
+                        # covering it (this includes the "tree grew, left
+                        # half is the old root span" case).
                         borrowed = latest_version_touching(
                             history, child_iv, base_version
                         )
@@ -238,12 +357,137 @@ class SegmentTreeBuilder:
                             if borrowed is not None
                             else None
                         )
-                node = InnerNode(key=key, left=children[0], right=children[1])
+                items.append(
+                    (key, InnerNode(key=key, left=children[0], right=children[1]))
+                )
+            levels.append(items)
+            size *= 2
+        # Children before parents: one put_many round per level, leaves first.
+        for items in levels:
+            _bulk_put(self._store, items)
+            self.nodes_written += len(items)
+            self.put_rounds += 1
+        return NodeKey(blob_id, version, 0, span)
+
+    def _fetch_base_leaves_bulk(
+        self, base_keys: Sequence[NodeKey]
+    ) -> Dict[NodeKey, LeafNode]:
+        """Fetch all borrowed base leaves of one build in bulk rounds.
+
+        Missing leaves are polled (see :meth:`_fetch_base_leaf`): only the
+        still-missing subset is refetched each round, so a single slow
+        concurrent weaver delays, not multiplies, the traffic.
+        """
+        unique = list(dict.fromkeys(base_keys))
+        if not unique:
+            return {}
+        self.base_leaves_fetched += len(unique)
+        found: Dict[NodeKey, TreeNode] = {}
+        missing: Sequence[NodeKey] = unique
+        for attempt in range(self.BASE_LEAF_RETRIES):
+            found.update(_bulk_get(self._store, missing))
+            missing = [key for key in missing if key not in found]
+            if not missing:
+                break
+            if attempt == self.BASE_LEAF_RETRIES - 1:
+                raise MetadataNotFoundError(missing[0])
+            time.sleep(self.BASE_LEAF_RETRY_SLEEP)
+        for key, node in found.items():
+            if not isinstance(node, LeafNode):  # pragma: no cover - defensive
+                raise MetadataNotFoundError(key)
+        return found
+
+    # -- scalar fallback (the sequential seed path) -----------------------------
+    def _build_scalar(
+        self,
+        blob_id: BlobId,
+        version: Version,
+        write_interval: Interval,
+        fragments: Sequence[Fragment],
+        history: Sequence[WriteRecord],
+        span: int,
+        base_version: Version,
+    ) -> NodeKey:
+        def build_range(offset: int, size: int) -> NodeKey:
+            key = NodeKey(blob_id, version, offset, size)
+            node_iv = Interval.of(offset, size)
+            if size == self._chunk_size:
+                node: TreeNode = self._build_leaf(
+                    key, node_iv, write_interval, fragments, history, base_version
+                )
+            else:
+                node = InnerNode(
+                    key=key,
+                    left=self._scalar_child(
+                        blob_id, version, write_interval, history, base_version,
+                        build_range, *halves(offset, size)[0],
+                    ),
+                    right=self._scalar_child(
+                        blob_id, version, write_interval, history, base_version,
+                        build_range, *halves(offset, size)[1],
+                    ),
+                )
             self._store.put(key, node)
             self.nodes_written += 1
+            self.put_rounds += 1
             return key
 
         return build_range(0, span)
+
+    def _build_noop_scalar(
+        self,
+        blob_id: BlobId,
+        version: Version,
+        write_interval: Interval,
+        history: Sequence[WriteRecord],
+        span: int,
+        base_version: Version,
+    ) -> NodeKey:
+        def build_range(offset: int, size: int) -> NodeKey:
+            key = NodeKey(blob_id, version, offset, size)
+            if size == self._chunk_size:
+                base_leaf = self._fetch_base_leaf(key, history, base_version)
+                fragments = base_leaf.fragments if base_leaf is not None else ()
+                node: TreeNode = LeafNode(key=key, fragments=fragments)
+            else:
+                node = InnerNode(
+                    key=key,
+                    left=self._scalar_child(
+                        blob_id, version, write_interval, history, base_version,
+                        build_range, *halves(offset, size)[0],
+                    ),
+                    right=self._scalar_child(
+                        blob_id, version, write_interval, history, base_version,
+                        build_range, *halves(offset, size)[1],
+                    ),
+                )
+            self._store.put(key, node)
+            self.nodes_written += 1
+            self.put_rounds += 1
+            return key
+
+        return build_range(0, span)
+
+    def _scalar_child(
+        self,
+        blob_id: BlobId,
+        version: Version,
+        write_interval: Interval,
+        history: Sequence[WriteRecord],
+        base_version: Version,
+        build_range: Callable[[int, int], NodeKey],
+        child_offset: int,
+        child_size: int,
+    ) -> Optional[NodeKey]:
+        child_iv = Interval.of(child_offset, child_size)
+        if child_iv.overlaps(write_interval):
+            return build_range(child_offset, child_size)
+        borrowed = latest_version_touching(history, child_iv, base_version)
+        return (
+            NodeKey(blob_id, borrowed, child_offset, child_size)
+            if borrowed is not None
+            else None
+        )
 
     # -- leaf construction ----------------------------------------------------
     def _build_leaf(
@@ -315,13 +559,24 @@ class SegmentTreeBuilder:
 
 
 class SegmentTreeReader:
-    """Reads fragment descriptors for a byte range of one snapshot."""
+    """Reads fragment descriptors for a byte range of one snapshot.
 
-    def __init__(self, metadata_store, chunk_size: int) -> None:
+    The default (vectored) traversal is a frontier BFS: the node keys of
+    each tree level are fetched in a single ``get_many`` round, so a lookup
+    costs O(depth) metadata round trips.  ``vectored=False`` keeps the
+    historical one-``get``-per-node walk (used by benchmarks as the
+    sequential baseline).
+    """
+
+    def __init__(self, metadata_store, chunk_size: int, vectored: bool = True) -> None:
         self._store = metadata_store
         self._chunk_size = chunk_size
+        self._vectored = vectored
         #: Number of tree nodes fetched by the last ``lookup`` call.
         self.nodes_fetched = 0
+        #: Number of metadata round trips the last ``lookup`` cost (== tree
+        #: levels traversed when vectored, == nodes fetched in scalar mode).
+        self.levels_fetched = 0
 
     def lookup(self, root: Optional[NodeKey], target: Interval) -> List[Fragment]:
         """Return the fragments covering ``target`` in the snapshot under ``root``.
@@ -330,8 +585,34 @@ class SegmentTreeReader:
         zero-fill them.  Fragments are returned sorted by blob offset.
         """
         self.nodes_fetched = 0
+        self.levels_fetched = 0
         if root is None or target.empty:
             return []
+        if not self._vectored:
+            return self._lookup_scalar(root, target)
+        fragments: List[Fragment] = []
+        frontier: List[NodeKey] = (
+            [root] if Interval.of(root.offset, root.size).overlaps(target) else []
+        )
+        while frontier:
+            found = _bulk_get(self._store, frontier)
+            self.levels_fetched += 1
+            self.nodes_fetched += len(frontier)
+            next_frontier: List[NodeKey] = []
+            for key in frontier:
+                node = found.get(key)
+                if node is None:
+                    raise MetadataNotFoundError(key)
+                if isinstance(node, LeafNode):
+                    fragments.extend(node.fragments_in(target))
+                else:
+                    next_frontier.extend(node.children_overlapping(target))
+            frontier = next_frontier
+        fragments.sort(key=lambda f: f.blob_offset)
+        return fragments
+
+    def _lookup_scalar(self, root: NodeKey, target: Interval) -> List[Fragment]:
+        """The sequential seed traversal: one ``get`` round trip per node."""
         fragments: List[Fragment] = []
         stack: List[NodeKey] = [root]
         while stack:
@@ -341,6 +622,7 @@ class SegmentTreeReader:
                 continue
             node: TreeNode = self._store.get(key)
             self.nodes_fetched += 1
+            self.levels_fetched += 1
             if isinstance(node, LeafNode):
                 fragments.extend(node.fragments_in(target))
             else:
@@ -352,21 +634,26 @@ class SegmentTreeReader:
         """Return the node keys a lookup of ``target`` would touch (for analysis).
 
         Used by the simulator and by tests to count metadata accesses without
-        materialising fragment lists.
+        materialising fragment lists.  Keys are returned in BFS order (level
+        by level, the order the vectored lookup fetches them).
         """
         if root is None or target.empty:
             return []
+        if not Interval.of(root.offset, root.size).overlaps(target):
+            return []
         visited: List[NodeKey] = []
-        stack: List[NodeKey] = [root]
-        while stack:
-            key = stack.pop()
-            node_iv = Interval.of(key.offset, key.size)
-            if not node_iv.overlaps(target):
-                continue
-            visited.append(key)
-            node: TreeNode = self._store.get(key)
-            if isinstance(node, InnerNode):
-                stack.extend(node.children_overlapping(target))
+        frontier: List[NodeKey] = [root]
+        while frontier:
+            found = _bulk_get(self._store, frontier)
+            next_frontier: List[NodeKey] = []
+            for key in frontier:
+                node = found.get(key)
+                if node is None:
+                    raise MetadataNotFoundError(key)
+                visited.append(key)
+                if isinstance(node, InnerNode):
+                    next_frontier.extend(node.children_overlapping(target))
+            frontier = next_frontier
         return visited
 
 

@@ -7,7 +7,8 @@ what they cost:
 
 * :class:`DirectTransport` — today's wiring: plain in-process calls, with
   chunk transfers of a batch fanned out across a shared worker pool and
-  phase durations measured in wall time;
+  phase durations measured in wall time (the vectored metadata DHT fans
+  its per-provider bulk requests out over the same shared pool);
 * :class:`SimTransport` — the same operations routed through the
   :mod:`repro.sim.network` latency/bandwidth models: every chunk transfer
   occupies the client uplink and the provider downlink, every control RPC
@@ -329,9 +330,83 @@ class DirectTransport(Transport):
 
 @dataclass
 class _SimMetadataToken:
-    """Recorded metadata accesses of one operation, awaiting time charging."""
+    """Recorded metadata accesses of one operation, awaiting time charging.
+
+    Each entry is ``(provider_id, op, payload)`` exactly as the DHT's
+    ``access_hook`` fired it: scalar ops carry one key, bulk ops
+    (``get_many``/``put_many``) carry the tuple of keys one per-provider
+    bulk request grouped — the per-level provider groupings the replay
+    needs to charge a level as the *max* over providers instead of the sum.
+    """
 
     accesses: List[Tuple[str, str, Any]] = field(default_factory=list)
+
+
+def _access_level(op: str, payload: Any) -> int:
+    """Tree level of one recorded access (node size; bulk keys share a level)."""
+    if op in ("get", "put"):
+        return getattr(payload, "size", 0)
+    return max((getattr(key, "size", 0) for key in payload), default=0)
+
+
+def _access_count(op: str, payload: Any) -> int:
+    """Number of logical node operations one recorded access carries."""
+    if op in ("get", "put"):
+        return 1
+    return max(1, len(payload))
+
+
+def charge_metadata_accesses(
+    env, all_of_fn, model, rpc_to, accesses, leveled: bool, name: str = "sim.meta"
+):
+    """Charge recorded metadata accesses on simulated time (a generator).
+
+    The one cost model shared by :meth:`SimTransport.replay_metadata` and
+    the simulated cluster's client replay: a bulk access (one
+    ``get_many``/``put_many`` request per provider, as the vectored DHT
+    fires them) costs a single round trip carrying ``n`` nodes' payload and
+    ``n`` service times at that provider's CPU, with the providers of one
+    round running in parallel — a level costs the max over its providers.
+    Scalar accesses model the sequential seed client: one round trip at a
+    time, in recorded order.  ``leveled=True`` additionally orders rounds
+    root-level first, parents before children, as a tree lookup must.
+
+    ``rpc_to(pid, request_bytes, response_bytes, service)`` must return the
+    caller's request/response generator against provider ``pid``'s node.
+    """
+
+    def one_access(pid: str, op: str, payload: Any):
+        count = _access_count(op, payload)
+        service = model.metadata_service * count
+        if op in ("put", "put_many"):
+            yield from rpc_to(pid, model.metadata_node_bytes * count, 64, service)
+        else:
+            yield from rpc_to(pid, 64 * count, model.metadata_node_bytes * count, service)
+
+    def scalar_chain(entries):
+        for pid, op, payload in entries:
+            yield from one_access(pid, op, payload)
+
+    def charge_group(entries):
+        children = [
+            env.process(one_access(pid, op, payload), name=name)
+            for pid, op, payload in entries
+            if op in ("get_many", "put_many")
+        ]
+        scalars = [entry for entry in entries if entry[1] in ("get", "put")]
+        if scalars:
+            children.append(env.process(scalar_chain(scalars), name=name))
+        if children:
+            yield all_of_fn(env, children)
+
+    if leveled:
+        levels: dict = {}
+        for pid, op, payload in accesses:
+            levels.setdefault(_access_level(op, payload), []).append((pid, op, payload))
+        for size in sorted(levels, reverse=True):
+            yield from charge_group(levels[size])
+    else:
+        yield from charge_group(list(accesses))
 
 
 class SimTransport(Transport):
@@ -539,47 +614,32 @@ class SimTransport(Transport):
         return value, token
 
     def replay_metadata(self, tokens: Sequence[Any], leveled: bool = False) -> List[float]:
+        """Charge the recorded metadata traffic on simulated time.
+
+        Each token's accesses are charged by
+        :func:`charge_metadata_accesses`: bulk per-provider requests in
+        parallel (a level costs the max over its providers), scalar
+        accesses sequentially as the seed client issued them — that
+        difference *is* what the vectoring benchmark measures.  Tokens
+        belong to independent operations and replay concurrently.
+        """
         from ..sim.engine import all_of
 
         start = self.env.now
         durations = [0.0] * len(tokens)
 
-        def one_access(pid: str, op: str):
-            meta_node = self.meta_nodes[pid]
-            if op == "put":
-                yield from self.client_node.rpc(
-                    meta_node,
-                    request_bytes=self.model.metadata_node_bytes,
-                    response_bytes=64,
-                    service=self.model.metadata_service,
-                )
-            else:
-                yield from self.client_node.rpc(
-                    meta_node,
-                    request_bytes=64,
-                    response_bytes=self.model.metadata_node_bytes,
-                    service=self.model.metadata_service,
-                )
+        def rpc_to(pid: str, request_bytes: int, response_bytes: int, service: float):
+            return self.client_node.rpc(
+                self.meta_nodes[pid],
+                request_bytes=request_bytes,
+                response_bytes=response_bytes,
+                service=service,
+            )
 
         def one_token(index: int, token: _SimMetadataToken):
-            if leveled:
-                # Tree lookup: larger (shallower) nodes first, level by level.
-                levels = {}
-                for pid, op, key in token.accesses:
-                    levels.setdefault(getattr(key, "size", 0), []).append((pid, op))
-                for size in sorted(levels, reverse=True):
-                    children = [
-                        self.env.process(one_access(pid, op), name="sim.meta")
-                        for pid, op in levels[size]
-                    ]
-                    yield all_of(self.env, children)
-            else:
-                children = [
-                    self.env.process(one_access(pid, op), name="sim.meta")
-                    for pid, op, _ in token.accesses
-                ]
-                if children:
-                    yield all_of(self.env, children)
+            yield from charge_metadata_accesses(
+                self.env, all_of, self.model, rpc_to, token.accesses, leveled
+            )
             durations[index] = self.env.now - start
 
         processes = [

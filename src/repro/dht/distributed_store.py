@@ -6,6 +6,17 @@ handling: a ``get`` falls back to replica owners when the primary is down,
 and a ``put`` writes to every live replica owner.  The version manager and
 the client metadata layer talk to this object exactly as the real BlobSeer
 client talks to its metadata-provider DHT.
+
+Besides the scalar ``get``/``put``, the store offers **vectored** access:
+:meth:`DistributedKeyValueStore.get_many` and :meth:`put_many` group their
+keys by owning provider and issue one bulk request per provider (fanned out
+over the shared worker pool when the group count makes threads worthwhile),
+while preserving the per-key semantics of the scalar path — replica
+fallback, dead-provider handling and the immutability rule all apply key by
+key.  Reads additionally perform **read repair**: when the value is found
+on a fallback replica, it is written back to every live owner that missed
+it, so a provider recovered with data loss re-converges instead of missing
+its keys forever.
 """
 
 from __future__ import annotations
@@ -13,8 +24,13 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.errors import MetadataNotFoundError, ServiceError
+from ..core.transport import parallel_map
 from .ring import ConsistentHashRing
 from .store import KeyValueStore
+
+#: Fan provider groups out over the worker pool only from this many groups
+#: up; below it, the thread handoff costs more than the in-process calls.
+MIN_PARALLEL_PROVIDER_GROUPS = 4
 
 
 class DistributedKeyValueStore:
@@ -39,7 +55,11 @@ class DistributedKeyValueStore:
             self._stores[pid] = KeyValueStore(provider_id=pid)
             self._alive[pid] = True
         #: Optional callback invoked as (provider_id, op, key) on every access;
-        #: the simulator and the QoS monitor hook in here.
+        #: the simulator and the QoS monitor hook in here.  Scalar accesses
+        #: fire with op ``"get"``/``"put"`` and a single key; vectored
+        #: accesses fire once per provider group with op
+        #: ``"get_many"``/``"put_many"`` and the *tuple* of keys that one
+        #: bulk request carries.
         self.access_hook: Optional[Callable[[str, str, Any], None]] = None
 
     # -- membership / failure injection ---------------------------------------
@@ -105,9 +125,14 @@ class DistributedKeyValueStore:
         return written
 
     def get(self, key: Any) -> Any:
-        """Fetch ``key`` from the first live replica that has it."""
+        """Fetch ``key`` from the first live replica that has it.
+
+        A hit on a fallback replica triggers read repair: the value is
+        written back to every live owner probed before it (they all missed),
+        counted in that owner's ``repairs`` stat.
+        """
         owners = self.owners(key)
-        last_error: Optional[Exception] = None
+        missed: List[str] = []
         for pid in owners:
             if not self._alive[pid]:
                 continue
@@ -115,11 +140,142 @@ class DistributedKeyValueStore:
                 self.access_hook(pid, "get", key)
             value = self._stores[pid].get_or_none(key)
             if value is not None:
+                self._repair([(key, value)], {key: missed})
                 return value
-            last_error = MetadataNotFoundError(key)
-        if last_error is not None:
-            raise last_error
+            missed.append(pid)
+        if missed:
+            raise MetadataNotFoundError(key)
         raise ServiceError(f"no live metadata provider owns key {key!r}")
+
+    def put_many(self, items: Iterable[Tuple[Any, Any]]) -> Dict[Any, List[str]]:
+        """Store several pairs, one bulk request per owning provider.
+
+        Every key is written to all of its live replica owners —
+        atomically-per-key in the sense of :meth:`put`: a key either reaches
+        its full live owner set or (when no owner is live) fails, without
+        affecting its batch siblings.  Keys with no live owner are reported
+        by a single :class:`ServiceError` raised *after* the rest of the
+        batch was written.  Returns ``{key: [owners written]}``.
+        """
+        pairs = list(items)
+        written: Dict[Any, List[str]] = {key: [] for key, _ in pairs}
+        groups: Dict[str, List[Tuple[Any, Any]]] = {}
+        dead_keys: List[Any] = []
+        for key, value in pairs:
+            live = [pid for pid in self.owners(key) if self._alive[pid]]
+            if not live:
+                dead_keys.append(key)
+                continue
+            for pid in live:
+                groups.setdefault(pid, []).append((key, value))
+                written[key].append(pid)
+        ordered = sorted(groups.items())
+        if self.access_hook is not None:
+            for pid, group in ordered:
+                self.access_hook(pid, "put_many", tuple(key for key, _ in group))
+        self._fan_out(
+            [
+                (lambda pid=pid, group=group: self._stores[pid].put_many(group))
+                for pid, group in ordered
+            ]
+        )
+        if dead_keys:
+            raise ServiceError(
+                f"no live metadata provider available for key {dead_keys[0]!r}"
+                + (f" (and {len(dead_keys) - 1} more)" if len(dead_keys) > 1 else "")
+            )
+        return written
+
+    def get_many(self, keys: Sequence[Any]) -> Dict[Any, Any]:
+        """Fetch several keys, one bulk request per owning provider per round.
+
+        Round ``r`` asks, for every still-missing key, that key's ``r``-th
+        *live* replica owner — so the common case is a single fan-out of one
+        bulk request per primary, and fallback (a dead or lossy primary)
+        costs one extra round per replica rank instead of one RPC per key.
+        Keys found on a fallback replica are read-repaired onto the live
+        owners that missed them.  Returns only the keys found; callers
+        decide whether a miss is an error (mirroring the scalar
+        :meth:`get` / ``get_or_none`` split).  A key whose replica owners
+        are *all* dead raises :class:`ServiceError` — the service is down
+        for it, which is not the same as the metadata not existing (and is
+        exactly what its scalar ``get`` would report).
+        """
+        unique_keys = list(dict.fromkeys(keys))
+        live_owners = {
+            key: [pid for pid in self.owners(key) if self._alive[pid]]
+            for key in unique_keys
+        }
+        for key, live in live_owners.items():
+            if not live:
+                raise ServiceError(f"no live metadata provider owns key {key!r}")
+        found: Dict[Any, Any] = {}
+        repaired: List[Tuple[Any, Any]] = []
+        missed_at: Dict[Any, List[str]] = {}
+        remaining = list(unique_keys)
+        rank = 0
+        while remaining:
+            groups: Dict[str, List[Any]] = {}
+            for key in remaining:
+                live = live_owners[key]
+                if rank < len(live):
+                    groups.setdefault(live[rank], []).append(key)
+            if not groups:
+                break
+            ordered = sorted(groups.items())
+            if self.access_hook is not None:
+                for pid, group_keys in ordered:
+                    self.access_hook(pid, "get_many", tuple(group_keys))
+            results = self._fan_out(
+                [
+                    (lambda pid=pid, group_keys=group_keys: self._stores[pid].get_many(group_keys))
+                    for pid, group_keys in ordered
+                ]
+            )
+            for (pid, group_keys), got in zip(ordered, results):
+                for key in group_keys:
+                    if key in got:
+                        found[key] = got[key]
+                        if rank > 0:
+                            repaired.append((key, got[key]))
+                            missed_at[key] = live_owners[key][:rank]
+            remaining = [
+                key
+                for key in remaining
+                if key not in found and rank + 1 < len(live_owners[key])
+            ]
+            rank += 1
+        self._repair(repaired, missed_at)
+        return found
+
+    # -- read repair / fan-out ----------------------------------------------------
+    def _repair(
+        self, values: Sequence[Tuple[Any, Any]], missed_at: Dict[Any, List[str]]
+    ) -> None:
+        """Write values found on fallback replicas back to the owners that missed.
+
+        Best-effort: a repair that races with a provider crash (or an
+        inconsistent binding) never fails the read that triggered it.
+        """
+        groups: Dict[str, List[Tuple[Any, Any]]] = {}
+        for key, value in values:
+            for pid in missed_at.get(key, ()):
+                if self._alive.get(pid, False):
+                    groups.setdefault(pid, []).append((key, value))
+        for pid, group in sorted(groups.items()):
+            if self.access_hook is not None:
+                self.access_hook(pid, "put_many", tuple(key for key, _ in group))
+            for key, value in group:
+                try:
+                    self._stores[pid].repair_put(key, value)
+                except ValueError:  # pragma: no cover - diverged binding
+                    continue
+
+    def _fan_out(self, thunks: Sequence[Callable[[], Any]]) -> List[Any]:
+        """Run one thunk per provider group, on the shared pool when it pays."""
+        return parallel_map(
+            thunks, min_parallel=MIN_PARALLEL_PROVIDER_GROUPS
+        )
 
     def get_or_none(self, key: Any) -> Optional[Any]:
         try:

@@ -12,7 +12,7 @@ a write after a timeout may legitimately resend the same node.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.errors import MetadataNotFoundError
 
@@ -27,6 +27,9 @@ class KeyValueStore:
         self.puts = 0
         self.gets = 0
         self.hits = 0
+        #: Values installed by read repair (a replica re-converging after a
+        #: recovery with data loss) rather than by a client put.
+        self.repairs = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -54,6 +57,53 @@ class KeyValueStore:
                 raise MetadataNotFoundError(key)
             self.hits += 1
             return self._data[key]
+
+    def put_many(self, items: Iterable[Tuple[Any, Any]]) -> None:
+        """Bind several pairs under one lock acquisition (one bulk RPC).
+
+        Each binding follows the same immutability rule as :meth:`put`; a
+        conflicting rebind raises after the earlier pairs of the batch were
+        installed (exactly what a sequence of scalar puts would leave).
+        """
+        with self._lock:
+            for key, value in items:
+                self.puts += 1
+                existing = self._data.get(key, _MISSING)
+                if existing is not _MISSING and existing != value:
+                    raise ValueError(
+                        f"metadata key {key!r} is immutable and already bound "
+                        f"to a different value"
+                    )
+                self._data[key] = value
+
+    def get_many(self, keys: Sequence[Any]) -> Dict[Any, Any]:
+        """Fetch several keys under one lock acquisition (one bulk RPC).
+
+        Returns only the keys present; callers decide whether a miss is an
+        error.  Per-key get/hit counters advance exactly as the equivalent
+        scalar sequence would.
+        """
+        with self._lock:
+            found: Dict[Any, Any] = {}
+            for key in keys:
+                self.gets += 1
+                value = self._data.get(key, _MISSING)
+                if value is not _MISSING:
+                    self.hits += 1
+                    found[key] = value
+            return found
+
+    def repair_put(self, key: Any, value: Any) -> None:
+        """Install a value learned from a replica (read repair accounting)."""
+        with self._lock:
+            existing = self._data.get(key, _MISSING)
+            if existing is not _MISSING and existing != value:
+                raise ValueError(
+                    f"metadata key {key!r} is immutable and already bound "
+                    f"to a different value"
+                )
+            self._data[key] = value
+            self.repairs += 1
 
     def get_or_none(self, key: Any) -> Optional[Any]:
         with self._lock:
@@ -88,6 +138,7 @@ class KeyValueStore:
             "puts": self.puts,
             "gets": self.gets,
             "hits": self.hits,
+            "repairs": self.repairs,
         }
 
 

@@ -44,7 +44,11 @@ class WindowSample:
     (versions assigned but not yet published) at the window end, and
     ``vm_shard_imbalance`` the coefficient of variation of the per-shard
     commit counts — the signal that exposes a hot shard to the feedback
-    loop.
+    loop.  ``metadata_rounds`` (also an extra) counts the metadata DHT
+    round trips clients actually took during the window — with vectored
+    metadata I/O one request covers a whole provider's share of a tree
+    level (and a cache-absorbed lookup costs none), so this divided by
+    the node traffic shows the batching factor the vectoring achieves.
     """
 
     window_start: float
@@ -58,6 +62,7 @@ class WindowSample:
     vm_shard_commits: Tuple[int, ...] = ()
     vm_shard_backlog: Tuple[int, ...] = ()
     vm_shard_imbalance: float = 0.0
+    metadata_rounds: int = 0
 
     def hottest_vm_shard(self) -> Optional[int]:
         """Index of the shard with the deepest commit backlog (None if idle)."""
@@ -104,6 +109,7 @@ class Monitor:
         self._last_failures = 0
         self._last_ops_bytes = 0
         self._last_shard_published: Dict[int, int] = {}
+        self._last_metadata_rounds = 0
 
     def sample(self) -> WindowSample:
         """Take one sample covering the window since the previous call."""
@@ -157,6 +163,11 @@ class Monitor:
             shard_backlog = tuple(backlog)
             shard_imbalance = _coefficient_of_variation(commits)
 
+        # Metadata round trips this window (vectored: one round per level).
+        rounds_total = int(getattr(self.cluster, "metadata_rounds", 0))
+        metadata_rounds = rounds_total - self._last_metadata_rounds
+        self._last_metadata_rounds = rounds_total
+
         sample = WindowSample(
             window_start=self._last_time,
             window_end=now,
@@ -169,6 +180,7 @@ class Monitor:
             vm_shard_commits=shard_commits,
             vm_shard_backlog=shard_backlog,
             vm_shard_imbalance=shard_imbalance,
+            metadata_rounds=metadata_rounds,
         )
         self._last_time = now
         self.samples.append(sample)

@@ -25,6 +25,7 @@ from ..core.interval import Interval, iter_chunks
 from ..core.metadata.cache import MetadataCache, PassthroughMetadataStore
 from ..core.metadata.segment_tree import SegmentTreeBuilder, SegmentTreeReader
 from ..core.metadata.tree_node import Fragment
+from ..core.transport import charge_metadata_accesses
 from ..core.types import BlobInfo, ChunkKey, Version
 from .engine import all_of
 from .metrics import OperationRecord
@@ -47,6 +48,7 @@ class SimClient:
             )
         else:
             self.metadata = PassthroughMetadataStore(cluster.metadata_store)
+        self._vectored = client_config.vectored_metadata
 
     # ------------------------------------------------------------------ utilities
     @property
@@ -226,7 +228,7 @@ class SimClient:
         cluster = self.cluster
         model = self.model
         history = cluster.version_manager.get_history(blob.blob_id, ticket.version - 1)
-        builder = SegmentTreeBuilder(self.metadata, blob.chunk_size)
+        builder = SegmentTreeBuilder(self.metadata, blob.chunk_size, vectored=self._vectored)
         try:
             with cluster.record_metadata_accesses() as accesses:
                 builder.build(
@@ -246,6 +248,7 @@ class SimClient:
             cluster.version_manager.abort(blob.blob_id, ticket.version)
             yield from self._repair(blob, ticket.version)
             return False
+        cluster.metadata_rounds += len(accesses)
         yield from self._replay_metadata_accesses(accesses, parallel=True)
         # Step 5: notify the owning version-coordinator shard (publication).
         yield from self.node.rpc(
@@ -262,7 +265,7 @@ class SimClient:
         record = history[version - 1]
         base_history = history[: version - 1]
         base_size = base_history[-1].new_size if base_history else 0
-        builder = SegmentTreeBuilder(self.metadata, blob.chunk_size)
+        builder = SegmentTreeBuilder(self.metadata, blob.chunk_size, vectored=self._vectored)
         with cluster.record_metadata_accesses() as accesses:
             builder.build_noop(
                 blob_id=blob.blob_id,
@@ -272,6 +275,7 @@ class SimClient:
                 base_size=base_size,
                 new_size=record.new_size,
             )
+        cluster.metadata_rounds += len(accesses)
         yield from self._replay_metadata_accesses(accesses, parallel=True)
         cluster.version_manager.mark_repaired(blob.blob_id, version)
 
@@ -301,9 +305,10 @@ class SimClient:
             return 0
         # Step 2: walk the segment tree (real code), charging a metadata RPC
         # per node that was not already in the client cache.
-        reader = SegmentTreeReader(self.metadata, snapshot.chunk_size)
+        reader = SegmentTreeReader(self.metadata, snapshot.chunk_size, vectored=self._vectored)
         with cluster.record_metadata_accesses() as accesses:
             fragments = reader.lookup(snapshot.root, target)
+        cluster.metadata_rounds += len(accesses)
         yield from self._replay_metadata_accesses(accesses, parallel=False)
         # Step 3: fetch the chunks from the data providers, fully in parallel.
         fetchers = [
@@ -343,52 +348,33 @@ class SimClient:
     ) -> Generator:
         """Charge simulated time for every recorded metadata DHT access.
 
-        Writers issue their node puts fully in parallel (they are
-        independent); readers walk the tree level by level — nodes of one
-        level are fetched in parallel, levels are sequential because a
-        parent must be read before its children are known.
+        Shares :func:`~repro.core.transport.charge_metadata_accesses` with
+        the batched client's SimTransport — one cost model, two wirings.
+        Readers (``parallel=False``) walk levels root first because a
+        parent must be read before its children are known; writers' weaves
+        (``parallel=True``) overlap all their rounds.
         """
-        cluster = self.cluster
-        model = self.model
-        env = self.env
-
-        def one_access(provider_id: str, op: str) -> Generator:
-            meta_node = cluster.meta_nodes[provider_id]
-            if op == "put":
-                yield from self.node.rpc(
-                    meta_node,
-                    request_bytes=model.metadata_node_bytes,
-                    response_bytes=64,
-                    service=model.metadata_service,
-                )
-            else:
-                yield from self.node.rpc(
-                    meta_node,
-                    request_bytes=64,
-                    response_bytes=model.metadata_node_bytes,
-                    service=model.metadata_service,
-                )
-
         if not accesses:
             return
-        if parallel:
-            processes = [
-                env.process(one_access(pid, op), name=f"{self.client_id}.meta")
-                for pid, op, _ in accesses
-            ]
-            yield all_of(env, processes)
-            return
-        # Level-by-level replay for reads: group by tree-node size (root first).
-        levels: Dict[int, List[Tuple[str, str]]] = {}
-        for pid, op, key in accesses:
-            size = getattr(key, "size", 0)
-            levels.setdefault(size, []).append((pid, op))
-        for size in sorted(levels, reverse=True):
-            processes = [
-                env.process(one_access(pid, op), name=f"{self.client_id}.meta")
-                for pid, op in levels[size]
-            ]
-            yield all_of(env, processes)
+        cluster = self.cluster
+
+        def rpc_to(pid: str, request_bytes: int, response_bytes: int, service: float):
+            return self.node.rpc(
+                cluster.meta_nodes[pid],
+                request_bytes=request_bytes,
+                response_bytes=response_bytes,
+                service=service,
+            )
+
+        yield from charge_metadata_accesses(
+            self.env,
+            all_of,
+            self.model,
+            rpc_to,
+            accesses,
+            leveled=not parallel,
+            name=f"{self.client_id}.meta",
+        )
 
     # ------------------------------------------------------------------ lock-based baseline
     def write_locked(self, blob: BlobInfo, offset: int, size: int) -> Generator:

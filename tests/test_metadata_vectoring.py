@@ -1,0 +1,506 @@
+"""Tests for vectored metadata I/O: bulk DHT ops, frontier-BFS traversal,
+level-batched weaves, read repair, and the round counters they expose."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import BlobSeerConfig, BlobSeerDeployment
+from repro.core.config import ClientConfig
+from repro.core.errors import MetadataNotFoundError, ServiceError
+from repro.core.interval import Interval
+from repro.core.metadata import (
+    Fragment,
+    InnerNode,
+    LeafNode,
+    MetadataCache,
+    SegmentTreeBuilder,
+    SegmentTreeReader,
+)
+from repro.core.types import ChunkKey, NodeKey
+from repro.dht import DistributedKeyValueStore
+
+CS = 16
+
+
+def make_store(n: int = 3, replication: int = 1) -> DistributedKeyValueStore:
+    return DistributedKeyValueStore(
+        [f"m{i}" for i in range(n)], virtual_nodes=8, replication=replication
+    )
+
+
+def fragments_for(write_id: int, offset: int, size: int) -> list:
+    out = []
+    for part in Interval.of(offset, size).split_at(
+        [b for b in range((offset // CS) * CS, offset + size + CS, CS)]
+    ):
+        out.append(
+            Fragment(
+                key=ChunkKey(1, write_id, part.start),
+                providers=("p0",),
+                blob_offset=part.start,
+                length=part.size,
+                chunk_offset=0,
+            )
+        )
+    return out
+
+
+class CountingStore:
+    """Wrapper that counts vectored/scalar rounds hitting the store."""
+
+    def __init__(self, backend) -> None:
+        self.backend = backend
+        self.get_rounds = 0
+        self.put_rounds = 0
+        self.scalar_gets = 0
+        self.scalar_puts = 0
+
+    def get(self, key):
+        self.scalar_gets += 1
+        return self.backend.get(key)
+
+    def put(self, key, value):
+        self.scalar_puts += 1
+        self.backend.put(key, value)
+
+    def get_many(self, keys):
+        self.get_rounds += 1
+        return self.backend.get_many(keys)
+
+    def put_many(self, items):
+        self.put_rounds += 1
+        return self.backend.put_many(items)
+
+
+# ---------------------------------------------------------------------------
+# DHT layer
+# ---------------------------------------------------------------------------
+
+
+class TestDistributedBulkOps:
+    def test_get_many_returns_only_found_keys(self):
+        store = make_store(n=4)
+        for i in range(10):
+            store.put(("k", i), i)
+        found = store.get_many([("k", i) for i in range(15)])
+        assert found == {("k", i): i for i in range(10)}
+
+    def test_get_many_deduplicates_keys(self):
+        store = make_store()
+        store.put("a", 1)
+        assert store.get_many(["a", "a", "a"]) == {"a": 1}
+
+    def test_get_many_groups_one_bulk_request_per_provider(self):
+        store = make_store(n=4)
+        keys = [("k", i) for i in range(40)]
+        for key in keys:
+            store.put(key, 0)
+        rounds = []
+        store.access_hook = lambda pid, op, payload: rounds.append((pid, op, payload))
+        store.get_many(keys)
+        bulk = [entry for entry in rounds if entry[1] == "get_many"]
+        # All keys present at their primaries: exactly one bulk request per
+        # provider that owns at least one key, covering all 40 keys.
+        assert len(bulk) == len({pid for pid, _, _ in bulk})
+        assert sum(len(payload) for _, _, payload in bulk) == 40
+
+    def test_get_many_falls_back_per_key_when_primary_dies(self):
+        store = make_store(n=4, replication=2)
+        keys = [("k", i) for i in range(30)]
+        for key in keys:
+            store.put(key, hash(key) & 0xFF)
+        dead = store.provider_ids[0]
+        store.fail_provider(dead)
+        found = store.get_many(keys)
+        assert set(found) == set(keys)
+
+    def test_get_many_read_repairs_lossy_recovered_provider(self):
+        store = make_store(n=4, replication=2)
+        keys = [("k", i) for i in range(30)]
+        for key in keys:
+            store.put(key, 7)
+        lossy = store.provider_ids[1]
+        lost = [key for key in keys if store.owners(key)[0] == lossy]
+        assert lost, "expected the failed provider to own some keys"
+        store.fail_provider(lossy)
+        store.recover_provider(lossy, lose_data=True)
+        assert store.get_many(keys) == {key: 7 for key in keys}
+        # The recovered provider got its primaries written back, and the
+        # repair shows up in its access stats.
+        for key in lost:
+            assert key in store.store_of(lossy)
+        assert store.access_stats()[lossy]["repairs"] == len(lost)
+
+    def test_scalar_get_read_repairs_too(self):
+        store = make_store(n=3, replication=2)
+        store.put("key", "v")
+        primary = store.owners("key")[0]
+        store.fail_provider(primary)
+        store.recover_provider(primary, lose_data=True)
+        assert store.get("key") == "v"
+        assert "key" in store.store_of(primary)
+        assert store.store_of(primary).stats["repairs"] == 1
+
+    def test_put_many_writes_all_live_owner_sets(self):
+        store = make_store(n=4, replication=2)
+        pairs = [(("k", i), i) for i in range(20)]
+        written = store.put_many(pairs)
+        for key, _ in pairs:
+            assert written[key] == store.owners(key)
+            assert store.get(key) is not None
+
+    def test_put_many_raises_for_dead_key_but_writes_the_others(self):
+        store = make_store(n=4, replication=1)
+        keys = [("k", i) for i in range(20)]
+        dead = store.provider_ids[0]
+        doomed = [key for key in keys if store.owners(key)[0] == dead]
+        assert doomed, "expected the failed provider to own some keys"
+        store.fail_provider(dead)
+        with pytest.raises(ServiceError):
+            store.put_many([(key, 1) for key in keys])
+        for key in keys:
+            if key in doomed:
+                with pytest.raises(ServiceError):
+                    store.get_many([key])
+            else:
+                assert store.get(key) == 1
+
+    def test_get_many_missing_everywhere_is_just_absent(self):
+        store = make_store(n=2, replication=2)
+        assert store.get_many(["nope"]) == {}
+
+    def test_get_many_raises_service_error_when_all_owners_dead(self):
+        """Parity with scalar get: 'service down for this key' is not the
+        same as 'metadata does not exist'."""
+        store = make_store(n=2, replication=1)
+        store.put("key", "v")
+        for pid in store.provider_ids:
+            store.fail_provider(pid)
+        with pytest.raises(ServiceError):
+            store.get_many(["key"])
+
+
+# ---------------------------------------------------------------------------
+# Cache layer
+# ---------------------------------------------------------------------------
+
+
+class TestVectoredCache:
+    def test_get_many_serves_hits_locally_and_batches_misses(self):
+        backend = CountingStore(make_store())
+        for i in range(6):
+            backend.backend.put(("k", i), i)
+        cache = MetadataCache(backend, capacity=32)
+        first = cache.get_many([("k", i) for i in range(4)])
+        assert len(first) == 4
+        assert cache.hits == 0 and cache.misses == 4
+        assert backend.get_rounds == 1
+        # Second round: two hits served locally, two misses forwarded in one
+        # bulk request.
+        second = cache.get_many([("k", i) for i in range(2, 6)])
+        assert len(second) == 4
+        assert cache.hits == 2 and cache.misses == 6
+        assert backend.get_rounds == 2
+
+    def test_get_many_all_hits_never_touches_backend(self):
+        backend = CountingStore(make_store())
+        cache = MetadataCache(backend, capacity=32)
+        cache.put_many([(("k", i), i) for i in range(4)])
+        assert cache.get_many([("k", i) for i in range(4)]) == {
+            ("k", i): i for i in range(4)
+        }
+        assert backend.get_rounds == 0 and backend.scalar_gets == 0
+
+    def test_put_many_is_write_through(self):
+        backend = make_store()
+        cache = MetadataCache(backend, capacity=32)
+        cache.put_many([(("k", i), i) for i in range(4)])
+        assert backend.get(("k", 2)) == 2
+
+    def test_insert_refreshes_existing_entry(self):
+        backend = make_store()
+        cache = MetadataCache(backend, capacity=8)
+        first, second = ["v"], ["v"]  # equal values, distinct identities
+        cache.put("k", first)
+        cache.put("k", second)
+        assert cache.get("k") is second
+
+    def test_passthrough_get_many_counts_misses(self):
+        from repro.core.metadata import PassthroughMetadataStore
+
+        backend = make_store()
+        backend.put("a", 1)
+        passthrough = PassthroughMetadataStore(backend)
+        assert passthrough.get_many(["a", "b"]) == {"a": 1}
+        assert passthrough.misses == 2
+
+
+# ---------------------------------------------------------------------------
+# Tree layer
+# ---------------------------------------------------------------------------
+
+
+def build_version(store, version, offset, size, history, base_size, new_size):
+    builder = SegmentTreeBuilder(store, CS)
+    root = builder.build(
+        blob_id=1,
+        version=version,
+        write_interval=Interval.of(offset, size),
+        new_fragments=fragments_for(version, offset, size),
+        history=history,
+        base_size=base_size,
+        new_size=new_size,
+    )
+    return root, builder
+
+
+class TestFrontierLookup:
+    def test_cold_lookup_is_one_get_many_round_per_level(self):
+        store = make_store()
+        # 8 chunks -> span 8*CS, depth 3, 4 levels.
+        root, _ = build_version(store, 1, 0, 8 * CS, [], 0, 8 * CS)
+        counting = CountingStore(store)
+        reader = SegmentTreeReader(counting, CS)
+        fragments = reader.lookup(root, Interval.of(0, 8 * CS))
+        assert sum(f.length for f in fragments) == 8 * CS
+        assert reader.levels_fetched == 4
+        assert counting.get_rounds == 4
+        assert counting.scalar_gets == 0
+        assert reader.nodes_fetched == 15  # 1 + 2 + 4 + 8
+
+    def test_cold_cached_lookup_same_rounds_then_zero_backend_rounds(self):
+        store = make_store()
+        root, _ = build_version(store, 1, 0, 8 * CS, [], 0, 8 * CS)
+        counting = CountingStore(store)
+        cache = MetadataCache(counting, capacity=1024)
+        reader = SegmentTreeReader(cache, CS)
+        reader.lookup(root, Interval.of(0, 8 * CS))
+        assert counting.get_rounds == 4
+        reader.lookup(root, Interval.of(0, 8 * CS))
+        assert counting.get_rounds == 4  # warm: everything served locally
+        assert reader.levels_fetched == 4  # levels still traversed
+
+    def test_scalar_mode_reproduces_seed_round_counts(self):
+        store = make_store()
+        root, _ = build_version(store, 1, 0, 8 * CS, [], 0, 8 * CS)
+        reader = SegmentTreeReader(store, CS, vectored=False)
+        reader.lookup(root, Interval.of(0, 8 * CS))
+        assert reader.nodes_fetched == 15
+        assert reader.levels_fetched == 15  # one round trip per node
+
+    def test_missing_node_raises(self):
+        store = make_store()
+        root, _ = build_version(store, 1, 0, 4 * CS, [], 0, 4 * CS)
+        reader = SegmentTreeReader(store, CS)
+        with pytest.raises(MetadataNotFoundError):
+            reader.lookup(NodeKey(1, 99, 0, 4 * CS), Interval.of(0, 4 * CS))
+
+    def test_visit_nodes_is_bfs_ordered(self):
+        store = make_store()
+        root, _ = build_version(store, 1, 0, 8 * CS, [], 0, 8 * CS)
+        reader = SegmentTreeReader(store, CS)
+        visited = reader.visit_nodes(root, Interval.of(0, 8 * CS))
+        sizes = [key.size for key in visited]
+        assert sizes == sorted(sizes, reverse=True)
+        assert visited[0] == root
+
+
+class TestLevelBatchedBuilder:
+    def test_build_flushes_one_put_round_per_level(self):
+        store = make_store()
+        counting = CountingStore(store)
+        builder = SegmentTreeBuilder(counting, CS)
+        builder.build(
+            blob_id=1,
+            version=1,
+            write_interval=Interval.of(0, 8 * CS),
+            new_fragments=fragments_for(1, 0, 8 * CS),
+            history=[],
+            base_size=0,
+            new_size=8 * CS,
+        )
+        assert builder.nodes_written == 15
+        assert builder.put_rounds == 4
+        assert counting.put_rounds == 4
+        assert counting.scalar_puts == 0
+
+    def test_scalar_mode_puts_per_node(self):
+        store = make_store()
+        builder = SegmentTreeBuilder(store, CS, vectored=False)
+        builder.build(
+            blob_id=1,
+            version=1,
+            write_interval=Interval.of(0, 8 * CS),
+            new_fragments=fragments_for(1, 0, 8 * CS),
+            history=[],
+            base_size=0,
+            new_size=8 * CS,
+        )
+        assert builder.nodes_written == 15
+        assert builder.put_rounds == 15
+
+    def test_crash_mid_flush_never_orphans_a_parent(self):
+        """A builder dying between level flushes must leave children-before-
+        parents ordering: every written inner node's new-version children
+        already exist."""
+        store = make_store()
+
+        class CrashingStore(CountingStore):
+            def put_many(self, items):
+                if self.put_rounds >= 2:  # die before the third level flush
+                    raise ServiceError("injected crash")
+                return super().put_many(items)
+
+        crashing = CrashingStore(store)
+        builder = SegmentTreeBuilder(crashing, CS)
+        with pytest.raises(ServiceError):
+            builder.build(
+                blob_id=1,
+                version=1,
+                write_interval=Interval.of(0, 8 * CS),
+                new_fragments=fragments_for(1, 0, 8 * CS),
+                history=[],
+                base_size=0,
+                new_size=8 * CS,
+            )
+        written = {
+            key for pid in store.provider_ids for key in store.store_of(pid).keys()
+        }
+        for key in written:
+            node = store.get(key)
+            if isinstance(node, InnerNode):
+                for child in node.children():
+                    if child is not None and child.version == 1:
+                        assert child in written, "parent written before its child"
+
+    def test_builder_batches_base_leaf_fetches(self):
+        store = make_store()
+        root1, _ = build_version(store, 1, 0, 8 * CS, [], 0, 8 * CS)
+        from repro.core.metadata import WriteRecord
+
+        history = [WriteRecord(version=1, offset=0, size=8 * CS, new_size=8 * CS)]
+        counting = CountingStore(store)
+        builder = SegmentTreeBuilder(counting, CS)
+        # Partial-chunk overwrite across 4 chunks: every touched leaf must
+        # merge with its base leaf, fetched in one bulk round.
+        builder.build(
+            blob_id=1,
+            version=2,
+            write_interval=Interval.of(CS // 2, 3 * CS),
+            new_fragments=[
+                Fragment(
+                    key=ChunkKey(1, 2, CS // 2),
+                    providers=("p0",),
+                    blob_offset=CS // 2,
+                    length=3 * CS,
+                    chunk_offset=0,
+                )
+            ],
+            history=history,
+            base_size=8 * CS,
+            new_size=8 * CS,
+        )
+        assert builder.base_leaves_fetched == 2  # the two half-written leaves
+        assert counting.get_rounds == 1
+
+
+class TestVectoredScalarEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_workloads_read_identically(self, seed):
+        rng = random.Random(seed)
+        config_kwargs = dict(
+            num_data_providers=4, num_metadata_providers=4, chunk_size=CS
+        )
+        vec_config = BlobSeerConfig(
+            **config_kwargs, client=ClientConfig(metadata_cache=False)
+        )
+        seq_config = BlobSeerConfig(
+            **config_kwargs,
+            client=ClientConfig(metadata_cache=False, vectored_metadata=False),
+        )
+        with BlobSeerDeployment(vec_config) as vec, BlobSeerDeployment(seq_config) as seq:
+            vec_blob = vec.client().create_blob()
+            seq_blob = seq.client().create_blob()
+            size = 0
+            for step in range(12):
+                if size == 0 or rng.random() < 0.4:
+                    payload = bytes([rng.randrange(256)]) * rng.randrange(1, 6 * CS)
+                    vec_blob.append(payload)
+                    seq_blob.append(payload)
+                    size += len(payload)
+                else:
+                    offset = rng.randrange(0, size)
+                    payload = bytes([rng.randrange(256)]) * rng.randrange(1, 4 * CS)
+                    vec_blob.write(offset, payload)
+                    seq_blob.write(offset, payload)
+                    size = max(size, offset + len(payload))
+            assert vec_blob.size() == seq_blob.size() == size
+            for _ in range(20):
+                offset = rng.randrange(0, size)
+                length = rng.randrange(1, size - offset + 1)
+                assert vec_blob.read(offset, length) == seq_blob.read(offset, length)
+            # Old snapshots agree too.
+            for version in range(1, vec_blob.latest_version() + 1):
+                assert vec_blob.read(0, size, version=version) == seq_blob.read(
+                    0, size, version=version
+                )
+
+
+# ---------------------------------------------------------------------------
+# Client counters and monitoring
+# ---------------------------------------------------------------------------
+
+
+class TestRoundCounters:
+    def test_client_surfaces_level_and_put_round_counters(self):
+        config = BlobSeerConfig(
+            num_data_providers=2,
+            num_metadata_providers=4,
+            chunk_size=CS,
+            client=ClientConfig(metadata_cache=False),
+        )
+        with BlobSeerDeployment(config) as deployment:
+            client = deployment.client()
+            blob = client.create_blob()
+            blob.append(b"x" * (8 * CS))
+            assert client.counters["metadata_put_rounds"] == 4
+            blob.read(0, 8 * CS)
+            assert client.counters["metadata_levels_fetched"] == 4
+            assert client.counters["metadata_nodes_fetched"] == 15
+
+    def test_cold_lookup_rounds_bounded_by_depth_plus_one(self):
+        config = BlobSeerConfig(
+            num_data_providers=2,
+            num_metadata_providers=4,
+            chunk_size=CS,
+            client=ClientConfig(metadata_cache=False),
+        )
+        with BlobSeerDeployment(config) as deployment:
+            client = deployment.client()
+            blob = client.create_blob()
+            blob.append(b"x" * (16 * CS))  # 16 chunks -> depth 4
+            blob.read(0, 16 * CS)
+            depth = 4
+            assert client.counters["metadata_levels_fetched"] <= depth + 1
+
+    def test_monitor_samples_metadata_rounds(self):
+        from repro.qos.monitoring import FEATURE_NAMES, Monitor
+        from repro.sim import SimulatedBlobSeer
+        from repro.sim.driver import run_concurrent_appenders, run_concurrent_readers
+
+        assert len(FEATURE_NAMES) == 6  # behaviour-model layout unchanged
+        cluster = SimulatedBlobSeer(
+            BlobSeerConfig(
+                num_data_providers=4, num_metadata_providers=4, chunk_size=1024
+            )
+        )
+        blob = cluster.create_blob()
+        run_concurrent_appenders(cluster, blob, num_clients=1, append_size=16 * 1024)
+        monitor = Monitor(cluster)
+        run_concurrent_readers(cluster, blob, num_clients=4, read_size=16 * 1024)
+        sample = monitor.sample()
+        assert sample.metadata_rounds > 0
+        assert len(sample.features()) == len(FEATURE_NAMES)
