@@ -19,6 +19,8 @@ evaluation relies on:
   comparison systems.
 * :mod:`repro.qos` — monitoring, GloBeM-style behaviour modelling and
   feedback-driven reconfiguration.
+* :mod:`repro.resilience` — durability & recovery: per-shard write-ahead
+  journals, coordinator shard failover, anti-entropy DHT scrubbing.
 * :mod:`repro.workloads` / :mod:`repro.bench` — workload generators and the
   benchmark harness regenerating every experiment of the paper.
 

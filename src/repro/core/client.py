@@ -49,7 +49,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .chunking import reassemble, split_payload
 from .config import ClientConfig
-from .errors import InvalidRangeError, ReplicationError
+from .errors import InvalidRangeError, ReplicationError, ServiceError
 from .interval import Interval
 from .metadata.cache import MetadataCache, PassthroughMetadataStore
 from .metadata.segment_tree import SegmentTreeBuilder, SegmentTreeReader, WriteRecord
@@ -263,7 +263,7 @@ class BlobSeerClient:
                         snapshot = transport.control(
                             "version_manager",
                             lambda op=op: vm.get_snapshot(op.blob_id, op.version),
-                            shard=vm.shard_index(op.blob_id),
+                            shard=vm.active_shard_index(op.blob_id),
                         )
                         snapshots[(op.blob_id, op.version)] = snapshot
                         snapshots[(op.blob_id, snapshot.version)] = snapshot
@@ -306,7 +306,7 @@ class BlobSeerClient:
                             lambda op=op: vm.register_append(
                                 op.blob_id, len(op.data), writer=self.client_id
                             ),
-                            shard=vm.shard_index(op.blob_id),
+                            shard=vm.active_shard_index(op.blob_id),
                         )
                         offset = p.ticket.offset
                     else:
@@ -415,7 +415,12 @@ class BlobSeerClient:
         # the repair in phase 4 lets the publication frontier pass it.
         for p in pending:
             if p.failed and isinstance(p.op, AppendOp) and p.ticket is not None:
-                vm.abort(p.op.blob_id, p.ticket.version)
+                try:
+                    vm.abort(p.op.blob_id, p.ticket.version)
+                except ServiceError:
+                    # Coordinator unreachable: the abort cannot be recorded;
+                    # the version stays pending until the shard returns.
+                    continue
                 p.needs_repair = True
         # Writes register in submission order.  Blobs are grouped by their
         # owning coordinator shard, so the serialised step is one bulk round
@@ -437,18 +442,35 @@ class BlobSeerClient:
                 (blob_id, [(p.op.offset, len(p.op.data)) for p in group])
                 for blob_id, group in batches
             ]
+            def register(specs=specs):
+                # An unreachable shard must fail only *its* round, not the
+                # batch: sibling shards' rounds carry on (per-op failure
+                # isolation, PR 1 contract) and no version is assigned on
+                # the dead shard (register_writes_bulk resolves the serving
+                # manager before assigning anything).
+                try:
+                    return vm.register_writes_bulk(specs, writer=self.client_id)
+                except ServiceError as exc:
+                    return exc
+
             calls.append(
                 ControlCall(
                     "version_manager",
-                    fn=lambda specs=specs: vm.register_writes_bulk(
-                        specs, writer=self.client_id
-                    ),
-                    shard=shard,
+                    fn=register,
+                    # Grouped by *home* shard (the serialisation domain),
+                    # charged at the shard currently serving it (the ring
+                    # successor while the home shard is failed over).
+                    shard=vm.active_shard_index(batches[0][0]),
                     units=sum(len(blob_specs) for _, blob_specs in specs),
                 )
             )
             call_groups.append(batches)
         for batches, (shard_outcomes, _) in zip(call_groups, transport.control_many(calls)):
+            if isinstance(shard_outcomes, ServiceError):
+                for _, group in batches:
+                    for p in group:
+                        self._fail(p, shard_outcomes)
+                continue
             for (_, group), outcomes in zip(batches, shard_outcomes):
                 for p, outcome in zip(group, outcomes):
                     if isinstance(outcome, Exception):
@@ -486,7 +508,14 @@ class BlobSeerClient:
                 continue
             info = p.info
             ticket = p.ticket
-            history = vm.get_history(info.blob_id, ticket.version - 1)
+            try:
+                history = vm.get_history(info.blob_id, ticket.version - 1)
+            except ServiceError as exc:
+                # Coordinator lost between assignment and the weave (and no
+                # failover path): the op fails, its version stays pending
+                # until the shard's state returns.
+                self._fail(p, exc)
+                continue
             builder = SegmentTreeBuilder(
                 self._metadata, info.chunk_size, vectored=self._vectored
             )
@@ -508,8 +537,11 @@ class BlobSeerClient:
                 # install no-op repair metadata in its place (here, in version
                 # order — a same-batch successor's tree builds on top of it)
                 # so the published frontier never stalls behind it.
-                vm.abort(info.blob_id, ticket.version)
                 self._fail(p, exc)
+                try:
+                    vm.abort(info.blob_id, ticket.version)
+                except ServiceError:
+                    continue  # coordinator gone too: nothing to repair against
                 p.needs_repair = True
                 queue_repair(p)
                 continue
@@ -524,7 +556,12 @@ class BlobSeerClient:
         for (p, _), elapsed in zip(rounds, durations):
             p.metadata_seconds += elapsed
         for p, _ in repair_rounds:
-            vm.mark_repaired(p.op.blob_id, p.ticket.version)
+            try:
+                vm.mark_repaired(p.op.blob_id, p.ticket.version)
+            except ServiceError:
+                # Coordinator lost mid-repair: the no-op tree exists, the
+                # state flip waits for the shard (or its standby) to return.
+                continue
         # Step 5: publish.  One coordinator round per (blob, shard) — a
         # batch's publications of one blob collapse into a single
         # ``publish_many`` carrying every version in assignment order, and
@@ -534,21 +571,33 @@ class BlobSeerClient:
             publish_groups.setdefault(p.op.blob_id, []).append(p)
         calls: List[ControlCall] = []
         for blob_id, group in publish_groups.items():
-            # publish_many orders the versions itself; the group just names them.
+            # publish_many orders the versions itself; the group just names
+            # them.  An unreachable shard fails only this blob's
+            # publication (the snapshots are woven but stay pending until
+            # the shard returns), never its batch siblings.
             versions = [p.ticket.version for p in group]
+
+            def publish(blob_id=blob_id, versions=versions):
+                try:
+                    return vm.publish_many(blob_id, versions)
+                except ServiceError as exc:
+                    return exc
+
             calls.append(
                 ControlCall(
                     "version_manager",
-                    fn=lambda blob_id=blob_id, versions=versions: vm.publish_many(
-                        blob_id, versions
-                    ),
-                    shard=vm.shard_index(blob_id),
+                    fn=publish,
+                    shard=vm.active_shard_index(blob_id),
                     units=len(versions),
                 )
             )
-        for group, (_, completed_at) in zip(
+        for group, (outcome, completed_at) in zip(
             publish_groups.values(), transport.control_many(calls)
         ):
+            if isinstance(outcome, ServiceError):
+                for p in group:
+                    self._fail(p, outcome)
+                continue
             for p in group:
                 p.finished = completed_at
                 if isinstance(p.op, AppendOp):

@@ -64,6 +64,20 @@ class BlobSeerConfig:
     persistent_storage: bool = False
     #: Directory used by persistent stores (``None`` -> temporary dir).
     storage_root: str | None = None
+    #: Journal every version-coordinator shard (write-ahead log + snapshot);
+    #: a crashed/restarted shard replays back to its published frontier.
+    journal_enabled: bool = False
+    #: Auto-snapshot a shard journal every N records (0 = never compact).
+    journal_snapshot_interval: int = 0
+    #: Stream each shard's journal to a hot standby on its ring successor,
+    #: which serves the shard's blobs while it is down (needs >= 2 shards
+    #: and ``journal_enabled``).
+    shard_failover: bool = True
+    #: Seconds between background anti-entropy scrub passes over the
+    #: metadata DHT (0 = scrubbing disabled).
+    scrub_interval: float = 0.0
+    #: Keys examined per scrub batch (one digest/repair round per batch).
+    scrub_batch_size: int = 64
     client: ClientConfig = field(default_factory=ClientConfig)
 
     def __post_init__(self) -> None:
@@ -86,6 +100,11 @@ class BlobSeerConfig:
             "dht_virtual_nodes": self.dht_virtual_nodes,
             "metadata_replication": self.metadata_replication,
             "persistent_storage": self.persistent_storage,
+            "journal_enabled": self.journal_enabled,
+            "journal_snapshot_interval": self.journal_snapshot_interval,
+            "shard_failover": self.shard_failover,
+            "scrub_interval": self.scrub_interval,
+            "scrub_batch_size": self.scrub_batch_size,
         }
         d.update(
             {
@@ -143,6 +162,12 @@ def validate_config(config: BlobSeerConfig) -> None:
         raise InvalidConfigError(
             "metadata_replication exceeds the number of metadata providers"
         )
+    if config.journal_snapshot_interval < 0:
+        raise InvalidConfigError("journal_snapshot_interval must be >= 0")
+    if config.scrub_interval < 0:
+        raise InvalidConfigError("scrub_interval must be >= 0")
+    if config.scrub_batch_size < 1:
+        raise InvalidConfigError("scrub_batch_size must be >= 1")
     if config.client.metadata_cache_capacity < 1:
         raise InvalidConfigError("metadata_cache_capacity must be >= 1")
     if config.client.prefetch_chunks < 0:

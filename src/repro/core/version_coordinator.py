@@ -38,7 +38,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union, runti
 
 from ..dht.ring import ConsistentHashRing, build_ring
 from .config import DEFAULT_CHUNK_SIZE
-from .errors import InvalidConfigError
+from .errors import InvalidConfigError, ServiceError
 from .metadata.segment_tree import WriteRecord
 from .types import BlobId, BlobInfo, SnapshotInfo, Version, WriteTicket
 from .version_manager import VersionManager, WriteState
@@ -59,6 +59,7 @@ class VersionCoordinator(Protocol):
     @property
     def num_shards(self) -> int: ...
     def shard_index(self, blob_id: BlobId) -> int: ...
+    def active_shard_index(self, blob_id: BlobId) -> int: ...
 
     # blob lifecycle
     def create_blob(
@@ -66,6 +67,7 @@ class VersionCoordinator(Protocol):
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         replication: int = 1,
         blob_id: Optional[BlobId] = None,
+        avoid_shards: Optional[Sequence[int]] = None,
     ) -> BlobInfo: ...
     def blob_ids(self) -> List[BlobId]: ...
     def blob_info(self, blob_id: BlobId) -> BlobInfo: ...
@@ -133,6 +135,15 @@ class ShardedVersionManager:
         )
         self._id_lock = threading.Lock()
         self._next_blob_id = 1
+        # -- durability & failover state (off until enable_durability) --------
+        #: One write-ahead journal per shard, or None when durability is off.
+        self.journals: Optional[List] = None
+        #: One hot standby per shard (hosted on the ring successor), or None.
+        self.standbys: Optional[List] = None
+        self._shard_alive: List[bool] = [True] * num_shards
+        #: Counters: takeovers begun and shards recovered (monitoring).
+        self.failovers = 0
+        self.recoveries = 0
 
     # -- routing -----------------------------------------------------------------
     @property
@@ -145,8 +156,286 @@ class ShardedVersionManager:
             return 0
         return self._index_of[self._ring.owner(("vm-blob", blob_id))]
 
+    def successor_index(self, index: int) -> int:
+        """Ring successor of shard ``index`` — where its standby is hosted."""
+        return (index + 1) % len(self.shards)
+
+    def active_shard_index(self, blob_id: BlobId) -> int:
+        """Index of the shard currently *serving* ``blob_id``.
+
+        Equals :meth:`shard_index` while the owner is up; during failover it
+        is the ring successor hosting the owner's standby.  With no serving
+        standby (failover off, or the successor down too) it stays the home
+        index — requests are addressed to (and, in the simulator, charged
+        against) the dead machine, which is where they would really go.
+        """
+        index = self.shard_index(blob_id)
+        if self._shard_alive[index] or self.standbys is None:
+            return index
+        host = self.successor_index(index)
+        if self._shard_alive[host] and self.standbys[index] is not None:
+            return host
+        return index
+
+    def shard_alive(self, index: int) -> bool:
+        return self._shard_alive[index]
+
+    def live_shard_ids(self) -> List[str]:
+        return [
+            shard_id
+            for index, shard_id in enumerate(self.shard_ids)
+            if self._shard_alive[index]
+        ]
+
     def shard_for(self, blob_id: BlobId) -> VersionManager:
-        return self.shards[self.shard_index(blob_id)]
+        return self._serving_shard(self.shard_index(blob_id))
+
+    def _serving_shard(self, index: int) -> VersionManager:
+        """The manager currently serving shard ``index`` (primary or standby)."""
+        if self._shard_alive[index]:
+            return self.shards[index]
+        if self.standbys is None:
+            raise ServiceError(
+                f"coordinator shard {self.shard_ids[index]} is down and "
+                f"failover is not enabled"
+            )
+        host = self.successor_index(index)
+        standby = self.standbys[index]
+        if standby is None or not self._shard_alive[host]:
+            raise ServiceError(
+                f"coordinator shard {self.shard_ids[index]} and its standby "
+                f"host {self.shard_ids[host]} are both down"
+            )
+        return standby.manager
+
+    def _observable_shards(self) -> List[VersionManager]:
+        """Best-effort per-shard views for aggregation/monitoring.
+
+        A down shard is represented by its standby when one is serving;
+        otherwise by its stale pre-crash object (better a stale counter
+        than a monitoring crash)."""
+        views: List[VersionManager] = []
+        for index, shard in enumerate(self.shards):
+            standby = self.standbys[index] if self.standbys is not None else None
+            if self._shard_alive[index] or standby is None:
+                views.append(shard)
+            else:
+                views.append(standby.manager)
+        return views
+
+    # -- durability & failover lifecycle -------------------------------------------
+    def enable_durability(
+        self,
+        journals: Optional[Sequence] = None,
+        directory: Optional[str] = None,
+        snapshot_interval: int = 0,
+        failover: bool = True,
+    ) -> List:
+        """Attach one write-ahead journal per shard (and, optionally, standbys).
+
+        Every shard state transition from here on is journaled before it is
+        acknowledged.  Fresh journals are seeded with a snapshot of the
+        shard's *current* state, so enabling durability on a deployment
+        that already holds blobs is safe — replay starts from that
+        snapshot.  A passed-in journal that already **has history** (a
+        reopened file-backed one) is treated as recovery input instead:
+        its shard is rebuilt from the journal — never the other way
+        around, so enabling durability can never truncate a WAL that holds
+        real state.  (A lived-in journal combined with a shard that
+        already holds blobs is ambiguous and rejected.)  With
+        ``failover=True`` (and more than one shard) each journal
+        additionally streams to a hot standby on the shard's ring
+        successor, which serves the shard's blobs while it is down.
+
+        Pass pre-built ``journals`` (e.g. reopened file-backed ones) or let
+        the coordinator create them, file-backed under ``directory`` when
+        given, in-memory otherwise.  Returns the journals.
+        """
+        from ..resilience.failover import ShardStandby
+        from ..resilience.journal import ShardJournal
+
+        if journals is None:
+            journals = [
+                ShardJournal(
+                    shard_id=shard_id,
+                    directory=directory,
+                    snapshot_interval=snapshot_interval,
+                )
+                for shard_id in self.shard_ids
+            ]
+        journals = list(journals)
+        if len(journals) != len(self.shards):
+            raise InvalidConfigError(
+                f"expected {len(self.shards)} journals, got {len(journals)}"
+            )
+        for index, journal in enumerate(journals):
+            # Drop any stream consumers a previous deployment left behind.
+            journal.clear_subscribers()
+            shard = self.shards[index]
+            if journal.has_history:
+                if shard.blob_ids():
+                    raise InvalidConfigError(
+                        f"journal for shard {self.shard_ids[index]} already "
+                        f"has history and the shard already holds blobs; "
+                        f"recover into a fresh coordinator (recover_from) "
+                        f"instead"
+                    )
+                shard = self._rebuild_shard_from_journal(index, journal)
+                self._ingest_disk_handoff(index, journal, shard)
+            else:
+                # Seed the journal with the shard's current state so replay
+                # is self-contained even when blobs predate durability.
+                journal.snapshot(shard.dump_state())
+            shard.journal = journal
+        self.journals = journals
+        self.standbys = None
+        if failover and len(self.shards) > 1:
+            self.standbys = [
+                ShardStandby(shard_id, journal)
+                for shard_id, journal in zip(self.shard_ids, journals)
+            ]
+        return journals
+
+    def _rebuild_shard_from_journal(self, index: int, journal) -> VersionManager:
+        """Fresh shard state from a journal: replay, attach, install, re-seed ids.
+
+        The one rebuild sequence shared by single-shard recovery, restart
+        recovery and reopened-journal durability enablement.
+        """
+        manager = VersionManager()
+        journal.replay_into(manager)
+        manager.journal = journal
+        self.shards[index] = manager
+        with self._id_lock:
+            for blob_id in manager.blob_ids():
+                self._next_blob_id = max(self._next_blob_id, blob_id + 1)
+        return manager
+
+    def _ingest_disk_handoff(self, index: int, journal, manager) -> int:
+        """Fold a durable on-disk handoff (takeover survived by its WAL
+        alone — the hosting machine died too) into the shard's journal."""
+        directory = getattr(journal, "directory", None)
+        if directory is None:
+            return 0
+        from ..resilience.journal import ShardJournal
+
+        handoff = ShardJournal.open(
+            directory, shard_id=f"{self.shard_ids[index]}-handoff"
+        )
+        records = handoff.records()
+        if records:
+            journal.ingest(records, apply_to=manager)
+        handoff.discard_files()
+        return len(records)
+
+    def crash_shard(self, index: int) -> None:
+        """Crash shard ``index``: its in-memory state is gone.
+
+        With failover enabled its standby (on the ring successor) starts
+        serving the shard's blobs immediately, logging every transition to
+        a handoff journal for the shard's return.  The standby this machine
+        *hosts* — the one for its ring predecessor — dies with it: its
+        in-memory replica is discarded and rebuilt from the predecessor's
+        journal when this machine rejoins.
+        """
+        if not self._shard_alive[index]:
+            return
+        self._shard_alive[index] = False
+        if self.standbys is not None:
+            standby = self.standbys[index]
+            if standby is not None:
+                standby.begin_takeover()
+                self.failovers += 1
+            predecessor = (index - 1) % len(self.shards)
+            hosted = self.standbys[predecessor]
+            if predecessor != index and hosted is not None:
+                hosted.detach()
+                self.standbys[predecessor] = None
+
+    def recover_shard(self, index: int) -> int:
+        """Restart shard ``index`` from its journal; returns records caught up.
+
+        The shard is rebuilt from scratch — snapshot plus WAL replay
+        restores the state as of the crash, then the standby's handoff
+        records (everything committed on its behalf while it was down) are
+        adopted into the journal and applied.  If the standby's host died
+        too, a file-backed handoff is recovered from disk instead (an
+        in-memory one died with the host).  Without a journal the old
+        in-memory state is resumed unchanged (a pause, not a crash — the
+        pre-durability behaviour).
+        """
+        from ..resilience.failover import ShardStandby
+
+        if self._shard_alive[index]:
+            return 0
+        caught_up = 0
+        if self.journals is not None:
+            journal = self.journals[index]
+            manager = self._rebuild_shard_from_journal(index, journal)
+            if self.standbys is not None:
+                standby = self.standbys[index]
+                if standby is not None:
+                    handoff = standby.end_takeover()
+                    journal.ingest(handoff, apply_to=manager)
+                    caught_up = len(handoff)
+                    standby.discard_handoff()
+                else:
+                    caught_up = self._ingest_disk_handoff(index, journal, manager)
+            with self._id_lock:
+                for blob_id in manager.blob_ids():
+                    self._next_blob_id = max(self._next_blob_id, blob_id + 1)
+        self._shard_alive[index] = True
+        self.recoveries += 1
+        # This machine hosts its ring predecessor's standby; if that replica
+        # died with the machine, rebuild it from the predecessor's journal.
+        # (Only while the predecessor is *alive* — a dead predecessor's
+        # pending disk handoff must survive until its own recovery ingests
+        # it, which a fresh takeover would clobber.)
+        if self.standbys is not None and self.journals is not None:
+            predecessor = (index - 1) % len(self.shards)
+            if (
+                predecessor != index
+                and self.standbys[predecessor] is None
+                and self._shard_alive[predecessor]
+            ):
+                self.standbys[predecessor] = ShardStandby(
+                    self.shard_ids[predecessor], self.journals[predecessor]
+                )
+        return caught_up
+
+    def recover_from(self, journals: Sequence, failover: bool = True) -> None:
+        """Rebuild every shard of a *restarted* deployment from its journals.
+
+        The full-deployment analogue of :meth:`recover_shard`: a fresh
+        coordinator (same shard count) replays one journal per shard —
+        folding in any durable handoff a failed-over shard left on disk —
+        and resumes exactly at the published frontiers the previous
+        deployment crashed with: zero committed-version loss.  The journals
+        stay attached, so the recovered deployment keeps journaling (and,
+        with ``failover``, streaming to standbys) from where the old one
+        stopped.
+        """
+        from ..resilience.failover import ShardStandby
+
+        journals = list(journals)
+        if len(journals) != len(self.shards):
+            raise InvalidConfigError(
+                f"expected {len(self.shards)} journals, got {len(journals)}"
+            )
+        for index, journal in enumerate(journals):
+            # The previous deployment's standbys (possibly stuck
+            # mid-takeover) must not receive the new deployment's stream.
+            journal.clear_subscribers()
+            manager = self._rebuild_shard_from_journal(index, journal)
+            self._ingest_disk_handoff(index, journal, manager)
+            self._shard_alive[index] = True
+        self.journals = journals
+        self.standbys = None
+        if failover and len(self.shards) > 1:
+            self.standbys = [
+                ShardStandby(shard_id, journal)
+                for shard_id, journal in zip(self.shard_ids, journals)
+            ]
 
     # -- blob lifecycle ------------------------------------------------------------
     def create_blob(
@@ -154,11 +443,32 @@ class ShardedVersionManager:
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         replication: int = 1,
         blob_id: Optional[BlobId] = None,
+        avoid_shards: Optional[Sequence[int]] = None,
     ) -> BlobInfo:
+        """Create a blob, optionally steering it off the ``avoid_shards``.
+
+        ``avoid_shards`` (the QoS hot-shard feedback action) probes
+        successive candidate ids until one routes to an acceptable shard;
+        ids skipped by the probe are simply never used (blob ids stay
+        unique and monotonic, just not dense).  The hint is best-effort: if
+        every shard is to be avoided — or an explicit ``blob_id`` is given —
+        it is ignored.
+        """
         with self._id_lock:
             if blob_id is None:
                 blob_id = self._next_blob_id
-                self._next_blob_id += 1
+                if avoid_shards:
+                    avoid = {
+                        index for index in avoid_shards if 0 <= index < len(self.shards)
+                    }
+                    if len(avoid) < len(self.shards):
+                        candidate = blob_id
+                        for _ in range(max(8, 4 * len(self.shards))):
+                            if self.shard_index(candidate) not in avoid:
+                                blob_id = candidate
+                                break
+                            candidate += 1
+                self._next_blob_id = blob_id + 1
             else:
                 self._next_blob_id = max(self._next_blob_id, blob_id + 1)
         return self.shard_for(blob_id).create_blob(
@@ -167,7 +477,7 @@ class ShardedVersionManager:
 
     def blob_ids(self) -> List[BlobId]:
         ids: List[BlobId] = []
-        for shard in self.shards:
+        for shard in self._observable_shards():
             ids.extend(shard.blob_ids())
         return sorted(ids)
 
@@ -202,14 +512,22 @@ class ShardedVersionManager:
         shard's round before that shard assigns any version; rounds on
         *other* shards are independent serialisation domains and may have
         completed already (there is deliberately no cross-shard
-        transaction).
+        transaction).  An *unreachable* shard (down with no failover path)
+        fails the whole call before any shard assigns a version.
         """
         by_shard: Dict[int, List[int]] = {}
         for position, (blob_id, _) in enumerate(batches):
             by_shard.setdefault(self.shard_index(blob_id), []).append(position)
+        # Resolve every involved shard's serving manager *before* assigning
+        # anything: an unreachable shard (down with no failover path) must
+        # fail the call while zero versions exist, not after sibling shards
+        # already assigned tickets nobody will ever weave or abort.
+        serving = {
+            shard_index: self._serving_shard(shard_index) for shard_index in by_shard
+        }
         results: List[List[Union[WriteTicket, Exception]]] = [[] for _ in batches]
         for shard_index, positions in by_shard.items():
-            shard_results = self.shards[shard_index].register_writes_bulk(
+            shard_results = serving[shard_index].register_writes_bulk(
                 [batches[position] for position in positions], writer=writer
             )
             for position, outcome in zip(positions, shard_results):
@@ -258,33 +576,44 @@ class ShardedVersionManager:
     # -- aggregate counters / monitoring -------------------------------------------------
     @property
     def writes_registered(self) -> int:
-        return sum(shard.writes_registered for shard in self.shards)
+        return sum(shard.writes_registered for shard in self._observable_shards())
 
     @property
     def versions_published(self) -> int:
-        return sum(shard.versions_published for shard in self.shards)
+        return sum(shard.versions_published for shard in self._observable_shards())
 
     @property
     def register_rounds(self) -> int:
-        return sum(shard.register_rounds for shard in self.shards)
+        return sum(shard.register_rounds for shard in self._observable_shards())
 
     @property
     def publish_rounds(self) -> int:
-        return sum(shard.publish_rounds for shard in self.shards)
+        return sum(shard.publish_rounds for shard in self._observable_shards())
 
     def backlog(self) -> int:
-        return sum(shard.backlog() for shard in self.shards)
+        return sum(shard.backlog() for shard in self._observable_shards())
 
     def shard_reports(self) -> List[Dict[str, object]]:
-        """Per-shard monitoring records (the QoS monitor's hot-shard input)."""
+        """Per-shard monitoring records (the QoS monitor's hot-shard input).
+
+        A crashed shard is reported through its serving standby, flagged
+        ``alive: False`` so monitors can tell a takeover from normal load.
+        """
         return [
-            {"shard": index, "shard_id": shard_id, **shard.report()}
-            for index, (shard_id, shard) in enumerate(zip(self.shard_ids, self.shards))
+            {
+                "shard": index,
+                "shard_id": shard_id,
+                "alive": self._shard_alive[index],
+                **shard.report(),
+            }
+            for index, (shard_id, shard) in enumerate(
+                zip(self.shard_ids, self._observable_shards())
+            )
         ]
 
     def blob_distribution(self) -> Dict[str, int]:
         """How many existing blobs each shard owns (routing balance check)."""
         return {
             shard_id: len(shard.blob_ids())
-            for shard_id, shard in zip(self.shard_ids, self.shards)
+            for shard_id, shard in zip(self.shard_ids, self._observable_shards())
         }

@@ -97,6 +97,11 @@ class VersionManager:
         #: operations it carried) — what the sharding benchmarks contend on.
         self.register_rounds = 0
         self.publish_rounds = 0
+        #: Optional write-ahead log (:class:`~repro.resilience.journal.
+        #: ShardJournal`): when set, every state transition is appended —
+        #: inside the commit lock, before the caller is acknowledged — so a
+        #: crashed shard replays back to its exact frontier.
+        self.journal = None
 
     # -- coordinator surface (degenerate single-shard case) ----------------------
     @property
@@ -107,18 +112,25 @@ class VersionManager:
         """Owning shard of ``blob_id`` (always 0: there is only this one)."""
         return 0
 
+    def active_shard_index(self, blob_id: BlobId) -> int:
+        """Shard currently *serving* ``blob_id`` (no failover here: 0)."""
+        return 0
+
     # -- blob lifecycle ---------------------------------------------------------
     def create_blob(
         self,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         replication: int = 1,
         blob_id: Optional[BlobId] = None,
+        avoid_shards: Optional[Sequence[int]] = None,
     ) -> BlobInfo:
         """Create an empty blob and return its immutable parameters.
 
         ``blob_id`` is normally assigned here; a sharded coordinator
         allocates ids globally and passes the chosen one down so that every
-        shard's namespace stays disjoint.
+        shard's namespace stays disjoint.  ``avoid_shards`` is the sharded
+        coordinator's placement-steering hint; with a single shard there is
+        nowhere else to go, so it is accepted and ignored.
         """
         if chunk_size < 1:
             raise InvalidRangeError("chunk_size must be >= 1")
@@ -134,6 +146,10 @@ class VersionManager:
                 self._next_blob_id = max(self._next_blob_id, blob_id + 1)
             info = BlobInfo(blob_id=blob_id, chunk_size=chunk_size, replication=replication)
             self._blobs[blob_id] = _BlobState(info=info)
+            if self.journal is not None:
+                self.journal.append(
+                    "create", blob_id, chunk_size=chunk_size, replication=replication
+                )
             return info
 
     def blob_ids(self) -> List[BlobId]:
@@ -262,6 +278,16 @@ class VersionManager:
         record = WriteRecord(version=version, offset=offset, size=size, new_size=new_size)
         state.entries.append(_WriteEntry(record=record, is_append=is_append, writer=writer))
         self.writes_registered += 1
+        if self.journal is not None:
+            self.journal.append(
+                "register",
+                state.info.blob_id,
+                version=version,
+                offset=offset,
+                size=size,
+                is_append=is_append,
+                writer=writer,
+            )
         return WriteTicket(
             blob_id=state.info.blob_id,
             version=version,
@@ -312,7 +338,10 @@ class VersionManager:
                 entry = state.entry(version)
                 if entry.state == WriteState.PENDING:
                     entry.state = WriteState.COMPLETED
+                if self.journal is not None:
+                    self.journal.append("publish", blob_id, version=version)
             self._advance_frontier_locked(state)
+            self._maybe_snapshot_locked()
             return state.published_frontier
 
     def abort(self, blob_id: BlobId, version: Version) -> None:
@@ -331,6 +360,8 @@ class VersionManager:
             if entry.state == WriteState.PUBLISHED:
                 raise CommitError(f"version {version} is already published")
             entry.state = WriteState.ABORTED
+            if self.journal is not None:
+                self.journal.append("abort", blob_id, version=version)
 
     def mark_repaired(self, blob_id: BlobId, version: Version) -> Version:
         """Mark an aborted version as repaired (its no-op metadata now exists)."""
@@ -340,7 +371,10 @@ class VersionManager:
             if entry.state != WriteState.ABORTED:
                 raise CommitError(f"version {version} is not aborted")
             entry.state = WriteState.COMPLETED
+            if self.journal is not None:
+                self.journal.append("repair", blob_id, version=version)
             self._advance_frontier_locked(state)
+            self._maybe_snapshot_locked()
             return state.published_frontier
 
     def _advance_frontier_locked(self, state: _BlobState) -> None:
@@ -414,6 +448,85 @@ class VersionManager:
             if version < 1 or version > len(state.entries):
                 raise VersionNotFoundError(blob_id, version)
             return state.entry(version).state
+
+    # -- durability ----------------------------------------------------------------------
+    def _maybe_snapshot_locked(self) -> None:
+        """Compact the journal when its WAL tail outgrew the auto interval."""
+        if self.journal is not None and self.journal.snapshot_due():
+            self.journal.snapshot(self._dump_state_locked())
+
+    def dump_state(self) -> Dict[str, object]:
+        """Serialise the full shard state (JSON-safe) for a journal snapshot."""
+        with self._lock:
+            return self._dump_state_locked()
+
+    def _dump_state_locked(self) -> Dict[str, object]:
+        return {
+            "next_blob_id": self._next_blob_id,
+            "blobs": [
+                {
+                    "blob_id": state.info.blob_id,
+                    "chunk_size": state.info.chunk_size,
+                    "replication": state.info.replication,
+                    "published_frontier": state.published_frontier,
+                    "entries": [
+                        {
+                            "version": entry.record.version,
+                            "offset": entry.record.offset,
+                            "size": entry.record.size,
+                            "new_size": entry.record.new_size,
+                            "state": entry.state.value,
+                            "is_append": entry.is_append,
+                            "writer": entry.writer,
+                        }
+                        for entry in state.entries
+                    ],
+                }
+                for state in self._blobs.values()
+            ],
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`dump_state` snapshot (recovery; replaces all state).
+
+        Counters are re-derived from the snapshot (published/registered
+        totals), not carried over — they are monitoring artefacts, not part
+        of the linearised history.
+        """
+        with self._lock:
+            self._blobs = {}
+            self._next_blob_id = int(state["next_blob_id"])
+            for blob in state["blobs"]:  # type: ignore[index]
+                info = BlobInfo(
+                    blob_id=blob["blob_id"],
+                    chunk_size=blob["chunk_size"],
+                    replication=blob["replication"],
+                )
+                entries = [
+                    _WriteEntry(
+                        record=WriteRecord(
+                            version=entry["version"],
+                            offset=entry["offset"],
+                            size=entry["size"],
+                            new_size=entry["new_size"],
+                        ),
+                        state=WriteState(entry["state"]),
+                        is_append=entry["is_append"],
+                        writer=entry.get("writer"),
+                    )
+                    for entry in blob["entries"]
+                ]
+                self._blobs[info.blob_id] = _BlobState(
+                    info=info,
+                    entries=entries,
+                    published_frontier=blob["published_frontier"],
+                )
+            self.writes_registered = sum(
+                len(s.entries) for s in self._blobs.values()
+            )
+            self.versions_published = sum(
+                s.published_frontier for s in self._blobs.values()
+            )
 
     # -- monitoring ----------------------------------------------------------------------
     def backlog(self) -> int:

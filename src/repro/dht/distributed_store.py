@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from ..core.errors import MetadataNotFoundError, ServiceError
 from ..core.transport import parallel_map
+from .hashing import ring_position
 from .ring import ConsistentHashRing
 from .store import KeyValueStore
 
@@ -248,20 +249,53 @@ class DistributedKeyValueStore:
         self._repair(repaired, missed_at)
         return found
 
-    # -- read repair / fan-out ----------------------------------------------------
+    # -- read repair / anti-entropy / fan-out ------------------------------------
+    def scan_keys(self) -> List[Any]:
+        """Every key held by at least one *live* provider, in ring order.
+
+        The anti-entropy scrubber's walk order: ring position gives a
+        stable, provider-independent traversal so successive passes visit
+        batches of ring-adjacent keys (one digest round per provider per
+        batch).  Keys whose every holder is down are invisible — there is
+        nothing left to copy them from until a holder recovers.
+        """
+        seen: Dict[Any, None] = {}
+        for pid in sorted(self._stores):
+            if not self._alive[pid]:
+                continue
+            for key in self._stores[pid].keys():
+                seen.setdefault(key, None)
+        return sorted(seen, key=ring_position)
+
+    def re_replicate(
+        self, values: Sequence[Tuple[Any, Any]], missing_at: Dict[Any, List[str]]
+    ) -> int:
+        """Install ``values`` on the live owners listed in ``missing_at``.
+
+        The anti-entropy entry point: the scrubber hands in keys whose live
+        owner sets are incomplete together with a value fetched from a
+        surviving replica; this writes them back in one bulk round per
+        provider, counted in the target stores' ``repairs`` stat (same
+        bookkeeping as read repair).  Returns the number of (key, provider)
+        copies actually installed.
+        """
+        return self._repair(values, missing_at)
+
     def _repair(
         self, values: Sequence[Tuple[Any, Any]], missed_at: Dict[Any, List[str]]
-    ) -> None:
+    ) -> int:
         """Write values found on fallback replicas back to the owners that missed.
 
         Best-effort: a repair that races with a provider crash (or an
         inconsistent binding) never fails the read that triggered it.
+        Returns the number of copies installed.
         """
         groups: Dict[str, List[Tuple[Any, Any]]] = {}
         for key, value in values:
             for pid in missed_at.get(key, ()):
                 if self._alive.get(pid, False):
                     groups.setdefault(pid, []).append((key, value))
+        installed = 0
         for pid, group in sorted(groups.items()):
             if self.access_hook is not None:
                 self.access_hook(pid, "put_many", tuple(key for key, _ in group))
@@ -270,6 +304,8 @@ class DistributedKeyValueStore:
                     self._stores[pid].repair_put(key, value)
                 except ValueError:  # pragma: no cover - diverged binding
                     continue
+                installed += 1
+        return installed
 
     def _fan_out(self, thunks: Sequence[Callable[[], Any]]) -> List[Any]:
         """Run one thunk per provider group, on the shared pool when it pays."""

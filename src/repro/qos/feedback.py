@@ -38,6 +38,14 @@ class FeedbackPolicy:
     #: Treat a window as dangerous when the model predicts the *next* window
     #: is dangerous with at least this probability.
     predictive_threshold: float = 0.5
+    #: A coordinator shard is "persistently hot" once it has been the
+    #: hottest shard (deepest backlog) for this many consecutive windows
+    #: with the shard imbalance at or above the threshold below; new blob
+    #: placement is then steered away from it.
+    hot_shard_windows: int = 3
+    #: Minimum per-shard commit imbalance (coefficient of variation) for a
+    #: hottest-shard window to count towards the streak.
+    hot_shard_imbalance: float = 0.5
 
 
 @dataclass
@@ -66,6 +74,9 @@ class QoSFeedbackController:
         self.actions: List[FeedbackAction] = []
         self._healthy_streak = 0
         self._boosted = False
+        self._hot_shard: Optional[int] = None
+        self._hot_streak = 0
+        self._cool_streak = 0
 
     # -- decision logic -------------------------------------------------------------
     def evaluate(self, sample: WindowSample) -> None:
@@ -82,6 +93,69 @@ class QoSFeedbackController:
             self._healthy_streak += 1
             if self._boosted and self._healthy_streak >= self.policy.recovery_windows:
                 self._relax()
+        self._track_hot_shard(sample)
+
+    def _track_hot_shard(self, sample: WindowSample) -> None:
+        """Steer new blob placement away from a persistently hot shard.
+
+        The per-shard coordinator features (``vm_shard_backlog``,
+        ``vm_shard_imbalance``) expose which shard the commit load piles up
+        on; once the *same* shard has been the hottest for
+        ``hot_shard_windows`` consecutive imbalanced windows, new blobs are
+        routed off it (an allocation hint — existing blobs never move, per
+        the consistent-hash design).  The hint is withdrawn after the shard
+        has cooled for ``recovery_windows`` windows.
+        """
+        if not hasattr(self.cluster, "avoid_vm_shards"):
+            return  # deployment without a placement-steerable coordinator
+        hottest = sample.hottest_vm_shard()
+        hot_now = (
+            hottest is not None
+            and sample.vm_shard_imbalance >= self.policy.hot_shard_imbalance
+        )
+        if hot_now and hottest == self._hot_shard:
+            self._hot_streak += 1
+        elif hot_now:
+            self._hot_shard = hottest
+            self._hot_streak = 1
+        else:
+            self._hot_shard = None
+            self._hot_streak = 0
+        avoided = self.cluster.avoid_vm_shards
+        if (
+            self._hot_streak >= self.policy.hot_shard_windows
+            and hottest not in avoided
+        ):
+            # Never steer away from every shard: leave at least one usable.
+            num_shards = getattr(self.cluster.version_manager, "num_shards", 1)
+            if len(avoided) < num_shards - 1:
+                avoided.add(hottest)
+                self.actions.append(
+                    FeedbackAction(
+                        time=self.cluster.env.now,
+                        kind="steer_placement",
+                        detail=(
+                            f"shard {hottest} hottest for {self._hot_streak} "
+                            f"windows (imbalance {sample.vm_shard_imbalance:.2f}); "
+                            f"new blobs steered away"
+                        ),
+                    )
+                )
+        if avoided and not hot_now:
+            self._cool_streak += 1
+            if self._cool_streak >= self.policy.recovery_windows:
+                released = sorted(avoided)
+                avoided.clear()
+                self._cool_streak = 0
+                self.actions.append(
+                    FeedbackAction(
+                        time=self.cluster.env.now,
+                        kind="release_placement",
+                        detail=f"shards {released} cooled; placement unrestricted",
+                    )
+                )
+        elif hot_now:
+            self._cool_streak = 0
 
     def _engage(self, sample: WindowSample, state: int, dangerous_now: bool) -> None:
         if not self._boosted:

@@ -63,6 +63,11 @@ class WindowSample:
     vm_shard_backlog: Tuple[int, ...] = ()
     vm_shard_imbalance: float = 0.0
     metadata_rounds: int = 0
+    #: Metadata copies re-installed this window (read repair + anti-entropy
+    #: scrub); sustained non-zero means providers keep recovering lossy.
+    scrub_repairs: int = 0
+    #: Components (data/metadata/coordinator) that finished recovering.
+    recoveries: int = 0
 
     def hottest_vm_shard(self) -> Optional[int]:
         """Index of the shard with the deepest commit backlog (None if idle)."""
@@ -110,6 +115,8 @@ class Monitor:
         self._last_ops_bytes = 0
         self._last_shard_published: Dict[int, int] = {}
         self._last_metadata_rounds = 0
+        self._last_scrub_repairs = 0
+        self._last_recoveries = 0
 
     def sample(self) -> WindowSample:
         """Take one sample covering the window since the previous call."""
@@ -168,6 +175,23 @@ class Monitor:
         metadata_rounds = rounds_total - self._last_metadata_rounds
         self._last_metadata_rounds = rounds_total
 
+        # Durability extras: repair installs (read repair + scrub) and
+        # finished component recoveries of any class.
+        repairs_total = 0
+        metadata_store = getattr(self.cluster, "metadata_store", None)
+        if metadata_store is not None:
+            repairs_total = sum(
+                stats.get("repairs", 0)
+                for stats in metadata_store.access_stats().values()
+            )
+        scrub_repairs = repairs_total - self._last_scrub_repairs
+        self._last_scrub_repairs = repairs_total
+        recoveries_total = sum(
+            1 for _, action, _ in self.cluster.failure_log if action == "recover"
+        )
+        recoveries = recoveries_total - self._last_recoveries
+        self._last_recoveries = recoveries_total
+
         sample = WindowSample(
             window_start=self._last_time,
             window_end=now,
@@ -181,6 +205,8 @@ class Monitor:
             vm_shard_backlog=shard_backlog,
             vm_shard_imbalance=shard_imbalance,
             metadata_rounds=metadata_rounds,
+            scrub_repairs=scrub_repairs,
+            recoveries=recoveries,
         )
         self._last_time = now
         self.samples.append(sample)

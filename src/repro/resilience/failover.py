@@ -1,0 +1,112 @@
+"""Shard failover: a hot standby on the ring successor of every shard.
+
+A coordinator shard is a single point of failure for the blobs it owns: the
+ISSUE's QoS regime (long service up-time under component failures) needs
+those blobs to *keep committing* while the shard is down.  The mechanism is
+the classic primary/backup pair built on the journal stream:
+
+* every shard's :class:`~repro.resilience.journal.ShardJournal` streams its
+  records to the :class:`ShardStandby` hosted on the shard's **ring
+  successor** (shard ``i``'s standby lives with shard ``(i + 1) % n``);
+* the standby applies each record to a replica ``VersionManager``, so it
+  tracks the primary's state record by record — published frontier, pending
+  versions, everything;
+* when the primary crashes, the router
+  (:class:`~repro.core.version_coordinator.ShardedVersionManager`) sends the
+  dead shard's traffic to the standby, which serves it from the replica and
+  logs every new transition to a **handoff journal**;
+* when the primary rejoins, it replays its own WAL (state as of the crash),
+  adopts the handoff records (what the standby committed in the meantime)
+  and resumes ownership; the standby keeps streaming as before.
+
+The standby never talks back to the primary, so there are no lock cycles:
+records flow strictly primary → journal → standby.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.errors import ServiceError
+from ..core.version_manager import VersionManager
+from .journal import JournalRecord, ShardJournal, apply_record
+
+
+class ShardStandby:
+    """Hot replica of one coordinator shard, fed by its journal stream."""
+
+    def __init__(self, shard_id: str, journal: ShardJournal) -> None:
+        self.shard_id = shard_id
+        self.journal = journal
+        #: The replica state machine; identical to the primary after every
+        #: streamed record (the stream is emitted under the primary's lock).
+        self.manager = VersionManager()
+        self.taking_over = False
+        #: Transitions served *during* a takeover, handed back on rejoin.
+        #: Replaced by a live (file-backed when the primary is) journal at
+        #: :meth:`begin_takeover`.
+        self.handoff: ShardJournal = ShardJournal(shard_id=f"{shard_id}-handoff")
+        #: Monitoring counters.
+        self.records_applied = 0
+        self.takeovers = 0
+        # Bootstrap from whatever the journal already holds (snapshot +
+        # records), then follow the stream.
+        journal.replay_into(self.manager)
+        journal.subscribe(self._on_record)
+
+    def detach(self) -> None:
+        """Stop following the primary's stream (the standby's host died)."""
+        self.journal.unsubscribe(self._on_record)
+
+    # -- the replication stream -----------------------------------------------------
+    def _on_record(self, record: JournalRecord) -> None:
+        if self.taking_over:
+            # The primary is (re)appending while we still own its traffic —
+            # only the recovery path does this, via ingest(), which never
+            # notifies.  A live primary streaming into an active takeover
+            # would mean two writers; fail loudly.
+            raise ServiceError(
+                f"shard {self.shard_id} streamed a record during takeover"
+            )
+        apply_record(self.manager, record)
+        self.records_applied += 1
+
+    # -- takeover lifecycle ------------------------------------------------------------
+    def begin_takeover(self) -> None:
+        """Start serving the dead primary's blobs from the replica.
+
+        From here on the replica is the shard's state of record: every
+        transition it performs is logged to the handoff journal — durably,
+        alongside the primary's WAL, when the primary is file-backed — so
+        the shard can catch up when it rejoins and a deployment restart
+        mid-takeover loses nothing that was acknowledged.
+        """
+        if self.taking_over:
+            return
+        self.handoff = ShardJournal(
+            shard_id=f"{self.shard_id}-handoff", directory=self.journal.directory
+        )
+        # A previous takeover's handoff was already folded into the primary
+        # WAL; starting from a stale file would corrupt the lsn sequence.
+        self.handoff.discard_files()
+        self.manager.journal = self.handoff
+        self.taking_over = True
+        self.takeovers += 1
+
+    def end_takeover(self) -> List[JournalRecord]:
+        """Stop serving; return the records committed while the primary was out.
+
+        The caller (shard recovery) ingests the records into the primary
+        journal and then calls :meth:`discard_handoff` — only after that
+        ingest are the on-disk handoff files safe to drop.
+        """
+        if not self.taking_over:
+            return []
+        records = self.handoff.records()
+        self.manager.journal = None
+        self.taking_over = False
+        return records
+
+    def discard_handoff(self) -> None:
+        """Drop the handoff files once the primary WAL holds their records."""
+        self.handoff.discard_files()

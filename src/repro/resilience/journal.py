@@ -1,0 +1,400 @@
+"""Write-ahead journal + snapshots for one version-coordinator shard.
+
+The coordinator shards of :mod:`repro.core.version_coordinator` keep every
+blob's write history and publication frontier in memory — fast, but a
+crashed shard forgets which versions it promised readers.  The BlobSeer
+versioning argument (every mutation is an *append* to a per-blob history)
+makes crash recovery a pure replay problem: if the shard logs each state
+transition before acknowledging it, a restarted shard that replays the log
+reaches exactly the state it crashed in, published frontier included.
+
+:class:`ShardJournal` is that log.  Five record kinds cover the whole
+coordinator state machine:
+
+========  =========================================================
+op        payload
+========  =========================================================
+create    ``chunk_size``, ``replication`` (blob id on the record)
+register  ``version``, ``offset``, ``size``, ``is_append``, ``writer``
+publish   ``version``
+abort     ``version``
+repair    ``version``
+========  =========================================================
+
+Because every record is emitted *inside* the shard's commit lock, the
+journal is a total order of the shard's transitions; replaying it through
+the same public ``VersionManager`` API (:func:`apply_record`) rebuilds the
+identical state — version numbers, snapshot sizes and frontier all
+re-derive deterministically.  A periodic **snapshot** bounds replay time:
+the journal captures the shard's full state (``VersionManager.dump_state``)
+and truncates the records it subsumes.
+
+The journal is also the shard's **replication stream**: subscribers
+(:class:`~repro.resilience.failover.ShardStandby` on the ring successor)
+receive every record as it is appended, so a hot standby tracks the primary
+record by record and can take over mid-workload.
+
+Journals live in memory by default (the simulator's shards are in-process);
+pass ``directory`` to persist the WAL as JSON lines plus a snapshot file,
+and reopen it with :meth:`ShardJournal.open` after a real process restart.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core.errors import ServiceError
+
+#: Record kinds a journal understands (also the replay dispatch table's keys).
+JOURNAL_OPS = ("create", "register", "publish", "abort", "repair")
+
+
+class JournalReplayError(ServiceError):
+    """A journal record did not replay to the state it originally produced."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One durable state transition of a coordinator shard.
+
+    ``lsn`` is the journal-local sequence number (1-based, dense); replay
+    order is lsn order.  ``payload`` holds the op-specific fields listed in
+    the module docstring, all JSON-serialisable.
+    """
+
+    lsn: int
+    op: str
+    blob_id: int
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"lsn": self.lsn, "op": self.op, "blob_id": self.blob_id, "payload": self.payload},
+            sort_keys=True,
+        )
+
+    @staticmethod
+    def from_json(line: str) -> "JournalRecord":
+        data = json.loads(line)
+        return JournalRecord(
+            lsn=data["lsn"], op=data["op"], blob_id=data["blob_id"], payload=data["payload"]
+        )
+
+
+class ShardJournal:
+    """Write-ahead log + snapshot for one coordinator shard.
+
+    Appends are durable-before-ack: the record is stored (and written to the
+    WAL file when the journal is file-backed) before :meth:`append` returns
+    to the coordinator, which only then acknowledges the client.  Snapshots
+    compact the log: :meth:`snapshot` captures a full state dump and drops
+    the records it covers, so replay cost is bounded by
+    ``snapshot_interval`` instead of the shard's lifetime.
+    """
+
+    def __init__(
+        self,
+        shard_id: str = "vm-000",
+        directory: Optional[str | Path] = None,
+        snapshot_interval: int = 0,
+    ) -> None:
+        if snapshot_interval < 0:
+            raise ValueError("snapshot_interval must be >= 0")
+        self.shard_id = shard_id
+        self.snapshot_interval = snapshot_interval
+        self._lock = threading.Lock()
+        self._records: List[JournalRecord] = []
+        self._next_lsn = 1
+        self._snapshot_state: Optional[Dict[str, Any]] = None
+        self._snapshot_lsn = 0
+        self._subscribers: List[Callable[[JournalRecord], None]] = []
+        #: Monitoring counters (the simulator charges time per append).
+        self.appends = 0
+        self.snapshots = 0
+        self._directory: Optional[Path] = Path(directory) if directory is not None else None
+        self._wal_handle = None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+
+    # -- file layout -------------------------------------------------------------
+    @property
+    def directory(self) -> Optional[Path]:
+        """Backing directory of a file-backed journal (None when in-memory)."""
+        return self._directory
+
+    @property
+    def wal_path(self) -> Optional[Path]:
+        if self._directory is None:
+            return None
+        return self._directory / f"wal-{self.shard_id}.jsonl"
+
+    @property
+    def snapshot_path(self) -> Optional[Path]:
+        if self._directory is None:
+            return None
+        return self._directory / f"snapshot-{self.shard_id}.json"
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        shard_id: str = "vm-000",
+        snapshot_interval: int = 0,
+    ) -> "ShardJournal":
+        """Reopen a file-backed journal after a process restart."""
+        journal = cls(
+            shard_id=shard_id, directory=directory, snapshot_interval=snapshot_interval
+        )
+        snapshot_path = journal.snapshot_path
+        assert snapshot_path is not None and journal.wal_path is not None
+        if snapshot_path.exists():
+            data = json.loads(snapshot_path.read_text())
+            journal._snapshot_state = data["state"]
+            journal._snapshot_lsn = data["lsn"]
+            journal._next_lsn = data["lsn"] + 1
+        if journal.wal_path.exists():
+            for line in journal.wal_path.read_text().splitlines():
+                if not line.strip():
+                    continue
+                record = JournalRecord.from_json(line)
+                journal._records.append(record)
+                journal._next_lsn = max(journal._next_lsn, record.lsn + 1)
+        return journal
+
+    # -- the write-ahead log ------------------------------------------------------
+    def append(self, op: str, blob_id: int, **payload: Any) -> JournalRecord:
+        """Log one state transition; durable (and streamed) before returning."""
+        if op not in JOURNAL_OPS:
+            raise ValueError(f"unknown journal op {op!r}")
+        with self._lock:
+            record = JournalRecord(
+                lsn=self._next_lsn, op=op, blob_id=blob_id, payload=payload
+            )
+            self._next_lsn += 1
+            self._records.append(record)
+            self.appends += 1
+            self._write_record(record)
+            subscribers = tuple(self._subscribers)
+        # Notification happens outside the journal lock; the caller (the
+        # owning shard) holds its commit lock through this call, so the
+        # stream preserves the shard's total order.
+        for callback in subscribers:
+            callback(record)
+        return record
+
+    def ingest(
+        self, records: Sequence[JournalRecord], apply_to: Optional[Any] = None
+    ) -> List[JournalRecord]:
+        """Adopt records produced elsewhere (journal handoff after failover).
+
+        Each record is re-stamped with this journal's next lsn and stored
+        without notifying subscribers — the standby that produced them
+        already holds their effects.  When ``apply_to`` (a
+        ``VersionManager``) is given, each record is replayed into it as it
+        is adopted, so a recovering shard catches up and stays durable in
+        one pass.
+        """
+        adopted: List[JournalRecord] = []
+        for record in records:
+            with self._lock:
+                stamped = JournalRecord(
+                    lsn=self._next_lsn,
+                    op=record.op,
+                    blob_id=record.blob_id,
+                    payload=dict(record.payload),
+                )
+                self._next_lsn += 1
+                self._records.append(stamped)
+                self.appends += 1
+                self._write_record(stamped)
+            if apply_to is not None:
+                apply_record(apply_to, stamped)
+            adopted.append(stamped)
+        return adopted
+
+    def _write_record(self, record: JournalRecord) -> None:
+        path = self.wal_path
+        if path is not None:
+            # One append-mode handle for the journal's lifetime (reset by
+            # snapshot truncation): the WAL write is the durable-commit hot
+            # path, one open/close syscall pair per record would dominate it.
+            if self._wal_handle is None:
+                self._wal_handle = path.open("a")
+            self._wal_handle.write(record.to_json() + "\n")
+            self._wal_handle.flush()
+
+    def close(self) -> None:
+        """Release the WAL file handle (file-backed journals only)."""
+        with self._lock:
+            if self._wal_handle is not None:
+                self._wal_handle.close()
+                self._wal_handle = None
+
+    def discard_files(self) -> None:
+        """Delete this journal's on-disk files.
+
+        Used for handoff journals once their records were folded into the
+        primary WAL — a stale handoff file left behind would be re-ingested
+        (and double-applied) by a later deployment restart.
+        """
+        self.close()
+        for path in (self.wal_path, self.snapshot_path):
+            if path is not None and path.exists():
+                path.unlink()
+
+    # -- streaming ----------------------------------------------------------------
+    def subscribe(self, callback: Callable[[JournalRecord], None]) -> None:
+        """Register a replication-stream consumer (called once per append)."""
+        with self._lock:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[JournalRecord], None]) -> None:
+        """Remove one stream consumer (no-op when it is not subscribed)."""
+        with self._lock:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+    def clear_subscribers(self) -> None:
+        """Drop every stream consumer.
+
+        Called when a journal is re-wired to a new deployment
+        (``enable_durability`` / ``recover_from``): the previous
+        deployment's standbys must stop receiving — a stale standby left
+        mid-takeover would otherwise reject the new primary's stream, and a
+        healthy one would double-apply every record.
+        """
+        with self._lock:
+            self._subscribers.clear()
+
+    # -- snapshots -----------------------------------------------------------------
+    def snapshot(self, state: Dict[str, Any]) -> None:
+        """Install a full-state snapshot and drop the records it subsumes."""
+        with self._lock:
+            self._snapshot_state = state
+            self._snapshot_lsn = self._next_lsn - 1
+            self._records.clear()
+            self.snapshots += 1
+            if self._directory is not None:
+                assert self.snapshot_path is not None and self.wal_path is not None
+                self.snapshot_path.write_text(
+                    json.dumps({"lsn": self._snapshot_lsn, "state": state}, sort_keys=True)
+                )
+                if self._wal_handle is not None:
+                    self._wal_handle.close()
+                    self._wal_handle = None
+                self.wal_path.write_text("")
+
+    def snapshot_due(self) -> bool:
+        """Whether the WAL tail has outgrown the auto-snapshot interval."""
+        with self._lock:
+            return 0 < self.snapshot_interval <= len(self._records)
+
+    # -- replay ---------------------------------------------------------------------
+    def replay_into(self, manager: Any) -> int:
+        """Rebuild a shard's state: load the snapshot, replay the WAL tail.
+
+        ``manager`` is a (typically fresh) ``VersionManager``.  Returns the
+        number of records replayed on top of the snapshot.
+        """
+        with self._lock:
+            state = self._snapshot_state
+            records = list(self._records)
+        if state is not None:
+            manager.load_state(state)
+        for record in records:
+            apply_record(manager, record)
+        return len(records)
+
+    # -- introspection ----------------------------------------------------------------
+    def records(self) -> List[JournalRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def records_since(self, lsn: int) -> List[JournalRecord]:
+        """Records with lsn strictly greater than ``lsn`` (catch-up reads)."""
+        with self._lock:
+            return [record for record in self._records if record.lsn > lsn]
+
+    @property
+    def last_lsn(self) -> int:
+        with self._lock:
+            if self._records:
+                return self._records[-1].lsn
+            return self._snapshot_lsn
+
+    @property
+    def has_history(self) -> bool:
+        """Whether this journal already holds state worth recovering.
+
+        True for a reopened (or otherwise lived-in) journal; False for a
+        freshly constructed one.  Callers that would overwrite the journal
+        (e.g. seeding a baseline snapshot) must check this first — a
+        journal with history is input for recovery, not a blank slate.
+        """
+        with self._lock:
+            return (
+                self._snapshot_state is not None
+                or bool(self._records)
+                or self._snapshot_lsn > 0
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+def apply_record(manager: Any, record: JournalRecord) -> None:
+    """Replay one journal record through a ``VersionManager``'s public API.
+
+    Journaling on ``manager`` is suppressed for the duration: replay must
+    not re-log (or re-stream) transitions the journal already holds.  The
+    register path re-derives version numbers and snapshot sizes through the
+    exact production code; a divergence from the logged values means the
+    journal and the code disagree and raises :class:`JournalReplayError`
+    rather than silently rebuilding a different history.
+    """
+    payload = record.payload
+    saved_journal = manager.journal
+    manager.journal = None
+    try:
+        if record.op == "create":
+            manager.create_blob(
+                chunk_size=payload["chunk_size"],
+                replication=payload["replication"],
+                blob_id=record.blob_id,
+            )
+        elif record.op == "register":
+            if payload["is_append"]:
+                ticket = manager.register_append(
+                    record.blob_id, payload["size"], writer=payload.get("writer")
+                )
+            else:
+                ticket = manager.register_write(
+                    record.blob_id,
+                    payload["offset"],
+                    payload["size"],
+                    writer=payload.get("writer"),
+                )
+            if ticket.version != payload["version"] or ticket.offset != payload["offset"]:
+                raise JournalReplayError(
+                    f"journal replay diverged for blob {record.blob_id}: "
+                    f"logged version {payload['version']} at offset "
+                    f"{payload['offset']}, replayed as version {ticket.version} "
+                    f"at offset {ticket.offset}"
+                )
+        elif record.op == "publish":
+            manager.publish(record.blob_id, payload["version"])
+        elif record.op == "abort":
+            manager.abort(record.blob_id, payload["version"])
+        elif record.op == "repair":
+            manager.mark_repaired(record.blob_id, payload["version"])
+        else:
+            raise JournalReplayError(f"unknown journal op {record.op!r}")
+    finally:
+        manager.journal = saved_journal

@@ -1,0 +1,140 @@
+"""Anti-entropy scrub: background re-replication of the metadata DHT.
+
+Read repair (PR 3) converges a lossy-recovered metadata provider only for
+keys that happen to be *read* through a fallback replica; everything else
+stays under-replicated until a lucky read or forever.  The
+:class:`AntiEntropyScrubber` removes the luck: it walks the whole ring in
+batches, compares each key's live owner set against who actually holds the
+key, bulk-fetches the missing values from the surviving replicas
+(:meth:`~repro.dht.distributed_store.DistributedKeyValueStore.get_many`)
+and installs them on the owners that lost them
+(:meth:`~repro.dht.distributed_store.DistributedKeyValueStore.re_replicate`,
+counted in the providers' existing ``repairs`` stat).
+
+A pass over a ring with no under-replication is cheap — membership digests
+only, no value transfer — so the scrubber is safe to run continuously.  A
+seeded under-replication (one provider recovered with data loss) converges
+in one repairing pass plus one verifying pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """Outcome of one full scrub pass over the ring."""
+
+    pass_index: int
+    keys_scanned: int
+    #: Keys whose live owner set was incomplete when the pass visited them.
+    under_replicated: int
+    #: (key, provider) pairs actually re-installed this pass.
+    repairs: int
+    #: Keys that could not be recovered (no live replica holds a value).
+    unrecoverable: int
+    batches: int
+
+    @property
+    def clean(self) -> bool:
+        """A clean pass found every key on every live owner."""
+        return self.under_replicated == 0
+
+
+class AntiEntropyScrubber:
+    """Walks the DHT ring in batches and re-replicates missing copies."""
+
+    def __init__(self, store: Any, batch_size: int = 64) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.store = store
+        self.batch_size = batch_size
+        self.reports: List[ScrubReport] = []
+        self.total_repairs = 0
+
+    # -- inspection ---------------------------------------------------------------
+    def under_replicated(self) -> Dict[Any, List[str]]:
+        """Current ``{key: [live owners missing it]}`` map (test/monitor aid)."""
+        missing: Dict[Any, List[str]] = {}
+        for key in self.store.scan_keys():
+            holes = self._missing_owners(key)
+            if holes:
+                missing[key] = holes
+        return missing
+
+    def _missing_owners(self, key: Any) -> List[str]:
+        return [
+            pid
+            for pid in self.store.live_owners(key)
+            if key not in self.store.store_of(pid)
+        ]
+
+    # -- one pass -----------------------------------------------------------------
+    def run_pass(self) -> ScrubReport:
+        """Scrub the whole ring once, in ``batch_size``-key batches.
+
+        Each batch costs one membership digest per provider holding keys of
+        the batch plus — only when holes were found — one bulk ``get_many``
+        round for the missing values and one bulk repair round installing
+        them.
+        """
+        keys = self.store.scan_keys()
+        under = 0
+        repairs = 0
+        unrecoverable = 0
+        batches = 0
+        for start in range(0, len(keys), self.batch_size):
+            batch = keys[start : start + self.batch_size]
+            batches += 1
+            plan: Dict[Any, List[str]] = {}
+            for key in batch:
+                holes = self._missing_owners(key)
+                if holes:
+                    plan[key] = holes
+            if not plan:
+                continue
+            under += len(plan)
+            values = self.store.get_many(list(plan))
+            # get_many's own read repair may have filled some of the holes
+            # (fallback-rank hits); recompute so nothing is double-installed.
+            todo: List[Tuple[Any, Any]] = []
+            missing_at: Dict[Any, List[str]] = {}
+            for key in plan:
+                if key not in values:
+                    unrecoverable += 1
+                    continue
+                holes = self._missing_owners(key)
+                if holes:
+                    todo.append((key, values[key]))
+                    missing_at[key] = holes
+            repairs += self.store.re_replicate(todo, missing_at)
+        report = ScrubReport(
+            pass_index=len(self.reports),
+            keys_scanned=len(keys),
+            under_replicated=under,
+            repairs=repairs,
+            unrecoverable=unrecoverable,
+            batches=batches,
+        )
+        self.reports.append(report)
+        self.total_repairs += repairs
+        return report
+
+    def run_until_converged(self, max_passes: int = 3) -> int:
+        """Scrub until a pass finds no under-replication.
+
+        Returns the number of passes taken (including the final clean one).
+        Raises ``RuntimeError`` if the ring has not converged within
+        ``max_passes`` — persistent holes mean a provider keeps flapping or
+        every replica of some key is gone.
+        """
+        for attempt in range(1, max_passes + 1):
+            report = self.run_pass()
+            if report.clean:
+                return attempt
+        raise RuntimeError(
+            f"anti-entropy scrub did not converge within {max_passes} passes "
+            f"({report.under_replicated} keys still under-replicated)"
+        )

@@ -13,7 +13,7 @@ from .network import NetworkModel, SimNode
 from .metrics import MetricsCollector, OperationRecord
 from .cluster import SimProviderEntry, SimProviderPool, SimulatedBlobSeer
 from .protocols import SimClient
-from .failures import FailureInjector, FailureModel, scheduled_failures
+from .failures import FAILURE_TARGETS, FailureInjector, FailureModel, scheduled_failures
 from .driver import (
     WorkloadResult,
     build_cluster,
@@ -29,6 +29,7 @@ from .driver import (
 __all__ = [
     "Environment",
     "Event",
+    "FAILURE_TARGETS",
     "FailureInjector",
     "FailureModel",
     "MetricsCollector",

@@ -26,7 +26,8 @@ from ..core.provider_manager import ProviderManager
 from ..core.types import BlobInfo
 from ..core.version_coordinator import ShardedVersionManager
 from ..dht.distributed_store import DistributedKeyValueStore
-from .engine import Environment
+from ..resilience.scrub import AntiEntropyScrubber
+from .engine import Environment, all_of
 from .metrics import MetricsCollector
 from .network import NetworkModel, SimNode
 
@@ -123,6 +124,13 @@ class SimulatedBlobSeer:
             num_shards=self.config.num_version_managers,
             virtual_nodes=self.config.dht_virtual_nodes,
         )
+        #: Per-shard write-ahead journals (durability subsystem), when on.
+        self.journals = None
+        if self.config.journal_enabled:
+            self.journals = self.version_manager.enable_durability(
+                snapshot_interval=self.config.journal_snapshot_interval,
+                failover=self.config.shard_failover,
+            )
         data_ids = [f"provider-{i:03d}" for i in range(self.config.num_data_providers)]
         meta_ids = [f"meta-{i:03d}" for i in range(self.config.num_metadata_providers)]
         self.provider_pool = SimProviderPool(data_ids)
@@ -159,6 +167,12 @@ class SimulatedBlobSeer:
             mid: SimNode(self.env, mid, self.model, role="metadata_provider")
             for mid in meta_ids
         }
+        #: The anti-entropy scrubber's own machine (it is a service daemon,
+        #: not a client: digest and repair traffic is charged to its NIC).
+        self.scrub_node = SimNode(self.env, "scrubber", self.model, role="scrubber")
+        self.scrubber = AntiEntropyScrubber(
+            self.metadata_store, batch_size=self.config.scrub_batch_size
+        )
         self._client_count = 0
         #: Event log of failure injections: (time, action, node_id).
         self.failure_log: List[Tuple[float, str, str]] = []
@@ -172,6 +186,9 @@ class SimulatedBlobSeer:
         #: When set, overrides every blob's replication level for new writes
         #: (QoS feedback action; ``None`` means "use the blob's own level").
         self.replication_override: Optional[int] = None
+        #: Coordinator shards new blobs should steer clear of (QoS hot-shard
+        #: feedback action; best-effort placement hint).
+        self.avoid_vm_shards: set = set()
 
     # -- version-coordinator routing ------------------------------------------------
     @property
@@ -180,8 +197,20 @@ class SimulatedBlobSeer:
         return self.version_manager_nodes[0]
 
     def version_node_for(self, blob_id: int) -> SimNode:
-        """The simulated machine of the shard owning ``blob_id``."""
-        return self.version_manager_nodes[self.version_manager.shard_index(blob_id)]
+        """The simulated machine currently *serving* ``blob_id``.
+
+        Normally the owning shard's machine; while that shard is crashed
+        (and failover is on) requests are charged to the ring successor
+        hosting the standby instead.
+        """
+        return self.version_manager_nodes[
+            self.version_manager.active_shard_index(blob_id)
+        ]
+
+    @property
+    def durable(self) -> bool:
+        """Whether coordinator shards journal their commits (E13 cost model)."""
+        return self.journals is not None
 
     # -- blobs --------------------------------------------------------------------
     def create_blob(
@@ -190,6 +219,7 @@ class SimulatedBlobSeer:
         return self.version_manager.create_blob(
             chunk_size=chunk_size if chunk_size is not None else self.config.chunk_size,
             replication=replication if replication is not None else self.config.replication,
+            avoid_shards=sorted(self.avoid_vm_shards) if self.avoid_vm_shards else None,
         )
 
     # -- clients --------------------------------------------------------------------
@@ -232,6 +262,133 @@ class SimulatedBlobSeer:
 
     def live_data_providers(self) -> List[str]:
         return self.provider_pool.live_provider_ids()
+
+    def crash_metadata_provider(self, provider_id: str) -> None:
+        """Crash a metadata DHT provider (its share of the ring goes dark)."""
+        self.metadata_store.fail_provider(provider_id)
+        self.meta_nodes[provider_id].crash()
+        self.failure_log.append((self.env.now, "crash", provider_id))
+
+    def recover_metadata_provider(self, provider_id: str, lose_data: bool = False) -> None:
+        """Bring a metadata provider back, optionally with a wiped store.
+
+        ``lose_data=True`` seeds exactly the under-replication the
+        anti-entropy scrubber repairs (and read repair fixes piecemeal).
+        """
+        self.metadata_store.recover_provider(provider_id, lose_data=lose_data)
+        self.meta_nodes[provider_id].recover()
+        self.failure_log.append((self.env.now, "recover", provider_id))
+
+    def live_metadata_providers(self) -> List[str]:
+        return [
+            pid
+            for pid in self.metadata_store.provider_ids
+            if self.metadata_store.is_alive(pid)
+        ]
+
+    def _coordinator_index(self, shard: "int | str") -> int:
+        if isinstance(shard, int):
+            return shard
+        return self.version_manager.shard_ids.index(shard)
+
+    def crash_coordinator_shard(self, shard: "int | str") -> None:
+        """Crash a version-coordinator shard (in-memory state lost).
+
+        With journaling + failover on, the shard's blobs immediately fail
+        over to the standby on its ring successor; commit RPCs are charged
+        to the successor's machine until the shard rejoins.
+        """
+        index = self._coordinator_index(shard)
+        self.version_manager.crash_shard(index)
+        self.version_manager_nodes[index].crash()
+        self.failure_log.append(
+            (self.env.now, "crash", self.version_manager.shard_ids[index])
+        )
+
+    def recover_coordinator_shard(self, shard: "int | str") -> int:
+        """Restart a coordinator shard from its journal; returns catch-up size."""
+        index = self._coordinator_index(shard)
+        caught_up = self.version_manager.recover_shard(index)
+        self.version_manager_nodes[index].recover()
+        self.failure_log.append(
+            (self.env.now, "recover", self.version_manager.shard_ids[index])
+        )
+        return caught_up
+
+    def live_coordinator_shards(self) -> List[str]:
+        return self.version_manager.live_shard_ids()
+
+    # -- anti-entropy scrubbing ---------------------------------------------------------
+    def start_scrubber(
+        self,
+        horizon: float,
+        interval: Optional[float] = None,
+        initial_delay: Optional[float] = None,
+    ) -> None:
+        """Run periodic anti-entropy passes until ``horizon`` sim-seconds.
+
+        Each pass executes the real scrub logic instantaneously in
+        control-plane terms, then charges simulated time for what it did:
+        one membership-digest RPC per live metadata provider per batch,
+        plus every bulk ``get_many``/repair round the pass actually issued
+        (recorded through the store's access hook, replayed from the
+        scrubber's own machine).
+        """
+        interval = interval if interval is not None else self.config.scrub_interval
+        if interval <= 0:
+            raise ValueError("scrub interval must be > 0 to start the scrubber")
+        delay = initial_delay if initial_delay is not None else interval
+
+        def loop() -> Iterator:
+            yield self.env.timeout(delay)
+            while self.env.now < horizon:
+                with self.record_metadata_accesses() as accesses:
+                    report = self.scrubber.run_pass()
+                self.metadata_rounds += len(accesses)
+                yield from self._charge_scrub_pass(report, accesses)
+                if self.env.now >= horizon:
+                    break
+                yield self.env.timeout(interval)
+
+        self.env.process(loop(), name="anti-entropy-scrubber")
+
+    def _charge_scrub_pass(self, report, accesses) -> Iterator:
+        """Charge one scrub pass: digests per (provider, batch) + repair rounds."""
+        live = self.live_metadata_providers()
+        for _ in range(report.batches):
+            digests = [
+                self.env.process(
+                    self.scrub_node.rpc(
+                        self.meta_nodes[pid],
+                        request_bytes=self.model.scrub_digest_bytes,
+                        response_bytes=self.model.scrub_digest_bytes,
+                        service=self.model.scrub_digest_service,
+                    ),
+                    name=f"scrub-digest-{pid}",
+                )
+                for pid in live
+            ]
+            if digests:
+                yield all_of(self.env, digests)
+        from ..core.transport import charge_metadata_accesses
+
+        def rpc_to(pid: str, request_bytes: int, response_bytes: int, service: float):
+            return self.scrub_node.rpc(
+                self.meta_nodes[pid],
+                request_bytes=request_bytes,
+                response_bytes=response_bytes,
+                service=service,
+            )
+
+        yield from charge_metadata_accesses(
+            self.env,
+            all_of,
+            self.model,
+            rpc_to,
+            accesses,
+            leveled=False,
+            name="scrub.meta",
+        )
 
     # -- metadata access recording -----------------------------------------------------------
     @contextmanager

@@ -3,10 +3,20 @@
 The QoS experiment of the paper (Section IV.E) runs BlobSeer "for long
 periods of service up-time while supporting failures of the physical
 storage components".  The :class:`FailureInjector` reproduces that regime:
-data providers crash with exponentially distributed inter-failure times and
+components crash with exponentially distributed inter-failure times and
 recover after a repair delay; an optional cap keeps a minimum number of
-providers alive so the experiment measures degradation rather than total
+targets alive so the experiment measures degradation rather than total
 loss.  The injected schedule is deterministic given the seed.
+
+Three component classes can be targeted (:attr:`FailureModel.target`):
+
+* ``"data"`` — data providers (the original, and default, behaviour);
+* ``"metadata"`` — metadata DHT providers; recovery optionally wipes the
+  provider's store (``recover_with_data=False``), seeding exactly the
+  under-replication the anti-entropy scrubber exists to fix;
+* ``"coordinator"`` — version-coordinator shards; with journaling and
+  failover enabled the shard's blobs keep committing on its ring successor
+  and the shard replays its WAL on recovery.
 """
 
 from __future__ import annotations
@@ -15,20 +25,36 @@ import random
 from dataclasses import dataclass, field
 from typing import Generator, List, Optional, Tuple
 
+#: Component classes the injector can crash.
+FAILURE_TARGETS = ("data", "metadata", "coordinator")
+
 
 @dataclass(frozen=True)
 class FailureModel:
-    """Parameters of the provider failure process."""
+    """Parameters of the component failure process."""
 
     #: Mean time between failures across the whole cluster (seconds).
     mean_time_between_failures: float = 30.0
-    #: Mean repair (recovery) time of a crashed provider (seconds).
+    #: Mean repair (recovery) time of a crashed component (seconds).
     mean_repair_time: float = 20.0
-    #: Providers come back with their data intact (True) or wiped (False).
+    #: Components come back with their data intact (True) or wiped (False).
+    #: (Data providers and coordinator shards always lose their in-memory
+    #: state on crash; this knob governs metadata providers' stores.)
     recover_with_data: bool = True
-    #: Never crash below this many live data providers.
+    #: Never crash below this many live components of the targeted class.
     min_live_providers: int = 1
     seed: int = 7
+    #: Which component class to crash: "data" (default — the seed
+    #: behaviour, byte-identical schedules per seed), "metadata", or
+    #: "coordinator".
+    target: str = "data"
+
+    def __post_init__(self) -> None:
+        if self.target not in FAILURE_TARGETS:
+            raise ValueError(
+                f"unknown failure target {self.target!r}; "
+                f"expected one of {FAILURE_TARGETS}"
+            )
 
 
 @dataclass
@@ -41,7 +67,12 @@ class FailureEvent:
 
 
 class FailureInjector:
-    """Drives provider crashes/recoveries as a simulation process."""
+    """Drives component crashes/recoveries as a simulation process.
+
+    The schedule depends only on (seed, model, the victim pools' contents at
+    decision time): the same run configuration replays the exact same crash
+    times and victims regardless of the targeted component class.
+    """
 
     def __init__(self, cluster, model: Optional[FailureModel] = None) -> None:
         self.cluster = cluster
@@ -52,6 +83,32 @@ class FailureInjector:
     def start(self, horizon: float) -> None:
         """Register the injector process; it runs until ``horizon`` sim-seconds."""
         self.cluster.env.process(self._run(horizon), name="failure-injector")
+
+    # -- target dispatch -----------------------------------------------------------
+    def _live_targets(self) -> List[str]:
+        if self.model.target == "metadata":
+            return self.cluster.live_metadata_providers()
+        if self.model.target == "coordinator":
+            return self.cluster.live_coordinator_shards()
+        return self.cluster.live_data_providers()
+
+    def _crash(self, victim: str) -> None:
+        if self.model.target == "metadata":
+            self.cluster.crash_metadata_provider(victim)
+        elif self.model.target == "coordinator":
+            self.cluster.crash_coordinator_shard(victim)
+        else:
+            self.cluster.crash_data_provider(victim)
+
+    def _recover(self, victim: str) -> None:
+        if self.model.target == "metadata":
+            self.cluster.recover_metadata_provider(
+                victim, lose_data=not self.model.recover_with_data
+            )
+        elif self.model.target == "coordinator":
+            self.cluster.recover_coordinator_shard(victim)
+        else:
+            self.cluster.recover_data_provider(victim)
 
     # -- the injection process ----------------------------------------------------
     def _run(self, horizon: float) -> Generator:
@@ -64,7 +121,7 @@ class FailureInjector:
             victim = self._pick_victim()
             if victim is None:
                 continue
-            self.cluster.crash_data_provider(victim)
+            self._crash(victim)
             self.events.append(FailureEvent(env.now, "crash", victim))
             env.process(self._recover_later(victim), name=f"recover-{victim}")
 
@@ -72,11 +129,11 @@ class FailureInjector:
         env = self.cluster.env
         repair = self._rng.expovariate(1.0 / self.model.mean_repair_time)
         yield env.timeout(repair)
-        self.cluster.recover_data_provider(provider_id)
+        self._recover(provider_id)
         self.events.append(FailureEvent(env.now, "recover", provider_id))
 
     def _pick_victim(self) -> Optional[str]:
-        live = self.cluster.live_data_providers()
+        live = self._live_targets()
         if len(live) <= self.model.min_live_providers:
             return None
         return self._rng.choice(live)
@@ -86,7 +143,7 @@ class FailureInjector:
         return sum(1 for e in self.events if e.action == "crash")
 
     def downtime_per_provider(self, horizon: float) -> dict:
-        """Total simulated seconds each provider spent crashed within the horizon."""
+        """Total simulated seconds each component spent crashed within the horizon."""
         down_since: dict = {}
         downtime: dict = {}
         for event in sorted(self.events, key=lambda e: e.time):
@@ -106,23 +163,39 @@ class FailureInjector:
 def scheduled_failures(
     cluster, schedule: List[Tuple[float, str, str]]
 ) -> None:
-    """Register a fixed failure schedule: list of (time, action, provider_id).
+    """Register a fixed failure schedule: list of (time, action, target_id).
 
     Useful for tests and for experiments that need exactly reproducible
-    failure points independent of the random injector.
+    failure points independent of the random injector.  ``target_id`` is
+    routed by prefix: ``meta-*`` to the metadata providers, ``vm-*`` to the
+    coordinator shards, anything else to the data providers.
     """
+
+    def dispatch(action: str, target_id: str) -> None:
+        if target_id.startswith("meta-"):
+            if action == "crash":
+                cluster.crash_metadata_provider(target_id)
+            else:
+                cluster.recover_metadata_provider(target_id)
+        elif target_id.startswith("vm-"):
+            if action == "crash":
+                cluster.crash_coordinator_shard(target_id)
+            else:
+                cluster.recover_coordinator_shard(target_id)
+        else:
+            if action == "crash":
+                cluster.crash_data_provider(target_id)
+            else:
+                cluster.recover_data_provider(target_id)
 
     def driver() -> Generator:
         env = cluster.env
-        for time, action, provider_id in sorted(schedule):
+        for time, action, target_id in sorted(schedule):
             delay = max(0.0, time - env.now)
             if delay:
                 yield env.timeout(delay)
-            if action == "crash":
-                cluster.crash_data_provider(provider_id)
-            elif action == "recover":
-                cluster.recover_data_provider(provider_id)
-            else:
+            if action not in ("crash", "recover"):
                 raise ValueError(f"unknown failure action {action!r}")
+            dispatch(action, target_id)
 
     cluster.env.process(driver(), name="scheduled-failures")

@@ -47,6 +47,15 @@ class NetworkModel:
     #: Per-chunk service overhead at a data provider (request handling,
     #: hashing, local store insertion) in addition to the transfer itself.
     chunk_service: float = 200e-6
+    #: Serialised time one coordinator shard spends appending a journal
+    #: record (WAL write + fsync amortised) — charged per durable commit-path
+    #: request when journaling is enabled.
+    journal_service: float = 200e-6
+    #: Service time of one anti-entropy membership digest exchange with a
+    #: metadata provider (per provider per scrub batch).
+    scrub_digest_service: float = 100e-6
+    #: Bytes of one scrub digest request/response on the wire.
+    scrub_digest_bytes: int = 2048
 
     def transfer_time(self, nbytes: int) -> float:
         """Pure serialisation time of ``nbytes`` on one NIC."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..core.chunking import split_payload
-from ..core.errors import InvalidRangeError
+from ..core.errors import InvalidRangeError, ServiceError
 from ..core.interval import Interval, iter_chunks
 from ..core.metadata.cache import MetadataCache, PassthroughMetadataStore
 from ..core.metadata.segment_tree import SegmentTreeBuilder, SegmentTreeReader
@@ -95,6 +95,18 @@ class SimClient:
         return
         yield  # pragma: no cover - makes this a generator
 
+    def _journal_charge(self, blob: BlobInfo, appends: int = 1) -> Generator:
+        """Charge WAL persistence for ``appends`` records at the serving shard.
+
+        Durability is not free: every commit-path request that mutates
+        coordinator state appends to the shard's write-ahead log before it
+        is acknowledged, so the append time serialises at the shard's CPU
+        exactly like the request itself.  No-op when journaling is off.
+        """
+        if self.cluster.durable and appends > 0:
+            node = self.cluster.version_node_for(blob.blob_id)
+            yield from node.cpu.serve(self.model.journal_service * appends)
+
     def _do_write(
         self, blob: BlobInfo, offset: int, size: int, is_append: bool
     ) -> Generator:
@@ -114,14 +126,20 @@ class SimClient:
         cluster.provider_manager.complete(plan)
         if not pushed_ok:
             return None
-        # Step 3: the serialised version assignment, at the owning shard.
+        # Step 3: the serialised version assignment, at the serving shard.
         yield from self.node.rpc(
             cluster.version_node_for(blob.blob_id),
             service=model.version_manager_service,
         )
-        ticket = cluster.version_manager.register_write(
-            blob.blob_id, offset, size, writer=self.client_id
-        )
+        try:
+            ticket = cluster.version_manager.register_write(
+                blob.blob_id, offset, size, writer=self.client_id
+            )
+        except ServiceError:
+            # The owning coordinator shard is down with no failover path:
+            # nothing was assigned, the operation just fails.
+            return None
+        yield from self._journal_charge(blob)
         # Steps 4-5: metadata weaving + publication.
         published = yield from self._build_and_publish(blob, ticket, fragments)
         return ticket.version if published else None
@@ -135,9 +153,13 @@ class SimClient:
             cluster.version_node_for(blob.blob_id),
             service=model.version_manager_service,
         )
-        ticket = cluster.version_manager.register_append(
-            blob.blob_id, size, writer=self.client_id
-        )
+        try:
+            ticket = cluster.version_manager.register_append(
+                blob.blob_id, size, writer=self.client_id
+            )
+        except ServiceError:
+            return None
+        yield from self._journal_charge(blob)
         yield from self.node.rpc(
             cluster.provider_manager_node, service=model.provider_manager_service
         )
@@ -150,7 +172,13 @@ class SimClient:
         cluster.provider_manager.complete(plan)
         if not pushed_ok:
             # The version is already assigned: repair it so the frontier moves.
-            cluster.version_manager.abort(blob.blob_id, ticket.version)
+            try:
+                cluster.version_manager.abort(blob.blob_id, ticket.version)
+            except ServiceError:
+                # Shard gone, no failover: the abort cannot be recorded; the
+                # version stays pending until the shard's state returns.
+                return None
+            yield from self._journal_charge(blob)
             yield from self._repair(blob, ticket.version)
             return None
         published = yield from self._build_and_publish(blob, ticket, fragments)
@@ -227,7 +255,13 @@ class SimClient:
         """
         cluster = self.cluster
         model = self.model
-        history = cluster.version_manager.get_history(blob.blob_id, ticket.version - 1)
+        try:
+            history = cluster.version_manager.get_history(blob.blob_id, ticket.version - 1)
+        except ServiceError:
+            # The shard died (without failover) between assignment and the
+            # weave: nothing to abort against either — the op just fails,
+            # the version stays pending until the shard's state returns.
+            return False
         builder = SegmentTreeBuilder(self.metadata, blob.chunk_size, vectored=self._vectored)
         try:
             with cluster.record_metadata_accesses() as accesses:
@@ -245,23 +279,43 @@ class SimClient:
                 cluster.version_node_for(blob.blob_id),
                 service=model.version_manager_service,
             )
-            cluster.version_manager.abort(blob.blob_id, ticket.version)
+            try:
+                cluster.version_manager.abort(blob.blob_id, ticket.version)
+            except ServiceError:
+                return False
+            yield from self._journal_charge(blob)
             yield from self._repair(blob, ticket.version)
             return False
         cluster.metadata_rounds += len(accesses)
         yield from self._replay_metadata_accesses(accesses, parallel=True)
-        # Step 5: notify the owning version-coordinator shard (publication).
+        # Step 5: notify the serving version-coordinator shard (publication).
         yield from self.node.rpc(
             cluster.version_node_for(blob.blob_id),
             service=model.version_manager_service,
         )
-        cluster.version_manager.publish(blob.blob_id, ticket.version)
+        try:
+            cluster.version_manager.publish(blob.blob_id, ticket.version)
+        except ServiceError:
+            # Shard down without failover between assignment and publication:
+            # the snapshot is woven but never becomes visible — a failed op.
+            return False
+        yield from self._journal_charge(blob)
         return True
 
     def _repair(self, blob: BlobInfo, version: Version) -> Generator:
-        """Install no-op metadata for an aborted append (see client library)."""
+        """Install no-op metadata for an aborted append (see client library).
+
+        The coordinator may crash in the window this runs in (simulated
+        time passes between the abort and the repair); a ``ServiceError``
+        then just leaves the version aborted-but-unrepaired — the shard's
+        recovery replay restores the abort, and the frontier resumes once a
+        later repair lands — rather than crashing the whole run.
+        """
         cluster = self.cluster
-        history = cluster.version_manager.get_history(blob.blob_id, version)
+        try:
+            history = cluster.version_manager.get_history(blob.blob_id, version)
+        except ServiceError:
+            return
         record = history[version - 1]
         base_history = history[: version - 1]
         base_size = base_history[-1].new_size if base_history else 0
@@ -277,7 +331,11 @@ class SimClient:
             )
         cluster.metadata_rounds += len(accesses)
         yield from self._replay_metadata_accesses(accesses, parallel=True)
-        cluster.version_manager.mark_repaired(blob.blob_id, version)
+        try:
+            cluster.version_manager.mark_repaired(blob.blob_id, version)
+        except ServiceError:
+            return
+        yield from self._journal_charge(blob)
 
     # ------------------------------------------------------------------ read path
     def read(
@@ -297,7 +355,12 @@ class SimClient:
             cluster.version_node_for(blob.blob_id),
             service=model.version_manager_service,
         )
-        snapshot = cluster.version_manager.get_snapshot(blob.blob_id, version)
+        try:
+            snapshot = cluster.version_manager.get_snapshot(blob.blob_id, version)
+        except ServiceError:
+            if record:
+                self._record("read", 0, start, ok=False, detail="coordinator down")
+            return 0
         target = Interval.of(offset, size).intersection(Interval(0, snapshot.size))
         if target.empty:
             if record:

@@ -376,6 +376,55 @@ class TestLevelBatchedBuilder:
                     if child is not None and child.version == 1:
                         assert child in written, "parent written before its child"
 
+    def test_provider_dying_mid_flush_converges_under_scrub(self):
+        """A metadata provider that dies between two ``put_many`` level
+        flushes leaves the ring under-replicated (later levels only reached
+        the surviving owners, earlier levels lost a replica when the dead
+        provider came back wiped).  After anti-entropy convergence every key
+        is back on its full live owner set — and the children-before-parents
+        flush ordering still holds transitively: no reachable parent
+        references a missing new-version child."""
+        from repro.resilience import AntiEntropyScrubber
+
+        store = make_store(n=4, replication=2)
+        victim = store.provider_ids[1]
+
+        class ProviderDiesMidFlush(CountingStore):
+            def put_many(self, items):
+                if self.put_rounds == 2:  # die between the 2nd and 3rd level
+                    store.fail_provider(victim)
+                return super().put_many(items)
+
+        builder = SegmentTreeBuilder(ProviderDiesMidFlush(store), CS)
+        builder.build(
+            blob_id=1,
+            version=1,
+            write_interval=Interval.of(0, 8 * CS),
+            new_fragments=fragments_for(1, 0, 8 * CS),
+            history=[],
+            base_size=0,
+            new_size=8 * CS,
+        )
+        # The provider rejoins having lost its store: both its pre-crash
+        # copies and its share of the post-crash levels are now missing.
+        store.recover_provider(victim, lose_data=True)
+        scrubber = AntiEntropyScrubber(store, batch_size=4)
+        assert scrubber.under_replicated(), "crash should seed under-replication"
+        assert scrubber.run_until_converged(max_passes=3) <= 3
+        assert not scrubber.under_replicated()
+        # Ordering invariant, now against the *converged* ring: every
+        # reachable inner node's new-version children exist on every live
+        # owner — scrub repaired whole subtrees, never a parent before its
+        # children became fully replicated.
+        for key in store.scan_keys():
+            node = store.get(key)
+            if isinstance(node, InnerNode):
+                for child in node.children():
+                    if child is not None and child.version == 1:
+                        assert store.get(child) is not None
+                        for pid in store.live_owners(child):
+                            assert child in store.store_of(pid)
+
     def test_builder_batches_base_leaf_fetches(self):
         store = make_store()
         root1, _ = build_version(store, 1, 0, 8 * CS, [], 0, 8 * CS)
