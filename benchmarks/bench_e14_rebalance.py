@@ -1,0 +1,253 @@
+"""E14 — Elastic coordinator membership: live scale-out under an appender storm.
+
+PR 2 sharded the version coordinator and PR 4 made the shards durable, but
+the shard count stayed frozen at deployment time — the top open ROADMAP
+item.  This experiment exercises the membership layer's runtime
+``add_shard``/``remove_shard``: the ring computes the minimal set of moved
+blobs, their journal histories stream to the new owner (the planned twin of
+the failover handoff), and an atomic epoch bump re-routes every in-flight
+commit — with **zero committed-version loss or duplication**.
+
+* **Part A — live scale-out mid-storm.**  64 appenders hammer 24 blobs on
+  a 2-shard coordinator whose serialised service time makes it the
+  bottleneck.  At t=0.5s the coordinator scales out to 4 shards *while the
+  storm runs*.  Asserted: no operation fails, every acked append is
+  exactly-once (total published versions == successful ops, per-blob
+  frontiers dense), the hottest shard's share of commits drops after the
+  epoch bump, and the post-scale-out commit throughput lands within ~10%
+  of a deployment *born* with 4 shards.
+
+* **Part B — scale-in.**  The 4-shard deployment drains one shard under a
+  light continuing load: again zero loss, and the retired slot owns no
+  blobs under the new epoch (the `blob_distribution` fix).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.core import BlobSeerConfig
+from repro.sim import (
+    NetworkModel,
+    SimulatedBlobSeer,
+    run_sustained_multi_blob_appenders,
+)
+
+from _helpers import KB, save_table
+
+NUM_BLOBS = 24
+NUM_WRITERS = 64
+APPEND_SIZE = 64 * KB
+DURATION = 1.5
+SCALE_AT = 0.5
+#: Post-scale-out measurement starts here (leaves the migration catch-up
+#: and the first re-routed commits out of the steady-state window).
+SETTLE = 0.2
+SHARDS_BEFORE = 2
+SHARDS_AFTER = 4
+MODEL = NetworkModel(version_manager_service=1e-3)
+
+
+def _config(num_shards: int) -> BlobSeerConfig:
+    return BlobSeerConfig(
+        num_data_providers=32,
+        num_metadata_providers=16,
+        num_version_managers=num_shards,
+        chunk_size=APPEND_SIZE,
+        journal_enabled=True,
+        journal_snapshot_interval=512,
+    )
+
+
+def _shard_commits(cluster) -> list:
+    return [r["versions_published"] for r in cluster.version_manager.shard_reports()]
+
+
+def _storm(cluster, blobs, chaos=None) -> dict:
+    if chaos is not None:
+        cluster.env.process(chaos(), name="chaos")
+    run_sustained_multi_blob_appenders(
+        cluster, blobs, NUM_WRITERS, append_size=APPEND_SIZE, duration=DURATION
+    )
+    ops_ok = sum(1 for r in cluster.metrics.records if r.ok)
+    ops_failed = sum(1 for r in cluster.metrics.records if not r.ok)
+    published = sum(
+        cluster.version_manager.latest_version(b.blob_id) for b in blobs
+    )
+    return {"ops_ok": ops_ok, "ops_failed": ops_failed, "published": published}
+
+
+def _steady_rate(cluster, blobs, window_start: float) -> float:
+    """Successful commits per second from ``window_start`` to the horizon."""
+    ops = [
+        r
+        for r in cluster.metrics.records
+        if r.ok and r.end >= window_start and r.kind == "append"
+    ]
+    span = max(DURATION - window_start, 1e-9)
+    return len(ops) / span
+
+
+# ---------------------------------------------------------------------------
+# Part A: live scale-out under the storm
+# ---------------------------------------------------------------------------
+
+
+def run_scale_out() -> ResultTable:
+    table = ResultTable(
+        "E14a: live coordinator scale-out under a "
+        f"{NUM_WRITERS}-appender storm over {NUM_BLOBS} blobs "
+        f"({SHARDS_BEFORE} -> {SHARDS_AFTER} shards at t={SCALE_AT}s)",
+        [
+            "deployment",
+            "shards",
+            "epoch",
+            "ops_ok",
+            "ops_failed",
+            "published",
+            "lost_or_duplicated",
+            "moved_blobs",
+            "records_streamed",
+            "steady_rate",
+            "hot_share_before",
+            "hot_share_after",
+        ],
+    )
+
+    # Live scale-out mid-storm.
+    cluster = SimulatedBlobSeer(_config(SHARDS_BEFORE), model=MODEL)
+    blobs = [cluster.create_blob() for _ in range(NUM_BLOBS)]
+    observed = {}
+
+    def chaos():
+        yield cluster.env.timeout(SCALE_AT)
+        observed["commits_before"] = _shard_commits(cluster)
+        for _ in range(SHARDS_AFTER - SHARDS_BEFORE):
+            observed["report"] = cluster.add_coordinator_shard()
+
+    outcome = _storm(cluster, blobs, chaos)
+    commits_before = observed["commits_before"]
+    commits_after = [
+        total - (commits_before[i] if i < len(commits_before) else 0)
+        for i, total in enumerate(_shard_commits(cluster))
+    ]
+    hot_before = max(commits_before) / max(1, sum(commits_before))
+    hot_after = max(commits_after) / max(1, sum(commits_after))
+    table.add(
+        deployment="live scale-out",
+        shards=SHARDS_AFTER,
+        epoch=cluster.version_manager.epoch,
+        **outcome,
+        lost_or_duplicated=abs(outcome["published"] - outcome["ops_ok"]),
+        moved_blobs=observed["report"]["moved_blobs"],
+        records_streamed=observed["report"]["records_streamed"],
+        steady_rate=_steady_rate(cluster, blobs, SCALE_AT + SETTLE),
+        hot_share_before=hot_before,
+        hot_share_after=hot_after,
+    )
+
+    # Reference points: deployments *born* at each shard count.
+    for shards in (SHARDS_BEFORE, SHARDS_AFTER):
+        reference = SimulatedBlobSeer(_config(shards), model=MODEL)
+        ref_blobs = [reference.create_blob() for _ in range(NUM_BLOBS)]
+        ref_outcome = _storm(reference, ref_blobs)
+        commits = _shard_commits(reference)
+        table.add(
+            deployment=f"fresh {shards}-shard",
+            shards=shards,
+            epoch=reference.version_manager.epoch,
+            **ref_outcome,
+            lost_or_duplicated=abs(ref_outcome["published"] - ref_outcome["ops_ok"]),
+            moved_blobs=0,
+            records_streamed=0,
+            steady_rate=_steady_rate(reference, ref_blobs, SCALE_AT + SETTLE),
+            hot_share_before=max(commits) / max(1, sum(commits)),
+            hot_share_after=max(commits) / max(1, sum(commits)),
+        )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Part B: scale-in under light load
+# ---------------------------------------------------------------------------
+
+
+def run_scale_in() -> ResultTable:
+    table = ResultTable(
+        "E14b: coordinator scale-in (drain + retire one of 4 shards "
+        "under a light continuing load)",
+        [
+            "shards_left",
+            "epoch",
+            "ops_ok",
+            "ops_failed",
+            "published",
+            "lost_or_duplicated",
+            "moved_blobs",
+            "retired_owns",
+        ],
+    )
+    cluster = SimulatedBlobSeer(_config(SHARDS_AFTER), model=MODEL)
+    blobs = [cluster.create_blob() for _ in range(NUM_BLOBS)]
+    observed = {}
+
+    def chaos():
+        yield cluster.env.timeout(SCALE_AT)
+        observed["report"] = cluster.remove_coordinator_shard(0)
+
+    outcome = _storm(cluster, blobs, chaos)
+    distribution = cluster.version_manager.blob_distribution()
+    retired_id = observed["report"]["shard_id"]
+    table.add(
+        shards_left=len(distribution),
+        epoch=cluster.version_manager.epoch,
+        **outcome,
+        lost_or_duplicated=abs(outcome["published"] - outcome["ops_ok"]),
+        moved_blobs=observed["report"]["moved_blobs"],
+        retired_owns=distribution.get(retired_id, 0),
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (CI rebalance smoke)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="e14-rebalance")
+def test_e14_scale_out_recovers_throughput_without_losing_commits(
+    benchmark, results_dir
+):
+    table = benchmark.pedantic(run_scale_out, rounds=1, iterations=1)
+    save_table(results_dir, "e14_rebalance", table)
+    rows = {row["deployment"]: row for row in table.rows}
+    live = rows["live scale-out"]
+    fresh = rows[f"fresh {SHARDS_AFTER}-shard"]
+    baseline = rows[f"fresh {SHARDS_BEFORE}-shard"]
+    # The acceptance bar: a live rebalance never loses or duplicates a
+    # committed version and never fails an operation.
+    assert live["ops_failed"] == 0
+    assert live["lost_or_duplicated"] == 0
+    assert live["moved_blobs"] > 0 and live["records_streamed"] > 0
+    # Commit imbalance drops after scale-out: the hottest shard's share
+    # falls from ~1/2 towards ~1/4.
+    assert live["hot_share_after"] < live["hot_share_before"] - 0.1
+    # Post-rebalance throughput is within ~10% of a deployment born at the
+    # same shard count — and clearly better than staying at the old count.
+    assert live["steady_rate"] >= 0.9 * fresh["steady_rate"]
+    assert live["steady_rate"] > baseline["steady_rate"]
+
+
+@pytest.mark.benchmark(group="e14-rebalance")
+def test_e14_scale_in_drains_without_losing_commits(benchmark, results_dir):
+    table = benchmark.pedantic(run_scale_in, rounds=1, iterations=1)
+    save_table(results_dir, "e14_scale_in", table)
+    row = table.rows[0]
+    assert row["ops_failed"] == 0
+    assert row["lost_or_duplicated"] == 0
+    assert row["moved_blobs"] > 0
+    # The drained slot owns nothing under the new epoch (the
+    # blob_distribution membership fix).
+    assert row["retired_owns"] == 0
+    assert row["shards_left"] == SHARDS_AFTER - 1

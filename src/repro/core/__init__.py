@@ -30,6 +30,7 @@ from .provider_manager import (
     make_strategy,
 )
 from .version_manager import VersionManager, WriteState
+from .membership import CoordinatorMembership, ShardStatus
 from .version_coordinator import ShardedVersionManager, VersionCoordinator
 from .types import (
     BlobId,
@@ -49,6 +50,7 @@ __all__ = [
     "AppendOp",
     "Batch",
     "Blob",
+    "CoordinatorMembership",
     "BlobId",
     "BlobInfo",
     "BlobSeerClient",
@@ -76,6 +78,7 @@ __all__ = [
     "RandomStrategy",
     "ReadOp",
     "RoundRobinStrategy",
+    "ShardStatus",
     "ShardedVersionManager",
     "SimTransport",
     "SnapshotInfo",

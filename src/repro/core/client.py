@@ -49,7 +49,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .chunking import reassemble, split_payload
 from .config import ClientConfig
-from .errors import InvalidRangeError, ReplicationError, ServiceError
+from .errors import EpochRetryError, InvalidRangeError, ReplicationError, ServiceError
 from .interval import Interval
 from .metadata.cache import MetadataCache, PassthroughMetadataStore
 from .metadata.segment_tree import SegmentTreeBuilder, SegmentTreeReader, WriteRecord
@@ -433,8 +433,11 @@ class BlobSeerClient:
         if not groups:
             return
         shard_batches: Dict[int, List[Tuple[BlobId, List[_Pending]]]] = {}
+        shard_epochs: Dict[int, int] = {}
         for blob_id, group in groups.items():
-            shard_batches.setdefault(vm.shard_index(blob_id), []).append((blob_id, group))
+            shard, epoch = vm.route(blob_id)
+            shard_batches.setdefault(shard, []).append((blob_id, group))
+            shard_epochs[shard] = epoch
         calls: List[ControlCall] = []
         call_groups: List[List[Tuple[BlobId, List[_Pending]]]] = []
         for shard, batches in sorted(shard_batches.items()):
@@ -442,16 +445,33 @@ class BlobSeerClient:
                 (blob_id, [(p.op.offset, len(p.op.data)) for p in group])
                 for blob_id, group in batches
             ]
-            def register(specs=specs):
+            def register(specs=specs, epoch=shard_epochs[shard]):
                 # An unreachable shard must fail only *its* round, not the
                 # batch: sibling shards' rounds carry on (per-op failure
                 # isolation, PR 1 contract) and no version is assigned on
                 # the dead shard (register_writes_bulk resolves the serving
-                # manager before assigning anything).
-                try:
-                    return vm.register_writes_bulk(specs, writer=self.client_id)
-                except ServiceError as exc:
-                    return exc
+                # manager before assigning anything).  A registration that
+                # raced a shard add/remove is rejected with a *stale epoch*
+                # before any version exists — re-routed under the new
+                # membership and reissued, never dropped (and never
+                # double-assigned: the rejection precedes all assignment).
+                for _ in range(8):
+                    try:
+                        return vm.register_writes_bulk(
+                            specs, writer=self.client_id, epoch=epoch
+                        )
+                    except EpochRetryError:
+                        wait = getattr(
+                            getattr(vm, "membership", None), "wait_stable", None
+                        )
+                        if wait is not None:
+                            wait(timeout=0.25)
+                        epoch = getattr(vm, "epoch", None)
+                    except ServiceError as exc:
+                        return exc
+                return ServiceError(
+                    "registration kept racing membership epoch changes"
+                )
 
             calls.append(
                 ControlCall(

@@ -69,6 +69,18 @@ class BlobSeerConfig:
     journal_enabled: bool = False
     #: Auto-snapshot a shard journal every N records (0 = never compact).
     journal_snapshot_interval: int = 0
+    #: Auto-snapshot once the WAL tail exceeds this many bytes (0 = off);
+    #: complements the record-count trigger for deployments whose record
+    #: sizes vary widely.
+    journal_snapshot_max_bytes: int = 0
+    #: Auto-snapshot once the oldest un-compacted record is this many
+    #: seconds old (0 = off) — bounds replay time on quiet shards.
+    journal_snapshot_max_age: float = 0.0
+    #: File-backed journals retain this many snapshots (plus the WAL
+    #: segments newer than the oldest of them) for point-in-time debugging;
+    #: older snapshots and segments are garbage-collected.  1 keeps only
+    #: the latest.
+    journal_keep_snapshots: int = 1
     #: Stream each shard's journal to a hot standby on its ring successor,
     #: which serves the shard's blobs while it is down (needs >= 2 shards
     #: and ``journal_enabled``).
@@ -78,6 +90,13 @@ class BlobSeerConfig:
     scrub_interval: float = 0.0
     #: Keys examined per scrub batch (one digest/repair round per batch).
     scrub_batch_size: int = 64
+    #: Upper bound on scrub batches examined per tick (0 = whole ring per
+    #: tick).  The scrubber persists its ring-walk cursor across ticks, so
+    #: large rings are scrubbed incrementally instead of in one burst.
+    scrub_max_batches_per_tick: int = 0
+    #: Skip a scrub tick when the clients' metadata RPC rate over the last
+    #: window exceeds this many rounds/second (0 = no backpressure).
+    scrub_backpressure_rpc_rate: float = 0.0
     client: ClientConfig = field(default_factory=ClientConfig)
 
     def __post_init__(self) -> None:
@@ -102,9 +121,14 @@ class BlobSeerConfig:
             "persistent_storage": self.persistent_storage,
             "journal_enabled": self.journal_enabled,
             "journal_snapshot_interval": self.journal_snapshot_interval,
+            "journal_snapshot_max_bytes": self.journal_snapshot_max_bytes,
+            "journal_snapshot_max_age": self.journal_snapshot_max_age,
+            "journal_keep_snapshots": self.journal_keep_snapshots,
             "shard_failover": self.shard_failover,
             "scrub_interval": self.scrub_interval,
             "scrub_batch_size": self.scrub_batch_size,
+            "scrub_max_batches_per_tick": self.scrub_max_batches_per_tick,
+            "scrub_backpressure_rpc_rate": self.scrub_backpressure_rpc_rate,
         }
         d.update(
             {
@@ -164,10 +188,20 @@ def validate_config(config: BlobSeerConfig) -> None:
         )
     if config.journal_snapshot_interval < 0:
         raise InvalidConfigError("journal_snapshot_interval must be >= 0")
+    if config.journal_snapshot_max_bytes < 0:
+        raise InvalidConfigError("journal_snapshot_max_bytes must be >= 0")
+    if config.journal_snapshot_max_age < 0:
+        raise InvalidConfigError("journal_snapshot_max_age must be >= 0")
+    if config.journal_keep_snapshots < 1:
+        raise InvalidConfigError("journal_keep_snapshots must be >= 1")
     if config.scrub_interval < 0:
         raise InvalidConfigError("scrub_interval must be >= 0")
     if config.scrub_batch_size < 1:
         raise InvalidConfigError("scrub_batch_size must be >= 1")
+    if config.scrub_max_batches_per_tick < 0:
+        raise InvalidConfigError("scrub_max_batches_per_tick must be >= 0")
+    if config.scrub_backpressure_rpc_rate < 0:
+        raise InvalidConfigError("scrub_backpressure_rpc_rate must be >= 0")
     if config.client.metadata_cache_capacity < 1:
         raise InvalidConfigError("metadata_cache_capacity must be >= 1")
     if config.client.prefetch_chunks < 0:

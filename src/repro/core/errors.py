@@ -89,6 +89,22 @@ class CommitError(ServiceError):
     """The version manager refused or failed to publish a snapshot."""
 
 
+class EpochRetryError(ServiceError):
+    """A coordinator request was routed under a stale membership epoch.
+
+    Raised *before* any state is assigned: the owning shard of the blob is
+    changing (a shard is joining or draining and the blob's history is being
+    streamed to its new owner), so the request must be re-routed against the
+    current epoch and retried — never dropped, never applied to the old
+    owner.  Carries the epoch the coordinator is at (or moving to), so
+    callers can wait for the bump instead of spinning.
+    """
+
+    def __init__(self, message: str, epoch: int = 0) -> None:
+        super().__init__(message)
+        self.epoch = epoch
+
+
 class ReplicationError(ServiceError):
     """Not enough live replicas to satisfy the configured replication level."""
 

@@ -488,7 +488,13 @@ class SimTransport(Transport):
 
     def _service_node(self, service: str, shard: int = 0):
         if service == "version_manager":
-            node = self.version_manager_nodes[shard % len(self.version_manager_nodes)]
+            # The coordinator is elastic: a shard added at runtime gets its
+            # machine materialised on first contact.
+            from ..sim.network import ensure_version_manager_node
+
+            node = ensure_version_manager_node(
+                self.env, self.model, self.version_manager_nodes, shard
+            )
             return node, self.model.version_manager_service
         if service == "provider_manager":
             return self.provider_manager_node, self.model.provider_manager_service

@@ -14,17 +14,33 @@ This module removes that last global serialisation point:
 * :class:`VersionCoordinator` names the protocol every layer above is
   written against — the full version-manager surface plus a *routing*
   surface (:attr:`~VersionCoordinator.num_shards`,
-  :meth:`~VersionCoordinator.shard_index`).  A plain ``VersionManager`` is
-  the degenerate single-shard implementation.
+  :meth:`~VersionCoordinator.shard_index`, :meth:`~VersionCoordinator.route`).
+  A plain ``VersionManager`` is the degenerate single-shard implementation.
 * :class:`ShardedVersionManager` routes blobs to one of N version-manager
-  shards by consistent hash on ``blob_id`` (reusing the same
-  :mod:`repro.dht.ring` machinery that decentralises the metadata).  Each
-  shard owns its own lock, write history, publication frontier and
+  shards through a first-class :class:`~repro.core.membership.
+  CoordinatorMembership` — an epoch-numbered consistent-hash ring with a
+  per-shard status, the single source of truth every consumer (failover,
+  placement steering, the client batch engine, the simulators) reads.
+  Each shard owns its own lock, write history, publication frontier and
   counters, so commits of blobs on different shards never contend.
   Per-blob semantics are untouched: one blob always lives on one shard,
   where version assignment and in-order publication work exactly as in the
   single-manager design — a one-shard coordinator *is* today's version
   manager behind a router that always answers 0.
+
+Since the membership refactor the shard set is **elastic**:
+:meth:`ShardedVersionManager.add_shard` and
+:meth:`~ShardedVersionManager.remove_shard` change it at runtime.  The ring
+computes the minimal set of moved blobs, the source shard exports those
+blobs' journal histories under its commit lock
+(:meth:`~repro.core.version_manager.VersionManager.export_blob_records` —
+the planned twin of the failover handoff) and streams them into the new
+owner's journal; the epoch bump then commits atomically.  In-flight
+commits are routed *by epoch*: a request carrying a stale epoch, or
+touching a blob whose history is mid-stream, is rejected with the
+retryable :class:`~repro.core.errors.EpochRetryError` before anything is
+assigned, re-routed, and retried — no commit is ever lost or
+double-assigned across a rebalance.
 
 What stays serialised (by design, per the paper's linearizability
 argument) is the per-blob commit order; what stops being serialised is
@@ -36,9 +52,14 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union, runtime_checkable
 
-from ..dht.ring import ConsistentHashRing, build_ring
 from .config import DEFAULT_CHUNK_SIZE
-from .errors import InvalidConfigError, ServiceError
+from .errors import (
+    BlobNotFoundError,
+    EpochRetryError,
+    InvalidConfigError,
+    ServiceError,
+)
+from .membership import CoordinatorMembership, ShardStatus, _blob_key
 from .metadata.segment_tree import WriteRecord
 from .types import BlobId, BlobInfo, SnapshotInfo, Version, WriteTicket
 from .version_manager import VersionManager, WriteState
@@ -52,14 +73,18 @@ class VersionCoordinator(Protocol):
     (one shard) and :class:`ShardedVersionManager` (N shards).  Callers
     that want to charge a request to the right simulated machine — or group
     a batch's serialised rounds — ask :meth:`shard_index` who owns a blob;
+    epoch-aware callers use :meth:`route` to pin (shard, epoch) pairs;
     everything else is the familiar version-manager API.
     """
 
     # routing
     @property
     def num_shards(self) -> int: ...
+    @property
+    def epoch(self) -> int: ...
     def shard_index(self, blob_id: BlobId) -> int: ...
     def active_shard_index(self, blob_id: BlobId) -> int: ...
+    def route(self, blob_id: BlobId) -> Tuple[int, int]: ...
 
     # blob lifecycle
     def create_blob(
@@ -86,6 +111,7 @@ class VersionCoordinator(Protocol):
         self,
         batches: Sequence[Tuple[BlobId, Sequence[Tuple[int, int]]]],
         writer: Optional[str] = None,
+        epoch: Optional[int] = None,
     ) -> List[List[Union[WriteTicket, Exception]]]: ...
     def register_append(
         self, blob_id: BlobId, size: int, writer: Optional[str] = None
@@ -108,15 +134,20 @@ class VersionCoordinator(Protocol):
     def version_state(self, blob_id: BlobId, version: Version) -> WriteState: ...
 
 
+#: Bounded retries a routed call takes across membership epoch changes.
+MAX_ROUTE_RETRIES = 64
+
+
 class ShardedVersionManager:
-    """N version-manager shards behind a consistent-hash router.
+    """N version-manager shards behind an epoch-versioned membership router.
 
     Blob ids are allocated globally (so ids stay unique and dense exactly
     as the single manager produced them) and each blob is pinned to the
-    shard owning ``("vm-blob", blob_id)`` on a consistent-hash ring — the
-    same ring machinery the metadata DHT uses, so adding shard N+1 only
-    remaps ~1/(N+1) of the blobs.  All per-blob operations delegate to the
-    owning shard; aggregate counters sum over shards.
+    shard owning ``("vm-blob", blob_id)`` on the membership's
+    consistent-hash ring — the same ring machinery the metadata DHT uses,
+    so adding shard N+1 only remaps ~1/(N+1) of the blobs.  All per-blob
+    operations delegate to the owning shard; aggregate counters sum over
+    shards.
 
     With ``num_shards=1`` every blob maps to shard 0 and the coordinator
     behaves byte-for-byte like a single ``VersionManager``.
@@ -125,14 +156,17 @@ class ShardedVersionManager:
     def __init__(self, num_shards: int = 1, virtual_nodes: int = 32) -> None:
         if num_shards < 1:
             raise InvalidConfigError("num_shards must be >= 1")
-        self.shard_ids: List[str] = [f"vm-{index:03d}" for index in range(num_shards)]
-        self.shards: List[VersionManager] = [VersionManager() for _ in self.shard_ids]
-        self._index_of: Dict[str, int] = {
-            shard_id: index for index, shard_id in enumerate(self.shard_ids)
-        }
-        self._ring: ConsistentHashRing = build_ring(
-            self.shard_ids, virtual_nodes=virtual_nodes
+        #: The routing source of truth: epoch + ring + per-shard status.
+        self.membership = CoordinatorMembership(
+            [f"vm-{index:03d}" for index in range(num_shards)],
+            virtual_nodes=virtual_nodes,
         )
+        self.shards: List[VersionManager] = [
+            VersionManager() for _ in range(num_shards)
+        ]
+        #: Serialises blob-id allocation *and* membership transitions: while
+        #: a shard joins or drains no new blob can appear, so the migration
+        #: plan (computed from the ring diff) is complete by construction.
         self._id_lock = threading.Lock()
         self._next_blob_id = 1
         # -- durability & failover state (off until enable_durability) --------
@@ -140,25 +174,38 @@ class ShardedVersionManager:
         self.journals: Optional[List] = None
         #: One hot standby per shard (hosted on the ring successor), or None.
         self.standbys: Optional[List] = None
-        self._shard_alive: List[bool] = [True] * num_shards
-        #: Counters: takeovers begun and shards recovered (monitoring).
+        #: Counters: takeovers begun, shards recovered, membership changes
+        #: committed and blob histories streamed between shards (monitoring).
         self.failovers = 0
         self.recoveries = 0
+        self.rebalances = 0
+        self.blobs_migrated = 0
 
     # -- routing -----------------------------------------------------------------
+    @property
+    def shard_ids(self) -> List[str]:
+        """Slot ids, index-aligned with :attr:`shards` (membership-owned)."""
+        return self.membership.shard_ids
+
     @property
     def num_shards(self) -> int:
         return len(self.shards)
 
+    @property
+    def epoch(self) -> int:
+        return self.membership.epoch
+
     def shard_index(self, blob_id: BlobId) -> int:
         """Index of the shard owning ``blob_id`` (stable across processes)."""
-        if len(self.shards) == 1:
-            return 0
-        return self._index_of[self._ring.owner(("vm-blob", blob_id))]
+        return self.membership.owner_index(blob_id)
+
+    def route(self, blob_id: BlobId) -> Tuple[int, int]:
+        """Atomically resolve ``(owning shard, membership epoch)``."""
+        return self.membership.route(blob_id)
 
     def successor_index(self, index: int) -> int:
         """Ring successor of shard ``index`` — where its standby is hosted."""
-        return (index + 1) % len(self.shards)
+        return self.membership.successor_index(index)
 
     def active_shard_index(self, blob_id: BlobId) -> int:
         """Index of the shard currently *serving* ``blob_id``.
@@ -170,21 +217,28 @@ class ShardedVersionManager:
         against) the dead machine, which is where they would really go.
         """
         index = self.shard_index(blob_id)
-        if self._shard_alive[index] or self.standbys is None:
+        if self.membership.status_of(index) is not ShardStatus.DOWN or self.standbys is None:
             return index
         host = self.successor_index(index)
-        if self._shard_alive[host] and self.standbys[index] is not None:
+        if (
+            host != index
+            and self.membership.status_of(host) not in (ShardStatus.DOWN, ShardStatus.RETIRED)
+            and self.standbys[index] is not None
+        ):
             return host
         return index
 
     def shard_alive(self, index: int) -> bool:
-        return self._shard_alive[index]
+        return self.membership.status_of(index) not in (
+            ShardStatus.DOWN,
+            ShardStatus.RETIRED,
+        )
 
     def live_shard_ids(self) -> List[str]:
         return [
             shard_id
             for index, shard_id in enumerate(self.shard_ids)
-            if self._shard_alive[index]
+            if self.shard_alive(index)
         ]
 
     def shard_for(self, blob_id: BlobId) -> VersionManager:
@@ -192,7 +246,13 @@ class ShardedVersionManager:
 
     def _serving_shard(self, index: int) -> VersionManager:
         """The manager currently serving shard ``index`` (primary or standby)."""
-        if self._shard_alive[index]:
+        status = self.membership.status_of(index)
+        if status is ShardStatus.RETIRED:
+            raise ServiceError(
+                f"coordinator shard {self.shard_ids[index]} was retired; "
+                f"its blobs migrated at epoch {self.membership.epoch}"
+            )
+        if status is not ShardStatus.DOWN:
             return self.shards[index]
         if self.standbys is None:
             raise ServiceError(
@@ -201,7 +261,11 @@ class ShardedVersionManager:
             )
         host = self.successor_index(index)
         standby = self.standbys[index]
-        if standby is None or not self._shard_alive[host]:
+        if (
+            standby is None
+            or host == index
+            or self.membership.status_of(host) in (ShardStatus.DOWN, ShardStatus.RETIRED)
+        ):
             raise ServiceError(
                 f"coordinator shard {self.shard_ids[index]} and its standby "
                 f"host {self.shard_ids[host]} are both down"
@@ -213,15 +277,249 @@ class ShardedVersionManager:
 
         A down shard is represented by its standby when one is serving;
         otherwise by its stale pre-crash object (better a stale counter
-        than a monitoring crash)."""
+        than a monitoring crash).  A retired shard is its (empty) final
+        state."""
         views: List[VersionManager] = []
         for index, shard in enumerate(self.shards):
             standby = self.standbys[index] if self.standbys is not None else None
-            if self._shard_alive[index] or standby is None:
+            if self.membership.status_of(index) is not ShardStatus.DOWN or standby is None:
                 views.append(shard)
             else:
                 views.append(standby.manager)
         return views
+
+    # -- epoch-aware routed execution ------------------------------------------------
+    def _routed(self, blob_id: BlobId, call, mutating: bool = False):
+        """Run ``call(manager, guard)`` against the blob's serving shard.
+
+        ``call`` receives the serving :class:`VersionManager` and — for
+        mutating calls — a commit guard the manager runs under its lock;
+        the guard rejects the call with :class:`EpochRetryError` when the
+        membership epoch moved past the routing decision or the blob is
+        mid-migration.  The router then waits for the membership to
+        stabilise, re-routes and retries: the epoch-based retry loop the
+        whole commit path rides on.  Reads take the same loop without a
+        guard — a blob that vanished from its old owner right after an
+        epoch bump (the post-commit drop) is simply re-routed to its new
+        one.
+        """
+        attempts = 0
+        while True:
+            index, epoch = self.membership.route(blob_id)
+            manager = self._serving_shard(index)
+            guard = None
+            if mutating:
+                def guard(blob_id=blob_id, epoch=epoch):
+                    self.membership.check_commit((blob_id,), epoch)
+            try:
+                return call(manager, guard)
+            except EpochRetryError:
+                attempts += 1
+                if attempts >= MAX_ROUTE_RETRIES:
+                    raise
+                self.membership.wait_stable(timeout=0.25)
+            except BlobNotFoundError:
+                if self.membership.epoch == epoch or attempts >= MAX_ROUTE_RETRIES:
+                    raise
+                attempts += 1
+
+    # -- elastic membership: runtime shard add/remove ---------------------------------
+    def _require_all_serving(self) -> None:
+        for index in range(self.membership.num_slots):
+            if self.membership.status_of(index) is ShardStatus.DOWN:
+                raise ServiceError(
+                    f"cannot change membership while shard "
+                    f"{self.shard_ids[index]} is down; recover it first"
+                )
+
+    def _migration_plan(
+        self, pending_ring, target: Optional[str]
+    ) -> Dict[int, List[BlobId]]:
+        """``{source shard index: [blob ids moving]}`` under the pending ring.
+
+        The ring is the one the open transition will commit (returned by
+        ``begin_join``/``begin_drain``) — one construction, one truth.
+        ``target=None`` means "whatever the pending ring says" (drain);
+        otherwise only blobs landing on ``target`` move (join — consistent
+        hashing guarantees that is exactly the set whose owner changes).
+        """
+        plan: Dict[int, List[BlobId]] = {}
+        for src_index in self.membership.ring_member_indexes():
+            src_id = self.shard_ids[src_index]
+            for blob_id in self.shards[src_index].blob_ids():
+                new_owner = pending_ring.owner(_blob_key(blob_id))
+                if new_owner == src_id:
+                    continue
+                if target is not None and new_owner != target:
+                    continue
+                plan.setdefault(src_index, []).append(blob_id)
+        return plan
+
+    def _stream_blob(self, src: VersionManager, blob_id: BlobId, dest_index: int) -> int:
+        """Export one blob's history from ``src`` and replay it into shard
+        ``dest_index`` — through the destination's journal when durable (the
+        standby follows the same stream), directly otherwise.
+
+        Replaying history is not commit *activity*: the destination's
+        monitoring counters (registrations, publishes, rounds) are restored
+        to their pre-stream values so the source keeps the history it
+        actually performed and the monitor never sees a phantom burst of
+        commits on the newcomer (which would spike the imbalance signal
+        right after every rebalance).
+        """
+        from ..resilience.journal import apply_record
+
+        records = src.export_blob_records(blob_id)
+        dest = self.shards[dest_index]
+        journal = self.journals[dest_index] if self.journals is not None else None
+        if journal is not None:
+            journal.ingest(records, apply_to=dest, notify=True)
+        else:
+            for record in records:
+                apply_record(dest, record)
+        dest.discount_replayed_activity(
+            registers=sum(1 for record in records if record.op == "register"),
+            publishes=sum(1 for record in records if record.op == "publish"),
+            published=dest.latest_version(blob_id),
+        )
+        self.blobs_migrated += 1
+        return len(records)
+
+    def add_shard(self, shard_id: Optional[str] = None) -> Dict[str, object]:
+        """Grow the coordinator by one shard at runtime.
+
+        The new shard starts ``joining``: the pending ring decides which
+        blobs move (the minimal consistent-hashing set), their commit paths
+        are frozen behind the retryable epoch guard, the source shards
+        export each moved blob's journal history under their commit locks
+        and stream it into the new shard (journal first when durable, so
+        the new shard is crash-safe before it serves), and the epoch bump
+        then commits ring, status and routing in one atomic step.  Blob
+        creation is paused for the duration (it holds the same lock), so
+        the migration plan is complete by construction.
+
+        Returns a report: new shard index/id, committed epoch, blobs moved
+        and journal records streamed.
+        """
+        from ..resilience.failover import ShardStandby
+        from ..resilience.journal import ShardJournal
+
+        with self._id_lock:
+            self._require_all_serving()
+            index = self.membership.num_slots
+            if shard_id is None:
+                shard_id = f"vm-{index:03d}"
+            pending_ring = self.membership.begin_join(shard_id, migrating=())
+            manager = VersionManager()
+            self.shards.append(manager)
+            journal = None
+            try:
+                plan = self._migration_plan(pending_ring, target=shard_id)
+                migrating = [blob_id for ids in plan.values() for blob_id in ids]
+                # Freeze the moved blobs' commit paths *before* the first
+                # export: from here every racing commit retries by epoch.
+                self.membership.set_migrating(migrating)
+                if self.journals is not None:
+                    template = self.journals[0]
+                    journal = ShardJournal(
+                        shard_id=shard_id,
+                        directory=template.directory,
+                        snapshot_interval=template.snapshot_interval,
+                        snapshot_max_bytes=template.snapshot_max_bytes,
+                        snapshot_max_age=template.snapshot_max_age,
+                        keep_snapshots=template.keep_snapshots,
+                    )
+                    journal.snapshot(manager.dump_state())
+                    manager.journal = journal
+                    self.journals.append(journal)
+                if self.standbys is not None:
+                    # Subscribed before the stream starts, so the standby
+                    # replica receives the migrated histories like any other
+                    # transition.
+                    self.standbys.append(ShardStandby(shard_id, journal))
+                records_streamed = 0
+                for src_index in sorted(plan):
+                    src = self.shards[src_index]
+                    for blob_id in plan[src_index]:
+                        records_streamed += self._stream_blob(src, blob_id, index)
+            except Exception:
+                self.membership.abort_transition()
+                del self.shards[index:]
+                if self.journals is not None:
+                    del self.journals[index:]
+                if self.standbys is not None:
+                    for standby in self.standbys[index:]:
+                        standby.detach()
+                    del self.standbys[index:]
+                raise
+            epoch = self.membership.commit_transition(f"shard {shard_id} joined")
+            for src_index in sorted(plan):
+                for blob_id in plan[src_index]:
+                    self.shards[src_index].drop_blob(blob_id)
+            self.rebalances += 1
+            return {
+                "index": index,
+                "shard_id": shard_id,
+                "epoch": epoch,
+                "moved_blobs": len(migrating),
+                "records_streamed": records_streamed,
+                "sources": {src: len(ids) for src, ids in sorted(plan.items())},
+            }
+
+    def remove_shard(self, shard: "int | str") -> Dict[str, object]:
+        """Drain a shard's blobs onto the surviving ring and retire it.
+
+        The mirror of :meth:`add_shard`: the shard turns ``draining`` (it
+        keeps serving while its histories stream out, but receives no new
+        blobs), every blob it owns is exported and journal-streamed to its
+        owner under the pending ring, and the epoch bump retires the slot —
+        kept in place so shard indexes (journals, standbys, simulated
+        machines) stay stable.  Returns the same shaped report as
+        :meth:`add_shard`, with per-destination counts.
+        """
+        index = shard if isinstance(shard, int) else self.shard_ids.index(shard)
+        with self._id_lock:
+            self._require_all_serving()
+            shard_id = self.shard_ids[index]
+            pending_ring = self.membership.begin_drain(index, migrating=())
+            records_streamed = 0
+            try:
+                moved = self.shards[index].blob_ids()
+                destinations: Dict[int, List[BlobId]] = {}
+                for blob_id in moved:
+                    dest_index = self.membership.index_of(
+                        pending_ring.owner(_blob_key(blob_id))
+                    )
+                    destinations.setdefault(dest_index, []).append(blob_id)
+                self.membership.set_migrating(moved)
+                src = self.shards[index]
+                for dest_index in sorted(destinations):
+                    for blob_id in destinations[dest_index]:
+                        records_streamed += self._stream_blob(src, blob_id, dest_index)
+            except Exception:
+                self.membership.abort_transition()
+                raise
+            epoch = self.membership.commit_transition(f"shard {shard_id} drained")
+            for blob_id in moved:
+                self.shards[index].drop_blob(blob_id)
+            if self.standbys is not None:
+                standby = self.standbys[index]
+                if standby is not None:
+                    standby.retire()
+                    self.standbys[index] = None
+            if self.journals is not None:
+                self.journals[index].close()
+            self.rebalances += 1
+            return {
+                "index": index,
+                "shard_id": shard_id,
+                "epoch": epoch,
+                "moved_blobs": len(moved),
+                "records_streamed": records_streamed,
+                "destinations": {
+                    dest: len(ids) for dest, ids in sorted(destinations.items())
+                },
+            }
 
     # -- durability & failover lifecycle -------------------------------------------
     def enable_durability(
@@ -230,6 +528,9 @@ class ShardedVersionManager:
         directory: Optional[str] = None,
         snapshot_interval: int = 0,
         failover: bool = True,
+        snapshot_max_bytes: int = 0,
+        snapshot_max_age: float = 0.0,
+        keep_snapshots: int = 1,
     ) -> List:
         """Attach one write-ahead journal per shard (and, optionally, standbys).
 
@@ -249,7 +550,9 @@ class ShardedVersionManager:
 
         Pass pre-built ``journals`` (e.g. reopened file-backed ones) or let
         the coordinator create them, file-backed under ``directory`` when
-        given, in-memory otherwise.  Returns the journals.
+        given, in-memory otherwise; ``snapshot_max_bytes`` /
+        ``snapshot_max_age`` / ``keep_snapshots`` are the snapshot-GC
+        policies forwarded to created journals.  Returns the journals.
         """
         from ..resilience.failover import ShardStandby
         from ..resilience.journal import ShardJournal
@@ -260,6 +563,9 @@ class ShardedVersionManager:
                     shard_id=shard_id,
                     directory=directory,
                     snapshot_interval=snapshot_interval,
+                    snapshot_max_bytes=snapshot_max_bytes,
+                    snapshot_max_age=snapshot_max_age,
+                    keep_snapshots=keep_snapshots,
                 )
                 for shard_id in self.shard_ids
             ]
@@ -338,15 +644,15 @@ class ShardedVersionManager:
         in-memory replica is discarded and rebuilt from the predecessor's
         journal when this machine rejoins.
         """
-        if not self._shard_alive[index]:
+        if self.membership.status_of(index) in (ShardStatus.DOWN, ShardStatus.RETIRED):
             return
-        self._shard_alive[index] = False
+        self.membership.mark_down(index)
         if self.standbys is not None:
             standby = self.standbys[index]
             if standby is not None:
                 standby.begin_takeover()
                 self.failovers += 1
-            predecessor = (index - 1) % len(self.shards)
+            predecessor = self.membership.predecessor_index(index)
             hosted = self.standbys[predecessor]
             if predecessor != index and hosted is not None:
                 hosted.detach()
@@ -366,7 +672,7 @@ class ShardedVersionManager:
         """
         from ..resilience.failover import ShardStandby
 
-        if self._shard_alive[index]:
+        if self.membership.status_of(index) is not ShardStatus.DOWN:
             return 0
         caught_up = 0
         if self.journals is not None:
@@ -384,7 +690,7 @@ class ShardedVersionManager:
             with self._id_lock:
                 for blob_id in manager.blob_ids():
                     self._next_blob_id = max(self._next_blob_id, blob_id + 1)
-        self._shard_alive[index] = True
+        self.membership.mark_active(index)
         self.recoveries += 1
         # This machine hosts its ring predecessor's standby; if that replica
         # died with the machine, rebuild it from the predecessor's journal.
@@ -392,18 +698,23 @@ class ShardedVersionManager:
         # pending disk handoff must survive until its own recovery ingests
         # it, which a fresh takeover would clobber.)
         if self.standbys is not None and self.journals is not None:
-            predecessor = (index - 1) % len(self.shards)
+            predecessor = self.membership.predecessor_index(index)
             if (
                 predecessor != index
                 and self.standbys[predecessor] is None
-                and self._shard_alive[predecessor]
+                and self.membership.status_of(predecessor) is ShardStatus.ACTIVE
             ):
                 self.standbys[predecessor] = ShardStandby(
                     self.shard_ids[predecessor], self.journals[predecessor]
                 )
         return caught_up
 
-    def recover_from(self, journals: Sequence, failover: bool = True) -> None:
+    def recover_from(
+        self,
+        journals: Sequence,
+        failover: bool = True,
+        statuses: Optional[Sequence[str]] = None,
+    ) -> None:
         """Rebuild every shard of a *restarted* deployment from its journals.
 
         The full-deployment analogue of :meth:`recover_shard`: a fresh
@@ -414,6 +725,12 @@ class ShardedVersionManager:
         stay attached, so the recovered deployment keeps journaling (and,
         with ``failover``, streaming to standbys) from where the old one
         stopped.
+
+        A deployment whose membership changed at runtime passes the old
+        membership's ``statuses`` (from ``membership.report()``) so retired
+        slots stay out of the ring — blob routing is a pure function of the
+        ring member set, so the restarted coordinator resolves every blob
+        to the shard whose journal holds it.
         """
         from ..resilience.failover import ShardStandby
 
@@ -422,19 +739,30 @@ class ShardedVersionManager:
             raise InvalidConfigError(
                 f"expected {len(self.shards)} journals, got {len(journals)}"
             )
+        if statuses is not None:
+            restored = [
+                ShardStatus.RETIRED
+                if ShardStatus(status) is ShardStatus.RETIRED
+                else ShardStatus.ACTIVE
+                for status in statuses
+            ]
+            self.membership.restore_statuses(restored)
         for index, journal in enumerate(journals):
             # The previous deployment's standbys (possibly stuck
             # mid-takeover) must not receive the new deployment's stream.
             journal.clear_subscribers()
             manager = self._rebuild_shard_from_journal(index, journal)
             self._ingest_disk_handoff(index, journal, manager)
-            self._shard_alive[index] = True
         self.journals = journals
         self.standbys = None
         if failover and len(self.shards) > 1:
             self.standbys = [
                 ShardStandby(shard_id, journal)
-                for shard_id, journal in zip(self.shard_ids, journals)
+                if self.membership.status_of(index) is not ShardStatus.RETIRED
+                else None
+                for index, (shard_id, journal) in enumerate(
+                    zip(self.shard_ids, journals)
+                )
             ]
 
     # -- blob lifecycle ------------------------------------------------------------
@@ -447,33 +775,43 @@ class ShardedVersionManager:
     ) -> BlobInfo:
         """Create a blob, optionally steering it off the ``avoid_shards``.
 
-        ``avoid_shards`` (the QoS hot-shard feedback action) probes
+        Placement consults the membership: only ``active`` shards take new
+        blobs (a draining shard stops growing, a joining one is not routed
+        to yet), and the QoS hot-shard hint ``avoid_shards`` further probes
         successive candidate ids until one routes to an acceptable shard;
         ids skipped by the probe are simply never used (blob ids stay
         unique and monotonic, just not dense).  The hint is best-effort: if
-        every shard is to be avoided — or an explicit ``blob_id`` is given —
-        it is ignored.
+        every active shard is to be avoided — or an explicit ``blob_id`` is
+        given — it is ignored.  Creation holds the same lock as membership
+        transitions, so no blob is ever placed by a ring that is about to
+        be replaced.
         """
         with self._id_lock:
             if blob_id is None:
                 blob_id = self._next_blob_id
                 if avoid_shards:
-                    avoid = {
-                        index for index in avoid_shards if 0 <= index < len(self.shards)
+                    # Ring members minus the hint; a DOWN shard stays
+                    # eligible (its standby serves new blobs), and DRAINING
+                    # is unobservable here — transitions hold this lock.
+                    members = set(self.membership.ring_member_indexes())
+                    eligible = members - {
+                        index
+                        for index in avoid_shards
+                        if 0 <= index < len(self.shards)
                     }
-                    if len(avoid) < len(self.shards):
+                    if eligible and eligible != members:
                         candidate = blob_id
                         for _ in range(max(8, 4 * len(self.shards))):
-                            if self.shard_index(candidate) not in avoid:
+                            if self.membership.owner_index(candidate) in eligible:
                                 blob_id = candidate
                                 break
                             candidate += 1
                 self._next_blob_id = blob_id + 1
             else:
                 self._next_blob_id = max(self._next_blob_id, blob_id + 1)
-        return self.shard_for(blob_id).create_blob(
-            chunk_size=chunk_size, replication=replication, blob_id=blob_id
-        )
+            return self.shard_for(blob_id).create_blob(
+                chunk_size=chunk_size, replication=replication, blob_id=blob_id
+            )
 
     def blob_ids(self) -> List[BlobId]:
         ids: List[BlobId] = []
@@ -482,13 +820,16 @@ class ShardedVersionManager:
         return sorted(ids)
 
     def blob_info(self, blob_id: BlobId) -> BlobInfo:
-        return self.shard_for(blob_id).blob_info(blob_id)
+        return self._routed(blob_id, lambda m, _: m.blob_info(blob_id))
 
     # -- the serialised step (per shard, not global) ---------------------------------
     def register_write(
         self, blob_id: BlobId, offset: int, size: int, writer: Optional[str] = None
     ) -> WriteTicket:
-        return self.shard_for(blob_id).register_write(blob_id, offset, size, writer=writer)
+        result = self.register_writes(blob_id, [(offset, size)], writer=writer)[0]
+        if isinstance(result, Exception):
+            raise result
+        return result
 
     def register_writes(
         self,
@@ -496,12 +837,19 @@ class ShardedVersionManager:
         writes: Sequence[Tuple[int, int]],
         writer: Optional[str] = None,
     ) -> List[Union[WriteTicket, Exception]]:
-        return self.shard_for(blob_id).register_writes(blob_id, writes, writer=writer)
+        return self._routed(
+            blob_id,
+            lambda m, guard: m.register_writes_bulk(
+                [(blob_id, writes)], writer=writer, guard=guard
+            )[0],
+            mutating=True,
+        )
 
     def register_writes_bulk(
         self,
         batches: Sequence[Tuple[BlobId, Sequence[Tuple[int, int]]]],
         writer: Optional[str] = None,
+        epoch: Optional[int] = None,
     ) -> List[List[Union[WriteTicket, Exception]]]:
         """Bulk-register, routing each blob's specs to its owning shard.
 
@@ -514,64 +862,124 @@ class ShardedVersionManager:
         completed already (there is deliberately no cross-shard
         transaction).  An *unreachable* shard (down with no failover path)
         fails the whole call before any shard assigns a version.
+
+        Epoch protocol: a caller that routed the batch itself passes the
+        ``epoch`` it routed at — if membership moved on since, the call is
+        rejected with :class:`EpochRetryError` *before anything is
+        assigned*, so retrying the whole batch is safe.  Internally, each
+        shard's round runs under a commit guard; a round that loses a race
+        with a shard add/remove is re-routed against the new ring and
+        reissued (only the affected shard's round — its guard guarantees it
+        assigned nothing), so a migration never loses or double-assigns a
+        registration.
         """
-        by_shard: Dict[int, List[int]] = {}
-        for position, (blob_id, _) in enumerate(batches):
-            by_shard.setdefault(self.shard_index(blob_id), []).append(position)
-        # Resolve every involved shard's serving manager *before* assigning
-        # anything: an unreachable shard (down with no failover path) must
-        # fail the call while zero versions exist, not after sibling shards
-        # already assigned tickets nobody will ever weave or abort.
-        serving = {
-            shard_index: self._serving_shard(shard_index) for shard_index in by_shard
-        }
+        if epoch is not None:
+            self.membership.check_epoch(epoch)
         results: List[List[Union[WriteTicket, Exception]]] = [[] for _ in batches]
-        for shard_index, positions in by_shard.items():
-            shard_results = serving[shard_index].register_writes_bulk(
-                [batches[position] for position in positions], writer=writer
-            )
-            for position, outcome in zip(positions, shard_results):
-                results[position] = outcome
+        pending = list(range(len(batches)))
+        attempts = 0
+        while pending:
+            routing_epoch = self.membership.epoch
+            by_shard: Dict[int, List[int]] = {}
+            for position in pending:
+                blob_id = batches[position][0]
+                by_shard.setdefault(self.membership.owner_index(blob_id), []).append(
+                    position
+                )
+            # Resolve every involved shard's serving manager *before*
+            # assigning anything: an unreachable shard (down with no
+            # failover path) must fail the call while zero versions exist,
+            # not after sibling shards already assigned tickets nobody will
+            # ever weave or abort.
+            serving = {
+                shard_index: self._serving_shard(shard_index)
+                for shard_index in by_shard
+            }
+            retry: List[int] = []
+            for shard_index, positions in by_shard.items():
+                blob_ids = tuple(batches[position][0] for position in positions)
+
+                def guard(blob_ids=blob_ids, routing_epoch=routing_epoch):
+                    self.membership.check_commit(blob_ids, routing_epoch)
+
+                try:
+                    shard_results = serving[shard_index].register_writes_bulk(
+                        [batches[position] for position in positions],
+                        writer=writer,
+                        guard=guard,
+                    )
+                except EpochRetryError:
+                    retry.extend(positions)
+                    continue
+                for position, outcome in zip(positions, shard_results):
+                    results[position] = outcome
+            if retry:
+                attempts += 1
+                if attempts >= MAX_ROUTE_RETRIES:
+                    raise ServiceError(
+                        "membership would not stabilise; "
+                        f"{len(retry)} registration batches kept racing epochs"
+                    )
+                self.membership.wait_stable(timeout=0.25)
+            pending = retry
         return results
 
     def register_append(
         self, blob_id: BlobId, size: int, writer: Optional[str] = None
     ) -> WriteTicket:
-        return self.shard_for(blob_id).register_append(blob_id, size, writer=writer)
+        return self._routed(
+            blob_id,
+            lambda m, guard: m.register_append(
+                blob_id, size, writer=writer, guard=guard
+            ),
+            mutating=True,
+        )
 
     # -- publication ------------------------------------------------------------------
     def publish(self, blob_id: BlobId, version: Version) -> Version:
-        return self.shard_for(blob_id).publish(blob_id, version)
+        return self.publish_many(blob_id, [version])
 
     def publish_many(self, blob_id: BlobId, versions: Sequence[Version]) -> Version:
-        return self.shard_for(blob_id).publish_many(blob_id, versions)
+        return self._routed(
+            blob_id,
+            lambda m, guard: m.publish_many(blob_id, versions, guard=guard),
+            mutating=True,
+        )
 
     def abort(self, blob_id: BlobId, version: Version) -> None:
-        self.shard_for(blob_id).abort(blob_id, version)
+        self._routed(
+            blob_id,
+            lambda m, guard: m.abort(blob_id, version, guard=guard),
+            mutating=True,
+        )
 
     def mark_repaired(self, blob_id: BlobId, version: Version) -> Version:
-        return self.shard_for(blob_id).mark_repaired(blob_id, version)
+        return self._routed(
+            blob_id,
+            lambda m, guard: m.mark_repaired(blob_id, version, guard=guard),
+            mutating=True,
+        )
 
     # -- read-side queries ---------------------------------------------------------------
     def latest_version(self, blob_id: BlobId) -> Version:
-        return self.shard_for(blob_id).latest_version(blob_id)
+        return self._routed(blob_id, lambda m, _: m.latest_version(blob_id))
 
     def get_snapshot(
         self, blob_id: BlobId, version: Optional[Version] = None
     ) -> SnapshotInfo:
-        return self.shard_for(blob_id).get_snapshot(blob_id, version)
+        return self._routed(blob_id, lambda m, _: m.get_snapshot(blob_id, version))
 
     def get_history(self, blob_id: BlobId, upto_version: Version) -> List[WriteRecord]:
-        return self.shard_for(blob_id).get_history(blob_id, upto_version)
+        return self._routed(blob_id, lambda m, _: m.get_history(blob_id, upto_version))
 
     def pending_versions(self, blob_id: BlobId) -> List[Version]:
-        return self.shard_for(blob_id).pending_versions(blob_id)
+        return self._routed(blob_id, lambda m, _: m.pending_versions(blob_id))
 
     def aborted_versions(self, blob_id: BlobId) -> List[Version]:
-        return self.shard_for(blob_id).aborted_versions(blob_id)
+        return self._routed(blob_id, lambda m, _: m.aborted_versions(blob_id))
 
     def version_state(self, blob_id: BlobId, version: Version) -> WriteState:
-        return self.shard_for(blob_id).version_state(blob_id, version)
+        return self._routed(blob_id, lambda m, _: m.version_state(blob_id, version))
 
     # -- aggregate counters / monitoring -------------------------------------------------
     @property
@@ -593,17 +1001,33 @@ class ShardedVersionManager:
     def backlog(self) -> int:
         return sum(shard.backlog() for shard in self._observable_shards())
 
+    def membership_report(self) -> Dict[str, object]:
+        """The membership's own snapshot (epoch, statuses, transition state)."""
+        report = self.membership.report()
+        report["rebalances"] = self.rebalances
+        report["blobs_migrated"] = self.blobs_migrated
+        return report
+
     def shard_reports(self) -> List[Dict[str, object]]:
         """Per-shard monitoring records (the QoS monitor's hot-shard input).
 
-        A crashed shard is reported through its serving standby, flagged
-        ``alive: False`` so monitors can tell a takeover from normal load.
+        Reported against the *current membership epoch*: every record
+        carries the epoch and the slot's membership status, a crashed shard
+        is reported through its serving standby (flagged ``alive: False``
+        so monitors can tell a takeover from normal load), and a retired
+        slot reports its final — empty — state rather than pretending to
+        own blobs that migrated away.
         """
+        epoch = self.membership.epoch
+        statuses = self.membership.statuses()
         return [
             {
                 "shard": index,
                 "shard_id": shard_id,
-                "alive": self._shard_alive[index],
+                "alive": statuses[index]
+                not in (ShardStatus.DOWN, ShardStatus.RETIRED),
+                "status": statuses[index].value,
+                "epoch": epoch,
                 **shard.report(),
             }
             for index, (shard_id, shard) in enumerate(
@@ -612,8 +1036,18 @@ class ShardedVersionManager:
         ]
 
     def blob_distribution(self) -> Dict[str, int]:
-        """How many existing blobs each shard owns (routing balance check)."""
-        return {
-            shard_id: len(shard.blob_ids())
-            for shard_id, shard in zip(self.shard_ids, self._observable_shards())
+        """How many existing blobs each *ring member* owns right now.
+
+        Attribution follows the current membership epoch's routing — not
+        the deployment-time shard list — so a failed-over shard's blobs
+        count against their (down) owner rather than the standby's host,
+        and a drained shard's blobs count against the shards that inherited
+        them instead of a retired slot.
+        """
+        counts: Dict[str, int] = {
+            self.shard_ids[index]: 0
+            for index in self.membership.ring_member_indexes()
         }
+        for blob_id in self.blob_ids():
+            counts[self.shard_ids[self.membership.owner_index(blob_id)]] += 1
+        return counts

@@ -21,7 +21,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .config import DEFAULT_CHUNK_SIZE
 from .errors import (
@@ -108,6 +108,11 @@ class VersionManager:
     def num_shards(self) -> int:
         return 1
 
+    @property
+    def epoch(self) -> int:
+        """Membership epoch (a lone shard's membership never changes)."""
+        return 1
+
     def shard_index(self, blob_id: BlobId) -> int:
         """Owning shard of ``blob_id`` (always 0: there is only this one)."""
         return 0
@@ -115,6 +120,10 @@ class VersionManager:
     def active_shard_index(self, blob_id: BlobId) -> int:
         """Shard currently *serving* ``blob_id`` (no failover here: 0)."""
         return 0
+
+    def route(self, blob_id: BlobId) -> Tuple[int, int]:
+        """Atomic ``(owning shard, membership epoch)`` pair — here (0, 1)."""
+        return 0, 1
 
     # -- blob lifecycle ---------------------------------------------------------
     def create_blob(
@@ -209,6 +218,8 @@ class VersionManager:
         self,
         batches: Sequence[Tuple[BlobId, Sequence[Tuple[int, int]]]],
         writer: Optional[str] = None,
+        epoch: Optional[int] = None,
+        guard: Optional[Callable[[], None]] = None,
     ) -> List[List[Union[WriteTicket, Exception]]]:
         """Register the writes of several blobs in one serialised round.
 
@@ -222,9 +233,19 @@ class VersionManager:
         blobs' freshly assigned tickets would be orphaned behind the
         exception and stall their frontiers forever; invalid specs of
         known blobs keep their per-spec isolation.
+
+        ``guard`` (set by the sharded coordinator's router) runs under the
+        commit lock before anything is assigned; it raises the retryable
+        :class:`~repro.core.errors.EpochRetryError` when the membership
+        epoch moved or a blob of the round is mid-migration.  ``epoch`` is
+        accepted for protocol parity (a lone shard's membership never
+        changes, so there is nothing to compare against).
         """
+        del epoch  # a single manager has no membership to be stale against
         results: List[List[Union[WriteTicket, Exception]]] = []
         with self._lock:
+            if guard is not None:
+                guard()
             self.register_rounds += 1
             resolved = [(self._state(blob_id), writes) for blob_id, writes in batches]
             for state, writes in resolved:
@@ -250,7 +271,11 @@ class VersionManager:
         return results
 
     def register_append(
-        self, blob_id: BlobId, size: int, writer: Optional[str] = None
+        self,
+        blob_id: BlobId,
+        size: int,
+        writer: Optional[str] = None,
+        guard: Optional[Callable[[], None]] = None,
     ) -> WriteTicket:
         """Assign the next version to an append of ``size`` bytes.
 
@@ -260,6 +285,8 @@ class VersionManager:
         if size <= 0:
             raise InvalidRangeError("append size must be > 0")
         with self._lock:
+            if guard is not None:
+                guard()
             self.register_rounds += 1
             state = self._state(blob_id)
             return self._register_locked(state, state.tentative_size, size, True, writer)
@@ -310,7 +337,12 @@ class VersionManager:
         """
         return self.publish_many(blob_id, [version])
 
-    def publish_many(self, blob_id: BlobId, versions: Sequence[Version]) -> Version:
+    def publish_many(
+        self,
+        blob_id: BlobId,
+        versions: Sequence[Version],
+        guard: Optional[Callable[[], None]] = None,
+    ) -> Version:
         """Mark several of one blob's versions completed in a single round.
 
         The bulk form of :meth:`publish` (mirroring
@@ -321,6 +353,8 @@ class VersionManager:
         an earlier version is still pending.  Returns the new frontier.
         """
         with self._lock:
+            if guard is not None:
+                guard()
             self.publish_rounds += 1
             state = self._state(blob_id)
             ordered = sorted(versions)
@@ -344,7 +378,12 @@ class VersionManager:
             self._maybe_snapshot_locked()
             return state.published_frontier
 
-    def abort(self, blob_id: BlobId, version: Version) -> None:
+    def abort(
+        self,
+        blob_id: BlobId,
+        version: Version,
+        guard: Optional[Callable[[], None]] = None,
+    ) -> None:
         """Declare a registered write as failed.
 
         The version stays in the history (later writers may already
@@ -353,6 +392,8 @@ class VersionManager:
         install no-op metadata so the frontier can pass it.
         """
         with self._lock:
+            if guard is not None:
+                guard()
             state = self._state(blob_id)
             if version < 1 or version > len(state.entries):
                 raise VersionNotFoundError(blob_id, version)
@@ -363,9 +404,16 @@ class VersionManager:
             if self.journal is not None:
                 self.journal.append("abort", blob_id, version=version)
 
-    def mark_repaired(self, blob_id: BlobId, version: Version) -> Version:
+    def mark_repaired(
+        self,
+        blob_id: BlobId,
+        version: Version,
+        guard: Optional[Callable[[], None]] = None,
+    ) -> Version:
         """Mark an aborted version as repaired (its no-op metadata now exists)."""
         with self._lock:
+            if guard is not None:
+                guard()
             state = self._state(blob_id)
             entry = state.entry(version)
             if entry.state != WriteState.ABORTED:
@@ -448,6 +496,103 @@ class VersionManager:
             if version < 1 or version > len(state.entries):
                 raise VersionNotFoundError(blob_id, version)
             return state.entry(version).state
+
+    # -- migration (shard add/remove streams blob histories between shards) --------------
+    def export_blob_records(self, blob_id: BlobId) -> List["object"]:
+        """One blob's full history as replayable journal records.
+
+        This is the planned analogue of the failover handoff: the sequence
+        ``create, register*, publish/abort*`` re-derives the blob's exact
+        state — entries, states and published frontier — when replayed
+        through :func:`~repro.resilience.journal.apply_record` on the new
+        owner.  Taken under the commit lock, so the copy is a consistent
+        cut: everything assigned before the export is included, everything
+        after is redirected by the migration guard.
+        """
+        from ..resilience.journal import JournalRecord
+
+        with self._lock:
+            state = self._state(blob_id)
+            records: List[JournalRecord] = [
+                JournalRecord(
+                    lsn=0,
+                    op="create",
+                    blob_id=blob_id,
+                    payload={
+                        "chunk_size": state.info.chunk_size,
+                        "replication": state.info.replication,
+                    },
+                )
+            ]
+            for entry in state.entries:
+                records.append(
+                    JournalRecord(
+                        lsn=0,
+                        op="register",
+                        blob_id=blob_id,
+                        payload={
+                            "version": entry.record.version,
+                            "offset": entry.record.offset,
+                            "size": entry.record.size,
+                            "is_append": entry.is_append,
+                            "writer": entry.writer,
+                        },
+                    )
+                )
+            for entry in state.entries:
+                if entry.state in (WriteState.COMPLETED, WriteState.PUBLISHED):
+                    records.append(
+                        JournalRecord(
+                            lsn=0,
+                            op="publish",
+                            blob_id=blob_id,
+                            payload={"version": entry.record.version},
+                        )
+                    )
+                elif entry.state == WriteState.ABORTED:
+                    records.append(
+                        JournalRecord(
+                            lsn=0,
+                            op="abort",
+                            blob_id=blob_id,
+                            payload={"version": entry.record.version},
+                        )
+                    )
+            return records
+
+    def discount_replayed_activity(
+        self, registers: int, publishes: int, published: int
+    ) -> None:
+        """Back replayed-history bumps out of the monitoring counters.
+
+        A migration replays a moved blob's whole history through the
+        public API, which increments this shard's activity counters as if
+        it had just performed hundreds of commits.  That activity already
+        happened — on the source shard, which keeps its counters — so the
+        router subtracts the replay's exact contribution (``registers``
+        register records, ``publishes`` publish rounds, a frontier of
+        ``published`` versions) to keep per-shard commit deltas and the
+        imbalance signal honest across a rebalance.
+        """
+        with self._lock:
+            self.writes_registered -= registers
+            self.register_rounds -= registers
+            self.publish_rounds -= publishes
+            self.versions_published -= published
+
+    def drop_blob(self, blob_id: BlobId) -> None:
+        """Forget one blob (its history now lives on another shard).
+
+        Journaled like every other transition, so a crash-replayed (or
+        standby-followed) shard drops the blob too instead of resurrecting
+        a stale copy alongside the new owner's live one.
+        """
+        with self._lock:
+            if blob_id not in self._blobs:
+                raise BlobNotFoundError(blob_id)
+            del self._blobs[blob_id]
+            if self.journal is not None:
+                self.journal.append("drop", blob_id)
 
     # -- durability ----------------------------------------------------------------------
     def _maybe_snapshot_locked(self) -> None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional
 
+from ..core.errors import ServiceError
 from .globem import BehaviorModel
 from .monitoring import Monitor, WindowSample
 
@@ -46,6 +47,21 @@ class FeedbackPolicy:
     #: Minimum per-shard commit imbalance (coefficient of variation) for a
     #: hottest-shard window to count towards the streak.
     hot_shard_imbalance: float = 0.5
+    #: Scale the coordinator *out* (add a shard) once the mean commit
+    #: backlog per active shard has been at or above this for
+    #: ``scale_out_windows`` consecutive windows (0 disables elastic
+    #: scaling entirely).
+    scale_out_backlog: float = 0.0
+    #: Consecutive saturated windows required before a scale-out.
+    scale_out_windows: int = 3
+    #: Never grow the coordinator past this many active shards.
+    max_shards: int = 16
+    #: Scale *in* (drain the least-loaded shard) after this many
+    #: consecutive windows with zero coordinator backlog (0 disables
+    #: scale-in; scale-out may still be enabled on its own).
+    scale_in_idle_windows: int = 0
+    #: Never shrink the coordinator below this many active shards.
+    min_shards: int = 1
 
 
 @dataclass
@@ -77,6 +93,8 @@ class QoSFeedbackController:
         self._hot_shard: Optional[int] = None
         self._hot_streak = 0
         self._cool_streak = 0
+        self._saturated_streak = 0
+        self._idle_streak = 0
 
     # -- decision logic -------------------------------------------------------------
     def evaluate(self, sample: WindowSample) -> None:
@@ -94,6 +112,111 @@ class QoSFeedbackController:
             if self._boosted and self._healthy_streak >= self.policy.recovery_windows:
                 self._relax()
         self._track_hot_shard(sample)
+        self._track_scaling(sample)
+
+    def _track_scaling(self, sample: WindowSample) -> None:
+        """Elastic coordinator membership as a feedback action.
+
+        Sustained *saturation* — the mean commit backlog per active shard
+        at or above ``scale_out_backlog`` for ``scale_out_windows``
+        consecutive windows — adds a shard at runtime: the membership layer
+        streams the minimal set of blob histories to the newcomer and bumps
+        the epoch, and the very next window's commits spread over one more
+        serialisation domain.  Sustained *idleness* (zero backlog for
+        ``scale_in_idle_windows`` windows) drains the least-committing
+        shard back out, so the elastic tier only pays for shards the load
+        actually needs.  Both actions are disabled unless the cluster
+        exposes the elastic surface and ``scale_out_backlog`` is set.
+        """
+        add = getattr(self.cluster, "add_coordinator_shard", None)
+        remove = getattr(self.cluster, "remove_coordinator_shard", None)
+        if add is None or self.policy.scale_out_backlog <= 0:
+            return
+        backlog = sample.vm_shard_backlog
+        active = sample.vm_active_shards or len(backlog)
+        if active == 0:
+            return
+        total_backlog = sum(backlog)
+        if total_backlog / active >= self.policy.scale_out_backlog:
+            self._saturated_streak += 1
+            self._idle_streak = 0
+        elif total_backlog == 0:
+            self._idle_streak += 1
+            self._saturated_streak = 0
+        else:
+            self._saturated_streak = 0
+            self._idle_streak = 0
+        if (
+            self._saturated_streak >= self.policy.scale_out_windows
+            and active < self.policy.max_shards
+        ):
+            try:
+                report = add()
+            except ServiceError:
+                # Membership refuses to change while a shard is down (or a
+                # transition is already in flight).  Keep the streak: the
+                # scale-out is deferred to the next window, not abandoned —
+                # and the feedback process must outlive the refusal.
+                return
+            self._saturated_streak = 0
+            self.actions.append(
+                FeedbackAction(
+                    time=self.cluster.env.now,
+                    kind="scale_out",
+                    detail=(
+                        f"backlog {total_backlog} over {active} shards for "
+                        f"{self.policy.scale_out_windows} windows; shard "
+                        f"{report['shard_id']} joined at epoch {report['epoch']} "
+                        f"({report['moved_blobs']} blobs migrated)"
+                    ),
+                )
+            )
+        elif (
+            remove is not None
+            and self.policy.scale_in_idle_windows > 0
+            and self._idle_streak >= self.policy.scale_in_idle_windows
+            and active > self.policy.min_shards
+        ):
+            victim = self._least_committing_shard(sample)
+            if victim is None:
+                return
+            try:
+                report = remove(victim)
+            except ServiceError:
+                return  # deferred, same as scale-out: retry next idle window
+            self._idle_streak = 0
+            self.actions.append(
+                FeedbackAction(
+                    time=self.cluster.env.now,
+                    kind="scale_in",
+                    detail=(
+                        f"idle for {self.policy.scale_in_idle_windows} windows; "
+                        f"shard {report['shard_id']} drained at epoch "
+                        f"{report['epoch']} ({report['moved_blobs']} blobs "
+                        f"migrated)"
+                    ),
+                )
+            )
+
+    def _least_committing_shard(self, sample: WindowSample) -> Optional[int]:
+        """The active shard that committed least this window (drain victim)."""
+        vm = getattr(self.cluster, "version_manager", None)
+        membership = getattr(vm, "membership", None)
+        if membership is None:
+            return None
+        statuses = membership.statuses()
+        candidates = [
+            index
+            for index, status in enumerate(statuses)
+            if getattr(status, "value", status) == "active"
+        ]
+        if len(candidates) < 2:
+            return None
+        commits = sample.vm_shard_commits
+        return min(
+            candidates,
+            key=lambda index: commits[index] if index < len(commits) else 0,
+        )
 
     def _track_hot_shard(self, sample: WindowSample) -> None:
         """Steer new blob placement away from a persistently hot shard.

@@ -62,6 +62,13 @@ class WindowSample:
     vm_shard_commits: Tuple[int, ...] = ()
     vm_shard_backlog: Tuple[int, ...] = ()
     vm_shard_imbalance: float = 0.0
+    #: Membership epoch the coordinator reported this window under (bumps
+    #: on every shard add/remove/crash/recovery; 0 = unsharded coordinator).
+    coordinator_epoch: int = 0
+    #: Coordinator shards with membership status ``active`` at window end
+    #: (the denominator for per-shard backlog; retired slots stay in the
+    #: positional tuples above but never count here).
+    vm_active_shards: int = 0
     metadata_rounds: int = 0
     #: Metadata copies re-installed this window (read repair + anti-entropy
     #: scrub); sustained non-zero means providers keep recovering lossy.
@@ -155,20 +162,32 @@ class Monitor:
         shard_commits: Tuple[int, ...] = ()
         shard_backlog: Tuple[int, ...] = ()
         shard_imbalance = 0.0
+        coordinator_epoch = 0
+        vm_active_shards = 0
         vm = getattr(self.cluster, "version_manager", None)
         shard_reports = getattr(vm, "shard_reports", None)
         if callable(shard_reports):
             commits: List[int] = []
             backlog: List[int] = []
+            in_ring: List[int] = []
             for report in shard_reports():
                 shard = report["shard"]
                 published = report["versions_published"]
                 commits.append(published - self._last_shard_published.get(shard, 0))
                 self._last_shard_published[shard] = published
                 backlog.append(report["backlog"])
+                status = report.get("status", "active")
+                coordinator_epoch = report.get("epoch", coordinator_epoch)
+                if status != "retired":
+                    in_ring.append(commits[-1])
+                if status == "active":
+                    vm_active_shards += 1
             shard_commits = tuple(commits)
             shard_backlog = tuple(backlog)
-            shard_imbalance = _coefficient_of_variation(commits)
+            # Imbalance over the *current membership* only: a slot retired
+            # by a scale-in would otherwise pin the coefficient of
+            # variation high forever with its permanent zero.
+            shard_imbalance = _coefficient_of_variation(in_ring)
 
         # Metadata round trips this window (vectored: one round per level).
         rounds_total = int(getattr(self.cluster, "metadata_rounds", 0))
@@ -204,6 +223,8 @@ class Monitor:
             vm_shard_commits=shard_commits,
             vm_shard_backlog=shard_backlog,
             vm_shard_imbalance=shard_imbalance,
+            coordinator_epoch=coordinator_epoch,
+            vm_active_shards=vm_active_shards,
             metadata_rounds=metadata_rounds,
             scrub_repairs=scrub_repairs,
             recoveries=recoveries,

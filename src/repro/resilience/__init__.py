@@ -18,7 +18,7 @@ failures of physical components):
 
 from .journal import JOURNAL_OPS, JournalRecord, JournalReplayError, ShardJournal, apply_record
 from .failover import ShardStandby
-from .scrub import AntiEntropyScrubber, ScrubReport
+from .scrub import AntiEntropyScrubber, ScrubReport, ScrubTick
 
 __all__ = [
     "AntiEntropyScrubber",
@@ -26,6 +26,7 @@ __all__ = [
     "JournalRecord",
     "JournalReplayError",
     "ScrubReport",
+    "ScrubTick",
     "ShardJournal",
     "ShardStandby",
     "apply_record",

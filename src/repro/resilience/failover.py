@@ -58,6 +58,14 @@ class ShardStandby:
         """Stop following the primary's stream (the standby's host died)."""
         self.journal.unsubscribe(self._on_record)
 
+    def retire(self) -> None:
+        """Tear the standby down for good (its shard drained out of the
+        membership): stop following the stream and drop any handoff files —
+        a retired shard never rejoins, so there is nothing to hand back."""
+        self.detach()
+        self.taking_over = False
+        self.handoff.discard_files()
+
     # -- the replication stream -----------------------------------------------------
     def _on_record(self, record: JournalRecord) -> None:
         if self.taking_over:

@@ -8,7 +8,7 @@ makes crash recovery a pure replay problem: if the shard logs each state
 transition before acknowledging it, a restarted shard that replays the log
 reaches exactly the state it crashed in, published frontier included.
 
-:class:`ShardJournal` is that log.  Five record kinds cover the whole
+:class:`ShardJournal` is that log.  Six record kinds cover the whole
 coordinator state machine:
 
 ========  =========================================================
@@ -19,6 +19,7 @@ register  ``version``, ``offset``, ``size``, ``is_append``, ``writer``
 publish   ``version``
 abort     ``version``
 repair    ``version``
+drop      (none — the blob's history migrated to another shard)
 ========  =========================================================
 
 Because every record is emitted *inside* the shard's commit lock, the
@@ -42,15 +43,17 @@ and reopen it with :meth:`ShardJournal.open` after a real process restart.
 from __future__ import annotations
 
 import json
+import re
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import ServiceError
 
 #: Record kinds a journal understands (also the replay dispatch table's keys).
-JOURNAL_OPS = ("create", "register", "publish", "abort", "repair")
+JOURNAL_OPS = ("create", "register", "publish", "abort", "repair", "drop")
 
 
 class JournalReplayError(ServiceError):
@@ -101,11 +104,32 @@ class ShardJournal:
         shard_id: str = "vm-000",
         directory: Optional[str | Path] = None,
         snapshot_interval: int = 0,
+        snapshot_max_bytes: int = 0,
+        snapshot_max_age: float = 0.0,
+        keep_snapshots: int = 1,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if snapshot_interval < 0:
             raise ValueError("snapshot_interval must be >= 0")
+        if snapshot_max_bytes < 0:
+            raise ValueError("snapshot_max_bytes must be >= 0")
+        if snapshot_max_age < 0:
+            raise ValueError("snapshot_max_age must be >= 0")
+        if keep_snapshots < 1:
+            raise ValueError("keep_snapshots must be >= 1")
         self.shard_id = shard_id
         self.snapshot_interval = snapshot_interval
+        #: Auto-snapshot once the WAL tail exceeds this many bytes (0 = off).
+        self.snapshot_max_bytes = snapshot_max_bytes
+        #: Auto-snapshot once the oldest un-snapshotted record is this many
+        #: seconds old (0 = off).  Uses a monotonic wall clock by default;
+        #: inject ``clock`` to drive the policy from simulated time.
+        self.snapshot_max_age = snapshot_max_age
+        #: How many snapshots (and the WAL segments newer than the oldest of
+        #: them) to retain on disk for point-in-time debugging; 1 keeps only
+        #: the latest, matching the pre-GC behaviour.
+        self.keep_snapshots = keep_snapshots
+        self._clock = clock if clock is not None else time.monotonic
         self._lock = threading.Lock()
         self._records: List[JournalRecord] = []
         self._next_lsn = 1
@@ -115,6 +139,10 @@ class ShardJournal:
         #: Monitoring counters (the simulator charges time per append).
         self.appends = 0
         self.snapshots = 0
+        #: WAL segments deleted by the retention policy (monitoring).
+        self.segments_deleted = 0
+        self._tail_bytes = 0
+        self._tail_started: Optional[float] = None
         self._directory: Optional[Path] = Path(directory) if directory is not None else None
         self._wal_handle = None
         if self._directory is not None:
@@ -144,10 +172,18 @@ class ShardJournal:
         directory: str | Path,
         shard_id: str = "vm-000",
         snapshot_interval: int = 0,
+        **policy: Any,
     ) -> "ShardJournal":
-        """Reopen a file-backed journal after a process restart."""
+        """Reopen a file-backed journal after a process restart.
+
+        ``policy`` passes through the snapshot-GC knobs
+        (``snapshot_max_bytes``, ``snapshot_max_age``, ``keep_snapshots``).
+        """
         journal = cls(
-            shard_id=shard_id, directory=directory, snapshot_interval=snapshot_interval
+            shard_id=shard_id,
+            directory=directory,
+            snapshot_interval=snapshot_interval,
+            **policy,
         )
         snapshot_path = journal.snapshot_path
         assert snapshot_path is not None and journal.wal_path is not None
@@ -187,16 +223,22 @@ class ShardJournal:
         return record
 
     def ingest(
-        self, records: Sequence[JournalRecord], apply_to: Optional[Any] = None
+        self,
+        records: Sequence[JournalRecord],
+        apply_to: Optional[Any] = None,
+        notify: bool = False,
     ) -> List[JournalRecord]:
-        """Adopt records produced elsewhere (journal handoff after failover).
+        """Adopt records produced elsewhere (failover handoff, migration).
 
-        Each record is re-stamped with this journal's next lsn and stored
-        without notifying subscribers — the standby that produced them
-        already holds their effects.  When ``apply_to`` (a
-        ``VersionManager``) is given, each record is replayed into it as it
-        is adopted, so a recovering shard catches up and stays durable in
-        one pass.
+        Each record is re-stamped with this journal's next lsn and stored.
+        Subscribers are *not* notified by default — the recovery path's
+        standby produced the records and already holds their effects.  The
+        planned-migration path passes ``notify=True`` instead: there the
+        records arrive from *another shard*, so this journal's own standby
+        must receive them through the stream like any other transition.
+        When ``apply_to`` (a ``VersionManager``) is given, each record is
+        replayed into it as it is adopted, so the destination catches up
+        and stays durable in one pass.
         """
         adopted: List[JournalRecord] = []
         for record in records:
@@ -211,12 +253,16 @@ class ShardJournal:
                 self._records.append(stamped)
                 self.appends += 1
                 self._write_record(stamped)
+                subscribers = tuple(self._subscribers) if notify else ()
+            for callback in subscribers:
+                callback(stamped)
             if apply_to is not None:
                 apply_record(apply_to, stamped)
             adopted.append(stamped)
         return adopted
 
     def _write_record(self, record: JournalRecord) -> None:
+        line: Optional[str] = None
         path = self.wal_path
         if path is not None:
             # One append-mode handle for the journal's lifetime (reset by
@@ -224,8 +270,15 @@ class ShardJournal:
             # path, one open/close syscall pair per record would dominate it.
             if self._wal_handle is None:
                 self._wal_handle = path.open("a")
-            self._wal_handle.write(record.to_json() + "\n")
+            line = record.to_json()
+            self._wal_handle.write(line + "\n")
             self._wal_handle.flush()
+        if self.snapshot_max_bytes > 0:
+            if line is None:
+                line = record.to_json()
+            self._tail_bytes += len(line) + 1
+        if self._tail_started is None:
+            self._tail_started = self._clock()
 
     def close(self) -> None:
         """Release the WAL file handle (file-backed journals only)."""
@@ -245,6 +298,8 @@ class ShardJournal:
         for path in (self.wal_path, self.snapshot_path):
             if path is not None and path.exists():
                 path.unlink()
+        for path in (*self.snapshot_files(), *self.wal_segments()):
+            path.unlink(missing_ok=True)
 
     # -- streaming ----------------------------------------------------------------
     def subscribe(self, callback: Callable[[JournalRecord], None]) -> None:
@@ -274,26 +329,100 @@ class ShardJournal:
 
     # -- snapshots -----------------------------------------------------------------
     def snapshot(self, state: Dict[str, Any]) -> None:
-        """Install a full-state snapshot and drop the records it subsumes."""
+        """Install a full-state snapshot and drop the records it subsumes.
+
+        For a file-backed journal with ``keep_snapshots > 1``, the subsumed
+        WAL is first archived as a segment (``wal-<shard>-<lsn>.jsonl``) and
+        the snapshot is additionally written lsn-stamped; the retention
+        pass then keeps the newest ``keep_snapshots`` snapshots and deletes
+        every WAL segment at or below the oldest retained snapshot's lsn —
+        a segment older than every snapshot it could roll forward from is
+        pure dead weight.
+        """
         with self._lock:
             self._snapshot_state = state
             self._snapshot_lsn = self._next_lsn - 1
             self._records.clear()
             self.snapshots += 1
+            self._tail_bytes = 0
+            self._tail_started = None
             if self._directory is not None:
                 assert self.snapshot_path is not None and self.wal_path is not None
-                self.snapshot_path.write_text(
-                    json.dumps({"lsn": self._snapshot_lsn, "state": state}, sort_keys=True)
+                payload = json.dumps(
+                    {"lsn": self._snapshot_lsn, "state": state}, sort_keys=True
                 )
                 if self._wal_handle is not None:
                     self._wal_handle.close()
                     self._wal_handle = None
+                if self.keep_snapshots > 1:
+                    if self.wal_path.exists():
+                        self.wal_path.rename(
+                            self._directory
+                            / f"wal-{self.shard_id}-{self._snapshot_lsn:010d}.jsonl"
+                        )
+                    (
+                        self._directory
+                        / f"snapshot-{self.shard_id}-{self._snapshot_lsn:010d}.json"
+                    ).write_text(payload)
+                self.snapshot_path.write_text(payload)
                 self.wal_path.write_text("")
+                self._prune_locked()
 
     def snapshot_due(self) -> bool:
-        """Whether the WAL tail has outgrown the auto-snapshot interval."""
+        """Whether an auto-snapshot policy says the WAL tail should compact.
+
+        Three independent triggers, any of which fires the compaction:
+        record count (``snapshot_interval``), tail byte size
+        (``snapshot_max_bytes``) and tail age (``snapshot_max_age``).
+        """
         with self._lock:
-            return 0 < self.snapshot_interval <= len(self._records)
+            if not self._records:
+                return False
+            if 0 < self.snapshot_interval <= len(self._records):
+                return True
+            if 0 < self.snapshot_max_bytes <= self._tail_bytes:
+                return True
+            if (
+                self.snapshot_max_age > 0
+                and self._tail_started is not None
+                and self._clock() - self._tail_started >= self.snapshot_max_age
+            ):
+                return True
+            return False
+
+    # -- retention ------------------------------------------------------------------
+    def _archived(self, kind: str) -> List[Tuple[int, Path]]:
+        """(lsn, path) of every lsn-stamped ``kind`` file, oldest first."""
+        if self._directory is None:
+            return []
+        pattern = re.compile(
+            rf"{kind}-{re.escape(self.shard_id)}-(\d+)\.(?:json|jsonl)$"
+        )
+        found: List[Tuple[int, Path]] = []
+        for path in self._directory.iterdir():
+            match = pattern.fullmatch(path.name)
+            if match:
+                found.append((int(match.group(1)), path))
+        return sorted(found)
+
+    def snapshot_files(self) -> List[Path]:
+        """Retained lsn-stamped snapshot files, oldest first (GC surface)."""
+        return [path for _, path in self._archived("snapshot")]
+
+    def wal_segments(self) -> List[Path]:
+        """Retained archived WAL segments, oldest first (GC surface)."""
+        return [path for _, path in self._archived("wal")]
+
+    def _prune_locked(self) -> None:
+        snapshots = self._archived("snapshot")
+        keep = snapshots[-self.keep_snapshots :] if self.keep_snapshots > 0 else []
+        for lsn, path in snapshots[: len(snapshots) - len(keep)]:
+            path.unlink(missing_ok=True)
+        oldest_kept = keep[0][0] if keep else self._snapshot_lsn
+        for lsn, path in self._archived("wal"):
+            if lsn <= oldest_kept:
+                path.unlink(missing_ok=True)
+                self.segments_deleted += 1
 
     # -- replay ---------------------------------------------------------------------
     def replay_into(self, manager: Any) -> int:
@@ -394,6 +523,8 @@ def apply_record(manager: Any, record: JournalRecord) -> None:
             manager.abort(record.blob_id, payload["version"])
         elif record.op == "repair":
             manager.mark_repaired(record.blob_id, payload["version"])
+        elif record.op == "drop":
+            manager.drop_blob(record.blob_id)
         else:
             raise JournalReplayError(f"unknown journal op {record.op!r}")
     finally:

@@ -24,6 +24,7 @@ from .driver import (
     run_mixed_workload,
     run_multi_blob_appenders,
     run_sustained_appends,
+    run_sustained_multi_blob_appenders,
 )
 
 __all__ = [
@@ -54,5 +55,6 @@ __all__ = [
     "run_mixed_workload",
     "run_multi_blob_appenders",
     "run_sustained_appends",
+    "run_sustained_multi_blob_appenders",
     "scheduled_failures",
 ]

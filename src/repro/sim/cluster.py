@@ -29,7 +29,7 @@ from ..dht.distributed_store import DistributedKeyValueStore
 from ..resilience.scrub import AntiEntropyScrubber
 from .engine import Environment, all_of
 from .metrics import MetricsCollector
-from .network import NetworkModel, SimNode
+from .network import NetworkModel, SimNode, ensure_version_manager_node
 
 
 @dataclass
@@ -318,44 +318,127 @@ class SimulatedBlobSeer:
     def live_coordinator_shards(self) -> List[str]:
         return self.version_manager.live_shard_ids()
 
+    # -- elastic coordinator membership -------------------------------------------------
+    def add_coordinator_shard(self, shard_id: Optional[str] = None) -> Dict[str, Any]:
+        """Scale the coordinator out by one shard at runtime.
+
+        The control-plane migration (ring diff, journal-history streaming,
+        epoch bump) executes through the real
+        :meth:`~repro.core.version_coordinator.ShardedVersionManager.add_shard`;
+        a machine is materialised for the new shard and its catch-up —
+        replaying every streamed record — is charged against that machine's
+        CPU, so commit RPCs routed to the newcomer queue behind the
+        migration until it has caught up.
+        """
+        report = self.version_manager.add_shard(shard_id)
+        node = ensure_version_manager_node(
+            self.env, self.model, self.version_manager_nodes, int(report["index"])
+        )
+        self._charge_migration(node, report)
+        self.failure_log.append((self.env.now, "scale_out", str(report["shard_id"])))
+        return report
+
+    def remove_coordinator_shard(self, shard: "int | str") -> Dict[str, Any]:
+        """Drain and retire a coordinator shard at runtime.
+
+        Each destination shard's catch-up (replaying its share of the
+        drained histories) is charged at its machine; the retired slot's
+        machine stays in place but receives no further traffic.
+        """
+        index = self._coordinator_index(shard)
+        report = self.version_manager.remove_shard(index)
+        total = int(report["records_streamed"])
+        moved = max(1, int(report["moved_blobs"]))
+        for dest, blobs in report["destinations"].items():  # type: ignore[union-attr]
+            share = {**report, "records_streamed": total * blobs // moved}
+            self._charge_migration(self.version_manager_nodes[dest], share)
+        self.failure_log.append((self.env.now, "scale_in", str(report["shard_id"])))
+        return report
+
+    def _charge_migration(self, node: SimNode, report: Dict[str, Any]) -> None:
+        """Occupy a migration destination's CPU for its journal catch-up."""
+        records = int(report["records_streamed"])
+        if records <= 0:
+            return
+
+        def catch_up(records=records) -> Iterator:
+            yield from node.cpu.serve(self.model.migration_record_service * records)
+            yield from node.downlink.serve(
+                self.model.transfer_time(self.model.migration_record_bytes * records),
+                self.model.migration_record_bytes * records,
+            )
+
+        self.env.process(catch_up(), name=f"migration-{node.node_id}")
+
     # -- anti-entropy scrubbing ---------------------------------------------------------
     def start_scrubber(
         self,
         horizon: float,
         interval: Optional[float] = None,
         initial_delay: Optional[float] = None,
+        max_batches_per_tick: Optional[int] = None,
+        backpressure_rpc_rate: Optional[float] = None,
     ) -> None:
-        """Run periodic anti-entropy passes until ``horizon`` sim-seconds.
+        """Run periodic anti-entropy ticks until ``horizon`` sim-seconds.
 
-        Each pass executes the real scrub logic instantaneously in
+        Each tick executes the real scrub logic instantaneously in
         control-plane terms, then charges simulated time for what it did:
         one membership-digest RPC per live metadata provider per batch,
-        plus every bulk ``get_many``/repair round the pass actually issued
+        plus every bulk ``get_many``/repair round the tick actually issued
         (recorded through the store's access hook, replayed from the
         scrubber's own machine).
+
+        Pacing: with ``max_batches_per_tick`` (default
+        ``config.scrub_max_batches_per_tick``; 0 = unlimited) a tick
+        advances the ring walk by at most that many batches — the scrubber
+        persists its cursor, so a large ring is covered incrementally
+        across ticks instead of in one burst.  With
+        ``backpressure_rpc_rate`` (default
+        ``config.scrub_backpressure_rpc_rate``; 0 = off) a tick is
+        *skipped* whenever the clients' metadata RPC rate over the last
+        window exceeded the threshold — scrubbing yields to foreground
+        load and resumes where it left off once the window quietens.
         """
         interval = interval if interval is not None else self.config.scrub_interval
         if interval <= 0:
             raise ValueError("scrub interval must be > 0 to start the scrubber")
         delay = initial_delay if initial_delay is not None else interval
+        if max_batches_per_tick is None:
+            max_batches_per_tick = self.config.scrub_max_batches_per_tick
+        batch_cap = max_batches_per_tick if max_batches_per_tick > 0 else None
+        if backpressure_rpc_rate is None:
+            backpressure_rpc_rate = self.config.scrub_backpressure_rpc_rate
 
         def loop() -> Iterator:
+            last_rounds = self.metadata_rounds
+            last_time = self.env.now
             yield self.env.timeout(delay)
             while self.env.now < horizon:
-                with self.record_metadata_accesses() as accesses:
-                    report = self.scrubber.run_pass()
-                self.metadata_rounds += len(accesses)
-                yield from self._charge_scrub_pass(report, accesses)
+                window = max(self.env.now - last_time, 1e-9)
+                client_rate = (self.metadata_rounds - last_rounds) / window
+                last_rounds = self.metadata_rounds
+                last_time = self.env.now
+                if 0 < backpressure_rpc_rate < client_rate:
+                    self.scrubber.skipped_ticks += 1
+                else:
+                    with self.record_metadata_accesses() as accesses:
+                        tick = self.scrubber.run_tick(max_batches=batch_cap)
+                    self.metadata_rounds += len(accesses)
+                    # The backpressure signal is *client* load: keep the
+                    # scrubber's own rounds out of the next window's delta
+                    # or a repairing tick would suppress the one after it.
+                    last_rounds += len(accesses)
+                    yield from self._charge_scrub_pass(tick, accesses)
                 if self.env.now >= horizon:
                     break
                 yield self.env.timeout(interval)
 
         self.env.process(loop(), name="anti-entropy-scrubber")
 
-    def _charge_scrub_pass(self, report, accesses) -> Iterator:
-        """Charge one scrub pass: digests per (provider, batch) + repair rounds."""
+    def _charge_scrub_pass(self, tick, accesses) -> Iterator:
+        """Charge one scrub tick: digests per (provider, batch) + repair rounds."""
         live = self.live_metadata_providers()
-        for _ in range(report.batches):
+        for _ in range(tick.batches):
             digests = [
                 self.env.process(
                     self.scrub_node.rpc(

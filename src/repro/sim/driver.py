@@ -256,6 +256,33 @@ def run_mixed_workload(
     return WorkloadResult(cluster=cluster, metrics=cluster.metrics, makespan=makespan)
 
 
+def run_sustained_multi_blob_appenders(
+    cluster: SimulatedBlobSeer,
+    blobs: Sequence[BlobInfo],
+    num_clients: int,
+    append_size: int,
+    duration: float,
+) -> WorkloadResult:
+    """Clients append round-robin over M blobs for ``duration`` sim-seconds.
+
+    The time-driven twin of :func:`run_multi_blob_appenders` — the shape
+    the elastic-membership experiment (E14) needs: a steady commit storm
+    whose per-window throughput can be compared before and after a live
+    coordinator scale-out injected mid-run.
+    """
+    clients = [cluster.client() for _ in range(num_clients)]
+
+    def client_workload(index: int, client: SimClient) -> Generator:
+        blob = blobs[index % len(blobs)]
+        while cluster.env.now < duration:
+            yield from client.append(blob, append_size)
+
+    for index, client in enumerate(clients):
+        cluster.env.process(client_workload(index, client), name=f"appender-{index}")
+    cluster.env.run()
+    return WorkloadResult(cluster=cluster, metrics=cluster.metrics, makespan=cluster.env.now)
+
+
 def run_sustained_appends(
     cluster: SimulatedBlobSeer,
     blob: BlobInfo,

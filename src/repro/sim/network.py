@@ -56,10 +56,41 @@ class NetworkModel:
     scrub_digest_service: float = 100e-6
     #: Bytes of one scrub digest request/response on the wire.
     scrub_digest_bytes: int = 2048
+    #: Serialised time a coordinator shard spends replaying one streamed
+    #: journal record during a membership change (shard add/remove):
+    #: charged at the destination's CPU, so commits routed to a
+    #: just-joined shard queue behind its catch-up.
+    migration_record_service: float = 20e-6
+    #: Bytes of one streamed journal record on the wire (source shard
+    #: uplink -> destination downlink during a rebalance).
+    migration_record_bytes: int = 256
 
     def transfer_time(self, nbytes: int) -> float:
         """Pure serialisation time of ``nbytes`` on one NIC."""
         return nbytes / self.bandwidth
+
+
+def ensure_version_manager_node(
+    env: Environment, model: "NetworkModel", nodes: list, index: int
+) -> "SimNode":
+    """Materialise coordinator-shard machines up to ``index`` and return it.
+
+    The coordinator tier is elastic (shards join at runtime); both the
+    standalone :class:`~repro.core.transport.SimTransport` and the full
+    simulated cluster grow their ``version-manager-NNN`` node lists through
+    this one helper so a runtime-added shard gets the same machine either
+    way.
+    """
+    while len(nodes) <= index:
+        nodes.append(
+            SimNode(
+                env,
+                f"version-manager-{len(nodes):03d}",
+                model,
+                role="version_manager",
+            )
+        )
+    return nodes[index]
 
 
 class SimNode:

@@ -95,6 +95,18 @@ class SimClient:
         return
         yield  # pragma: no cover - makes this a generator
 
+    def _coordinator_rpc(self, blob: BlobInfo) -> Generator:
+        """One coordinator round trip, charged at the machine of the shard
+        *currently serving* the blob under the membership epoch in force —
+        the owning shard normally, its failover host during a takeover, and
+        the blob's new owner immediately after a shard add/remove moved it
+        (the membership layer is the single routing truth; the simulator
+        just asks it who to bill)."""
+        yield from self.node.rpc(
+            self.cluster.version_node_for(blob.blob_id),
+            service=self.model.version_manager_service,
+        )
+
     def _journal_charge(self, blob: BlobInfo, appends: int = 1) -> Generator:
         """Charge WAL persistence for ``appends`` records at the serving shard.
 
@@ -127,10 +139,7 @@ class SimClient:
         if not pushed_ok:
             return None
         # Step 3: the serialised version assignment, at the serving shard.
-        yield from self.node.rpc(
-            cluster.version_node_for(blob.blob_id),
-            service=model.version_manager_service,
-        )
+        yield from self._coordinator_rpc(blob)
         try:
             ticket = cluster.version_manager.register_write(
                 blob.blob_id, offset, size, writer=self.client_id
@@ -149,10 +158,7 @@ class SimClient:
         model = self.model
         # Appends take the version ticket first: the offset is assigned
         # atomically with the version.
-        yield from self.node.rpc(
-            cluster.version_node_for(blob.blob_id),
-            service=model.version_manager_service,
-        )
+        yield from self._coordinator_rpc(blob)
         try:
             ticket = cluster.version_manager.register_append(
                 blob.blob_id, size, writer=self.client_id
@@ -254,7 +260,6 @@ class SimClient:
         repair metadata before reporting the operation as failed.
         """
         cluster = self.cluster
-        model = self.model
         try:
             history = cluster.version_manager.get_history(blob.blob_id, ticket.version - 1)
         except ServiceError:
@@ -275,10 +280,7 @@ class SimClient:
                     new_size=ticket.new_blob_size,
                 )
         except Exception:
-            yield from self.node.rpc(
-                cluster.version_node_for(blob.blob_id),
-                service=model.version_manager_service,
-            )
+            yield from self._coordinator_rpc(blob)
             try:
                 cluster.version_manager.abort(blob.blob_id, ticket.version)
             except ServiceError:
@@ -289,10 +291,7 @@ class SimClient:
         cluster.metadata_rounds += len(accesses)
         yield from self._replay_metadata_accesses(accesses, parallel=True)
         # Step 5: notify the serving version-coordinator shard (publication).
-        yield from self.node.rpc(
-            cluster.version_node_for(blob.blob_id),
-            service=model.version_manager_service,
-        )
+        yield from self._coordinator_rpc(blob)
         try:
             cluster.version_manager.publish(blob.blob_id, ticket.version)
         except ServiceError:
@@ -348,13 +347,9 @@ class SimClient:
     ) -> Generator:
         """Simulate ``read(offset, size, version)``; returns the bytes read (count)."""
         cluster = self.cluster
-        model = self.model
         start = self.env.now
         # Step 1: ask the owning version-coordinator shard which snapshot to read.
-        yield from self.node.rpc(
-            cluster.version_node_for(blob.blob_id),
-            service=model.version_manager_service,
-        )
+        yield from self._coordinator_rpc(blob)
         try:
             snapshot = cluster.version_manager.get_snapshot(blob.blob_id, version)
         except ServiceError:
