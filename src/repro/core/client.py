@@ -91,6 +91,9 @@ class _Pending:
         "transfer_seconds",
         "metadata_seconds",
         "fragment_fetch_seconds",
+        "connect_seconds",
+        "send_seconds",
+        "wait_seconds",
     )
 
     def __init__(self, index: int, op: Op) -> None:
@@ -113,6 +116,16 @@ class _Pending:
         self.transfer_seconds = 0.0
         self.metadata_seconds = 0.0
         self.fragment_fetch_seconds: List[float] = []
+        # Socket-time breakdown (all zero on in-process transports).
+        self.connect_seconds = 0.0
+        self.send_seconds = 0.0
+        self.wait_seconds = 0.0
+
+    def add_net(self, net: Tuple[float, float, float]) -> None:
+        """Fold one drained (connect, send, wait) triple into this op."""
+        self.connect_seconds += net[0]
+        self.send_seconds += net[1]
+        self.wait_seconds += net[2]
 
     @property
     def failed(self) -> bool:
@@ -231,6 +244,9 @@ class BlobSeerClient:
         """
         transport = self._transport
         started = transport.now()
+        # Discard any socket time a previous batch (or out-of-band call on
+        # this thread) left in the transport's thread-local accumulators.
+        transport.take_net_timings()
         pending = [_Pending(index, op) for index, op in enumerate(ops)]
 
         self._phase_setup(pending)
@@ -333,6 +349,11 @@ class BlobSeerClient:
                     ]
             except Exception as exc:
                 self._fail(p, exc)
+            finally:
+                # Setup runs on this thread op by op, so whatever socket
+                # time the proxies accumulated since the last drain is this
+                # operation's control-plane traffic.
+                p.add_net(transport.take_net_timings())
         # Charge the metadata lookups of all reads concurrently (levels
         # within one lookup stay sequential: parents before children).
         durations = transport.replay_metadata(
@@ -351,6 +372,9 @@ class BlobSeerClient:
         for outcome in push_outcomes:
             p = pending[outcome.job.op_index]
             p.transfer_seconds = max(p.transfer_seconds, outcome.elapsed)
+            p.add_net(
+                (outcome.connect_seconds, outcome.send_seconds, outcome.wait_seconds)
+            )
             if p.failed:
                 continue
             if outcome.error is not None:
@@ -376,11 +400,15 @@ class BlobSeerClient:
         for p in pending:
             if p.plan is not None:
                 self._deployment.provider_manager.complete(p.plan)
+                p.add_net(transport.take_net_timings())
 
         payloads: Dict[int, Dict[ChunkKey, bytes]] = {}
         for outcome in fetch_outcomes:
             p = pending[outcome.job.op_index]
             p.transfer_seconds = max(p.transfer_seconds, outcome.elapsed)
+            p.add_net(
+                (outcome.connect_seconds, outcome.send_seconds, outcome.wait_seconds)
+            )
             p.fragment_fetch_seconds.append(outcome.elapsed)
             if outcome.error is not None:
                 if not p.failed:
@@ -421,6 +449,8 @@ class BlobSeerClient:
                     # Coordinator unreachable: the abort cannot be recorded;
                     # the version stays pending until the shard returns.
                     continue
+                finally:
+                    p.add_net(transport.take_net_timings())
                 p.needs_repair = True
         # Writes register in submission order.  Blobs are grouped by their
         # owning coordinator shard, so the serialised step is one bulk round
@@ -485,7 +515,15 @@ class BlobSeerClient:
                 )
             )
             call_groups.append(batches)
-        for batches, (shard_outcomes, _) in zip(call_groups, transport.control_many(calls)):
+        for batches, (shard_outcomes, _, net) in zip(
+            call_groups, transport.control_many_timed(calls)
+        ):
+            # The shard round is shared: every op it carried waited on the
+            # same sockets, so each op's timing includes the round's
+            # breakdown (like transfer_seconds, not summable across ops).
+            for _, group in batches:
+                for p in group:
+                    p.add_net(net)
             if isinstance(shard_outcomes, ServiceError):
                 for _, group in batches:
                     for p in group:
@@ -525,6 +563,7 @@ class BlobSeerClient:
         for p in ordered:
             if p.needs_repair:
                 queue_repair(p)
+                p.add_net(transport.take_net_timings())
                 continue
             info = p.info
             ticket = p.ticket
@@ -535,6 +574,7 @@ class BlobSeerClient:
                 # failover path): the op fails, its version stays pending
                 # until the shard's state returns.
                 self._fail(p, exc)
+                p.add_net(transport.take_net_timings())
                 continue
             builder = SegmentTreeBuilder(
                 self._metadata, info.chunk_size, vectored=self._vectored
@@ -564,10 +604,12 @@ class BlobSeerClient:
                     continue  # coordinator gone too: nothing to repair against
                 p.needs_repair = True
                 queue_repair(p)
+                p.add_net(transport.take_net_timings())
                 continue
             self.counters["metadata_nodes_written"] += builder.nodes_written
             self.counters["metadata_put_rounds"] += builder.put_rounds
             weave_rounds.append((p, token))
+            p.add_net(transport.take_net_timings())
         # Charge every operation's DHT traffic concurrently (weaves of
         # independent snapshots and repairs never conflict: tree nodes are
         # immutable and versioned).
@@ -582,6 +624,8 @@ class BlobSeerClient:
                 # Coordinator lost mid-repair: the no-op tree exists, the
                 # state flip waits for the shard (or its standby) to return.
                 continue
+            finally:
+                p.add_net(transport.take_net_timings())
         # Step 5: publish.  One coordinator round per (blob, shard) — a
         # batch's publications of one blob collapse into a single
         # ``publish_many`` carrying every version in assignment order, and
@@ -611,9 +655,13 @@ class BlobSeerClient:
                     units=len(versions),
                 )
             )
-        for group, (outcome, completed_at) in zip(
-            publish_groups.values(), transport.control_many(calls)
+        for group, (outcome, completed_at, net) in zip(
+            publish_groups.values(), transport.control_many_timed(calls)
         ):
+            # Shared publish round: each op's timing carries the round's
+            # socket breakdown (see the phase-3 comment).
+            for p in group:
+                p.add_net(net)
             if isinstance(outcome, ServiceError):
                 for p in group:
                     self._fail(p, outcome)
@@ -639,6 +687,9 @@ class BlobSeerClient:
             transfer_seconds=p.transfer_seconds,
             metadata_seconds=p.metadata_seconds,
             fragment_fetch_seconds=tuple(p.fragment_fetch_seconds),
+            connect_seconds=p.connect_seconds,
+            send_seconds=p.send_seconds,
+            wait_seconds=p.wait_seconds,
         )
         if p.failed:
             return OpResult(

@@ -97,6 +97,25 @@ class BlobSeerConfig:
     #: Skip a scrub tick when the clients' metadata RPC rate over the last
     #: window exceeds this many rounds/second (0 = no backpressure).
     scrub_backpressure_rpc_rate: float = 0.0
+    #: How client operations reach the services: ``"direct"`` composes the
+    #: deployment in-process (the default); ``"network"`` spawns each
+    #: service as its own process and talks framed RPC over TCP
+    #: (:mod:`repro.net`).  ``make_deployment`` dispatches on this field.
+    transport: str = "direct"
+    #: Interface the networked servers bind (and clients dial).
+    net_host: str = "127.0.0.1"
+    #: Seconds allowed for establishing one TCP connection.
+    net_connect_timeout: float = 5.0
+    #: Seconds allowed for one RPC round trip once connected.
+    net_request_timeout: float = 30.0
+    #: Retry sweeps over a service's server list after the first failed one.
+    net_max_retries: int = 3
+    #: Exponential backoff between retry sweeps: base * 2^sweep, capped.
+    net_backoff_base: float = 0.05
+    net_backoff_max: float = 1.0
+    #: Frame codec: ``"json"`` always works; ``"msgpack"`` needs the
+    #: optional msgpack package and fails fast when it is absent.
+    net_codec: str = "json"
     client: ClientConfig = field(default_factory=ClientConfig)
 
     def __post_init__(self) -> None:
@@ -129,6 +148,14 @@ class BlobSeerConfig:
             "scrub_batch_size": self.scrub_batch_size,
             "scrub_max_batches_per_tick": self.scrub_max_batches_per_tick,
             "scrub_backpressure_rpc_rate": self.scrub_backpressure_rpc_rate,
+            "transport": self.transport,
+            "net_host": self.net_host,
+            "net_connect_timeout": self.net_connect_timeout,
+            "net_request_timeout": self.net_request_timeout,
+            "net_max_retries": self.net_max_retries,
+            "net_backoff_base": self.net_backoff_base,
+            "net_backoff_max": self.net_backoff_max,
+            "net_codec": self.net_codec,
         }
         d.update(
             {
@@ -202,6 +229,24 @@ def validate_config(config: BlobSeerConfig) -> None:
         raise InvalidConfigError("scrub_max_batches_per_tick must be >= 0")
     if config.scrub_backpressure_rpc_rate < 0:
         raise InvalidConfigError("scrub_backpressure_rpc_rate must be >= 0")
+    if config.transport not in ("direct", "network"):
+        raise InvalidConfigError(
+            f"unknown transport {config.transport!r}; expected 'direct' or 'network'"
+        )
+    if config.net_connect_timeout <= 0:
+        raise InvalidConfigError("net_connect_timeout must be > 0")
+    if config.net_request_timeout <= 0:
+        raise InvalidConfigError("net_request_timeout must be > 0")
+    if config.net_max_retries < 0:
+        raise InvalidConfigError("net_max_retries must be >= 0")
+    if config.net_backoff_base < 0:
+        raise InvalidConfigError("net_backoff_base must be >= 0")
+    if config.net_backoff_max < config.net_backoff_base:
+        raise InvalidConfigError("net_backoff_max must be >= net_backoff_base")
+    if config.net_codec not in ("json", "msgpack"):
+        raise InvalidConfigError(
+            f"unknown net_codec {config.net_codec!r}; expected 'json' or 'msgpack'"
+        )
     if config.client.metadata_cache_capacity < 1:
         raise InvalidConfigError("metadata_cache_capacity must be >= 1")
     if config.client.prefetch_chunks < 0:

@@ -156,3 +156,20 @@ class BlobSeerDeployment:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+def make_deployment(config: Optional[BlobSeerConfig] = None, seed: int = 0):
+    """Build the deployment the config asks for — in-process or networked.
+
+    ``config.transport == "network"`` spawns a
+    :class:`~repro.net.deployment.ProcessDeployment` (separate server
+    processes over localhost TCP); anything else composes the in-process
+    :class:`BlobSeerDeployment`.  Both expose the same facade, so callers
+    flip one config field to move between them.
+    """
+    config = config or BlobSeerConfig()
+    if config.transport == "network":
+        from ..net.deployment import ProcessDeployment  # local import avoids a cycle
+
+        return ProcessDeployment(config=config, seed=seed)
+    return BlobSeerDeployment(config=config, seed=seed)

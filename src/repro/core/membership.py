@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import threading
 from enum import Enum
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..dht.ring import ConsistentHashRing, build_ring
 from .errors import EpochRetryError, InvalidConfigError, ServiceError
@@ -93,6 +93,20 @@ class CoordinatorMembership:
         self._migrating: FrozenSet[BlobId] = frozenset()
         #: (epoch, description) per committed transition — monitoring aid.
         self.epoch_log: List[Tuple[int, str]] = [(1, "genesis")]
+        #: Observer fired (under the membership lock) after every committed
+        #: epoch bump with a JSON-able state dict — durability wiring uses
+        #: it to journal the ring so a restart can re-derive routing.
+        self.on_change: Optional[Callable[[Dict[str, object]], None]] = None
+
+    def state(self) -> Dict[str, object]:
+        """JSON-able description of the committed membership (durable form)."""
+        with self._lock:
+            return {
+                "epoch": self.epoch,
+                "reason": self.epoch_log[-1][1],
+                "shard_ids": list(self.shard_ids),
+                "statuses": [status.value for status in self._status],
+            }
 
     # -- introspection -----------------------------------------------------------
     @property
@@ -231,6 +245,15 @@ class CoordinatorMembership:
         self.epoch += 1
         self.epoch_log.append((self.epoch, reason))
         self._changed.notify_all()
+        if self.on_change is not None:
+            self.on_change(
+                {
+                    "epoch": self.epoch,
+                    "reason": reason,
+                    "shard_ids": list(self.shard_ids),
+                    "statuses": [status.value for status in self._status],
+                }
+            )
 
     # -- the commit guard -----------------------------------------------------------
     def check_epoch(self, epoch: int) -> None:

@@ -121,6 +121,13 @@ class OpTiming:
     metadata_seconds: float = 0.0
     #: Per-fragment fetch durations for reads (empty for writes/appends).
     fragment_fetch_seconds: Tuple[float, ...] = ()
+    #: Network breakdown of this operation's socket traffic — connection
+    #: establishment, request serialisation+write, and response wait.
+    #: All zero on in-process transports, so Direct and Network runs report
+    #: comparable phase tables (the network rows simply add these).
+    connect_seconds: float = 0.0
+    send_seconds: float = 0.0
+    wait_seconds: float = 0.0
 
     @property
     def duration(self) -> float:

@@ -93,6 +93,12 @@ class PushOutcome:
     providers_stored: Tuple[str, ...] = ()
     elapsed: float = 0.0
     error: Optional[BaseException] = None
+    #: Network breakdown of this job (zero on in-process transports):
+    #: time establishing connections, serialising+writing requests, and
+    #: blocked on responses.
+    connect_seconds: float = 0.0
+    send_seconds: float = 0.0
+    wait_seconds: float = 0.0
 
 
 @dataclass(slots=True)
@@ -101,6 +107,9 @@ class FetchOutcome:
     payload: Optional[bytes] = None
     elapsed: float = 0.0
     error: Optional[BaseException] = None
+    connect_seconds: float = 0.0
+    send_seconds: float = 0.0
+    wait_seconds: float = 0.0
 
 
 # ---------------------------------------------------------------------------
@@ -219,6 +228,30 @@ class Transport:
         known).  Writers' weaves (``leveled=False``) are fully parallel.
         """
         raise NotImplementedError
+
+    def take_net_timings(self) -> Tuple[float, float, float]:
+        """Drain the calling thread's accumulated (connect, send, wait) time.
+
+        In-process transports return zeros; a networked transport returns
+        the socket time its proxy calls accumulated since the last drain,
+        which is how the batch engine attributes network cost to individual
+        operations without the transport knowing protocol phases.
+        """
+        return (0.0, 0.0, 0.0)
+
+    def control_many_timed(
+        self, calls: Sequence[ControlCall]
+    ) -> List[Tuple[Any, float, Tuple[float, float, float]]]:
+        """:meth:`control_many`, plus each round's network breakdown.
+
+        Returns ``(result, completed_at, (connect, send, wait))`` per call.
+        The default wraps :meth:`control_many` with zero network time —
+        correct for every in-process wiring.
+        """
+        return [
+            (value, completed_at, (0.0, 0.0, 0.0))
+            for value, completed_at in self.control_many(calls)
+        ]
 
     def close(self) -> None:  # pragma: no cover - default is stateless
         """Release transport-held resources (nothing by default)."""

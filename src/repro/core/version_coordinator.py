@@ -180,6 +180,8 @@ class ShardedVersionManager:
         self.recoveries = 0
         self.rebalances = 0
         self.blobs_migrated = 0
+        # Journal every committed epoch bump (no-op until durability is on).
+        self.membership.on_change = self._on_membership_change
 
     # -- routing -----------------------------------------------------------------
     @property
@@ -521,6 +523,53 @@ class ShardedVersionManager:
                 },
             }
 
+    # -- durable membership --------------------------------------------------------
+    def _on_membership_change(self, state: Dict[str, object]) -> None:
+        """Journal a committed epoch bump to every live shard journal.
+
+        Fired by the membership under its lock after each transition.
+        Writing the full ring state to *every* non-retired slot means any
+        one surviving journal carries the membership, so a restarted
+        deployment re-derives routing (``recover_from`` without
+        ``statuses=``) no matter which journals it recovers with.  No-op
+        while durability is off — including ``recover_from``'s own
+        ``restore_statuses`` call, which runs before journals re-attach.
+        """
+        if self.journals is None:
+            return
+        statuses = state.get("statuses") or []
+        skip = (ShardStatus.RETIRED.value, ShardStatus.DOWN.value)
+        for index, journal in enumerate(self.journals):
+            if journal is None:
+                continue
+            # A slot retired by this very transition had its journal
+            # closed, and a down slot's stream consumer may be a standby
+            # mid-takeover (appending would violate its single-writer
+            # guard); skip both — the state lives in every live journal,
+            # which is all the recovery-time max-epoch scan needs.
+            if index < len(statuses) and statuses[index] in skip:
+                continue
+            journal.append("membership", 0, **state)
+
+    def _log_membership(self) -> None:
+        """Journal the current ring once (durability enablement / recovery)."""
+        self._on_membership_change(self.membership.state())
+
+    @staticmethod
+    def _membership_from_journals(journals: Sequence) -> Optional[List[str]]:
+        """Max-epoch journaled status vector across ``journals`` (or None)."""
+        best: Optional[Dict[str, object]] = None
+        for journal in journals:
+            latest = getattr(journal, "latest_membership", None)
+            state = latest() if callable(latest) else None
+            if state is None:
+                continue
+            if best is None or state.get("epoch", 0) > best.get("epoch", 0):
+                best = state
+        if best is None:
+            return None
+        return [str(status) for status in best.get("statuses", [])]
+
     # -- durability & failover lifecycle -------------------------------------------
     def enable_durability(
         self,
@@ -600,6 +649,9 @@ class ShardedVersionManager:
                 ShardStandby(shard_id, journal)
                 for shard_id, journal in zip(self.shard_ids, journals)
             ]
+        # Seed every journal with the current ring so even a deployment
+        # that never changes membership can restart without statuses=.
+        self._log_membership()
         return journals
 
     def _rebuild_shard_from_journal(self, index: int, journal) -> VersionManager:
@@ -726,11 +778,17 @@ class ShardedVersionManager:
         with ``failover``, streaming to standbys) from where the old one
         stopped.
 
-        A deployment whose membership changed at runtime passes the old
-        membership's ``statuses`` (from ``membership.report()``) so retired
-        slots stay out of the ring — blob routing is a pure function of the
-        ring member set, so the restarted coordinator resolves every blob
-        to the shard whose journal holds it.
+        Blob routing is a pure function of the ring member set, so a
+        deployment whose membership changed at runtime must restore the
+        old membership's statuses (notably which slots are ``retired``)
+        for the restarted coordinator to resolve every blob to the shard
+        whose journal holds it.  The journals themselves carry that state:
+        every committed epoch bump is journaled to every live shard, so by
+        default (``statuses=None``) the max-epoch membership record found
+        across the passed journals is adopted.  Passing ``statuses``
+        explicitly (from ``membership.report()``) overrides the journaled
+        state — the escape hatch for journals predating membership
+        durability.
         """
         from ..resilience.failover import ShardStandby
 
@@ -739,6 +797,8 @@ class ShardedVersionManager:
             raise InvalidConfigError(
                 f"expected {len(self.shards)} journals, got {len(journals)}"
             )
+        if statuses is None:
+            statuses = self._membership_from_journals(journals)
         if statuses is not None:
             restored = [
                 ShardStatus.RETIRED
@@ -764,6 +824,9 @@ class ShardedVersionManager:
                     zip(self.shard_ids, journals)
                 )
             ]
+        # Re-journal the restored ring at the post-restore epoch (the
+        # restore itself ran before the journals were re-attached).
+        self._log_membership()
 
     # -- blob lifecycle ------------------------------------------------------------
     def create_blob(

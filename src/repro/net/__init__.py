@@ -1,0 +1,37 @@
+"""Networked service mode: the BlobSeer deployment as real processes.
+
+Everything below :mod:`repro.core` composes the service in-process behind
+the :class:`~repro.core.transport.Transport` seam.  This package cashes
+that abstraction in: the *same* ``DataProvider``, ``KeyValueStore`` and
+``VersionManager`` objects are hosted by asyncio TCP servers
+(:mod:`repro.net.server`), a :class:`~repro.net.transport.NetworkTransport`
+carries the client's chunk pushes/fetches over real sockets, and
+:class:`~repro.net.deployment.ProcessDeployment` spawns the whole thing as
+separate processes from a :class:`~repro.core.config.BlobSeerConfig` —
+so ``BlobSeerClient`` runs against a multi-process localhost cluster by
+flipping ``config.transport`` to ``"network"``.
+
+Layers, bottom up:
+
+* :mod:`repro.net.frames` — length-prefixed frame codec (JSON, optionally
+  msgpack) with request ids, so one connection pipelines many requests;
+* :mod:`repro.net.wire` — value serialisation for the protocol's types
+  (chunk/node keys, tickets, plans, tree nodes) and its exceptions;
+* :mod:`repro.net.rpc` — blocking RPC client: per-server connection pool,
+  connect/request timeouts, retry-over-a-server-list failover with
+  exponential backoff (the msgbox idiom);
+* :mod:`repro.net.server` — the four server roles (data provider,
+  metadata store node, coordinator shard, provider manager) plus the
+  ``python -m repro.net.server`` entrypoint;
+* :mod:`repro.net.proxies` — client-side stand-ins implementing the
+  deployment surface the batch engine calls (``version_manager``,
+  ``provider_manager``, ``metadata_store``) over RPC;
+* :mod:`repro.net.transport` / :mod:`repro.net.deployment` — the
+  ``Transport`` implementation and the process launcher.
+"""
+
+from .deployment import ProcessDeployment
+from .rpc import NetworkError, RpcClient
+from .transport import NetworkTransport
+
+__all__ = ["NetworkError", "NetworkTransport", "ProcessDeployment", "RpcClient"]

@@ -1,0 +1,222 @@
+"""ProcessDeployment: spawn a BlobSeer cluster as real localhost processes.
+
+The networked twin of :class:`~repro.core.deployment.BlobSeerDeployment`:
+one ``python -m repro.net.server`` process per data provider, per metadata
+DHT node, per coordinator shard, plus the provider manager — all bound to
+ephemeral localhost ports reported through their ready handshakes.  The
+facade exposes the same attributes the client wiring reads
+(``metadata_store``, ``version_manager``, ``provider_manager``,
+``config``, ``client()``/``create_blob()``), backed by the RPC proxies,
+so ``BlobSeerClient`` code runs against it unchanged.
+
+Teardown sends SIGTERM (servers drain in-flight requests) and escalates
+to SIGKILL for stragglers; :meth:`kill_data_provider` is the failure
+injection used by the resilience tests and the E15 benchmark — a hard
+SIGKILL mid-workload, survived client-side by replica failover.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import BlobSeerConfig
+from ..core.types import BlobInfo
+from .proxies import (
+    NetworkDistributedStore,
+    RemoteCoordinator,
+    RemoteKeyValueStore,
+    RemoteProviderManager,
+)
+from .rpc import RpcClient
+from .transport import NetworkTransport
+
+#: Seconds to wait for a server's ready handshake before declaring the
+#: spawn failed (covers interpreter start + imports on a loaded machine).
+READY_TIMEOUT = 30.0
+
+
+class ProcessDeployment:
+    """All service processes of one networked BlobSeer instance."""
+
+    def __init__(
+        self,
+        config: Optional[BlobSeerConfig] = None,
+        seed: int = 0,
+        host: Optional[str] = None,
+        journal_dir: Optional[str] = None,
+    ) -> None:
+        self.config = config or BlobSeerConfig()
+        self.host = host or getattr(self.config, "net_host", "127.0.0.1")
+        self._journal_dir = journal_dir
+        self.processes: List[subprocess.Popen] = []
+        self._rpcs: List[RpcClient] = []
+        self._next_client_id = 0
+        self._config_json = json.dumps(self.config.to_dict())
+
+        try:
+            specs = (
+                [("provider", index) for index in range(self.config.num_data_providers)]
+                + [("meta", index) for index in range(self.config.num_metadata_providers)]
+                + [("coordinator", index) for index in range(self.config.num_version_managers)]
+                + [("pmgr", 0)]
+            )
+            procs = [self._spawn(role, index) for role, index in specs]
+            self.processes = [proc for proc, _role in procs]
+            with ThreadPoolExecutor(max_workers=len(procs)) as pool:
+                handshakes = list(
+                    pool.map(lambda pr: self._read_handshake(*pr), procs)
+                )
+            addrs: Dict[Tuple[str, int], Tuple[str, int]] = {
+                (hs["role"], hs["index"]): (hs["host"], hs["port"]) for hs in handshakes
+            }
+            self._wire(addrs)
+        except Exception:
+            self.close()
+            raise
+
+    # -- spawning ------------------------------------------------------------------
+    def _spawn(self, role: str, index: int) -> Tuple[subprocess.Popen, str]:
+        command = [
+            sys.executable,
+            "-m",
+            "repro.net.server",
+            "--role",
+            role,
+            "--index",
+            str(index),
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            "--config",
+            self._config_json,
+        ]
+        if role == "coordinator" and self._journal_dir:
+            command += ["--journal-dir", str(self._journal_dir)]
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            command, stdout=subprocess.PIPE, env=env, text=True
+        )
+        return proc, role
+
+    def _read_handshake(self, proc: subprocess.Popen, role: str) -> Dict:
+        deadline = time.monotonic() + READY_TIMEOUT
+        with ThreadPoolExecutor(max_workers=1) as reader:
+            future = reader.submit(proc.stdout.readline)
+            try:
+                line = future.result(timeout=max(0.1, deadline - time.monotonic()))
+            except Exception:
+                proc.kill()
+                raise RuntimeError(f"{role} server produced no ready handshake") from None
+        if not line:
+            raise RuntimeError(
+                f"{role} server exited before its ready handshake "
+                f"(returncode {proc.poll()})"
+            )
+        handshake = json.loads(line)
+        if not handshake.get("ready"):
+            raise RuntimeError(f"{role} server handshake not ready: {handshake!r}")
+        return handshake
+
+    def _rpc(self, *addresses: Tuple[str, int]) -> RpcClient:
+        client = RpcClient(
+            list(addresses),
+            connect_timeout=self.config.net_connect_timeout,
+            request_timeout=self.config.net_request_timeout,
+            max_retries=self.config.net_max_retries,
+            backoff_base=self.config.net_backoff_base,
+            backoff_max=self.config.net_backoff_max,
+            codec=self.config.net_codec,
+        )
+        self._rpcs.append(client)
+        return client
+
+    def _wire(self, addrs: Dict[Tuple[str, int], Tuple[str, int]]) -> None:
+        #: One RpcClient per data-provider process, keyed like the pool.
+        self.provider_rpcs: Dict[str, RpcClient] = {
+            f"provider-{index:03d}": self._rpc(addrs[("provider", index)])
+            for index in range(self.config.num_data_providers)
+        }
+        meta_stubs = {
+            f"meta-{index:03d}": RemoteKeyValueStore(
+                self._rpc(addrs[("meta", index)]), f"meta-{index:03d}"
+            )
+            for index in range(self.config.num_metadata_providers)
+        }
+        self.metadata_store = NetworkDistributedStore(
+            meta_stubs,
+            virtual_nodes=self.config.dht_virtual_nodes,
+            replication=self.config.metadata_replication,
+        )
+        self.version_manager = RemoteCoordinator(
+            [
+                self._rpc(addrs[("coordinator", index)])
+                for index in range(self.config.num_version_managers)
+            ],
+            virtual_nodes=self.config.dht_virtual_nodes,
+        )
+        self.provider_manager = RemoteProviderManager(self._rpc(addrs[("pmgr", 0)]))
+
+    # -- clients -------------------------------------------------------------------
+    def client(self, client_id: Optional[str] = None, transport=None):
+        """A ``BlobSeerClient`` whose operations travel over the sockets."""
+        from ..core.client import BlobSeerClient  # local import avoids a cycle
+
+        if client_id is None:
+            client_id = f"client-{self._next_client_id:03d}"
+            self._next_client_id += 1
+        if transport is None:
+            transport = NetworkTransport.for_deployment(self)
+        return BlobSeerClient(deployment=self, client_id=client_id, transport=transport)
+
+    def create_blob(
+        self, chunk_size: Optional[int] = None, replication: Optional[int] = None
+    ) -> BlobInfo:
+        return self.version_manager.create_blob(
+            chunk_size=chunk_size if chunk_size is not None else self.config.chunk_size,
+            replication=replication if replication is not None else self.config.replication,
+        )
+
+    # -- failure injection -----------------------------------------------------------
+    def kill_data_provider(self, provider_id: str) -> None:
+        """SIGKILL a data-provider process (no drain — it is a crash)."""
+        index = int(provider_id.rsplit("-", 1)[1])
+        self.processes[index].kill()
+        # Placement stops selecting the dead provider for *new* chunks;
+        # already-placed replicas fail over at the transport.
+        self.provider_manager.set_provider_alive(provider_id, False)
+
+    # -- teardown ------------------------------------------------------------------
+    def close(self) -> None:
+        for rpc in self._rpcs:
+            rpc.close()
+        self._rpcs = []
+        for proc in self.processes:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + 5.0
+        for proc in self.processes:
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+            if proc.stdout is not None:
+                proc.stdout.close()
+        self.processes = []
+
+    def __enter__(self) -> "ProcessDeployment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

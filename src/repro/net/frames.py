@@ -1,0 +1,110 @@
+"""Length-prefixed message framing for the networked service mode.
+
+A frame on the wire is::
+
+    4 bytes   payload length N, big endian (codec byte included)
+    1 byte    codec tag: b"J" (JSON) or b"M" (msgpack)
+    N-1 bytes the encoded message body
+
+Messages are plain dicts — requests ``{"id", "method", "params"}`` and
+responses ``{"id", "result"}`` / ``{"id", "error"}`` — with every value
+pre-flattened by :mod:`repro.net.wire` to JSON-compatible structures, so
+the two codecs are interchangeable byte-for-byte at this layer.  The
+request id is what buys pipelining: many requests may be in flight on one
+connection and responses may return out of order; the id matches them up.
+
+msgpack is optional (the dependency is not vendored): frames default to
+JSON and the msgpack codec is only selectable when the import succeeds.
+:class:`FrameDecoder` is an incremental parser — feed it whatever the
+socket returned, including torn frames split mid-header or mid-body, and
+it yields each message exactly once when its last byte arrives.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List
+
+try:  # pragma: no cover - exercised only where msgpack is installed
+    import msgpack  # type: ignore
+
+    HAVE_MSGPACK = True
+except ImportError:  # pragma: no cover - the common case in this tree
+    msgpack = None
+    HAVE_MSGPACK = False
+
+#: Codec tags (the first payload byte of every frame).
+CODEC_JSON = b"J"
+CODEC_MSGPACK = b"M"
+
+#: Refuse frames above this size — a corrupted length prefix must not make
+#: the decoder try to buffer gigabytes (64 MiB fits any chunk the tests
+#: and benchmarks move, base64-expanded).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """A frame violated the protocol (bad codec tag, oversized length)."""
+
+
+def encode_frame(message: Dict[str, Any], codec: str = "json") -> bytes:
+    """Serialise one message dict into a length-prefixed frame."""
+    if codec == "json":
+        body = CODEC_JSON + json.dumps(message, separators=(",", ":")).encode("utf-8")
+    elif codec == "msgpack":
+        if not HAVE_MSGPACK:
+            raise FrameError("msgpack codec requested but msgpack is not installed")
+        body = CODEC_MSGPACK + msgpack.packb(message, use_bin_type=True)
+    else:
+        raise FrameError(f"unknown frame codec {codec!r}")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    """Decode one frame payload (codec byte + encoded message)."""
+    if not body:
+        raise FrameError("empty frame payload")
+    tag, encoded = body[:1], body[1:]
+    if tag == CODEC_JSON:
+        return json.loads(encoded.decode("utf-8"))
+    if tag == CODEC_MSGPACK:
+        if not HAVE_MSGPACK:
+            raise FrameError("received a msgpack frame but msgpack is not installed")
+        return msgpack.unpackb(encoded, raw=False)
+    raise FrameError(f"unknown frame codec tag {tag!r}")
+
+
+class FrameDecoder:
+    """Incremental frame parser over a byte stream.
+
+    ``feed()`` accepts arbitrary slices of the stream — a read may return
+    half a header, three frames and the first byte of a fourth — and
+    returns the messages completed by that slice, in stream order.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        self._buffer.extend(data)
+        messages: List[Dict[str, Any]] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                break
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(f"frame of {length} bytes exceeds MAX_FRAME_BYTES")
+            if len(self._buffer) < _HEADER.size + length:
+                break
+            body = bytes(self._buffer[_HEADER.size : _HEADER.size + length])
+            del self._buffer[: _HEADER.size + length]
+            messages.append(decode_body(body))
+        return messages
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of their frame."""
+        return len(self._buffer)

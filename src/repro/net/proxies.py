@@ -1,0 +1,318 @@
+"""Client-side stand-ins for the deployment services, over RPC.
+
+The batch engine never talks to sockets directly — it calls
+``deployment.version_manager`` / ``provider_manager`` / ``metadata_store``
+through closures handed to ``transport.control``.  In networked mode those
+attributes are the proxies below, so the *same client code* drives the
+remote processes; the network cost lands inside the proxy methods and is
+attributed to operations through :func:`repro.net.rpc.drain_timings`.
+
+* :class:`RemoteKeyValueStore` speaks one DHT store node's method surface
+  over an :class:`~repro.net.rpc.RpcClient`;
+* :class:`NetworkDistributedStore` is the full metadata DHT — the
+  in-process :class:`~repro.dht.distributed_store.DistributedKeyValueStore`
+  with its per-provider stores swapped for remote stubs, which keeps the
+  ring placement, replication, read repair and vectored fan-out logic
+  byte-for-byte identical to direct mode;
+* :class:`RemoteCoordinator` mirrors the sharded coordinator: a local
+  :class:`~repro.core.membership.CoordinatorMembership` (same shard ids,
+  same virtual-node count → identical routing) picks the shard, one
+  ``RpcClient`` per shard process carries the call.  Blob ids come from a
+  global counter hosted on shard 0;
+* :class:`RemoteProviderManager` forwards chunk placement to the provider
+  manager process.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.config import DEFAULT_CHUNK_SIZE
+from ..core.membership import CoordinatorMembership
+from ..core.types import BlobId, BlobInfo, SnapshotInfo, Version, WritePlan
+from ..core.version_manager import WriteState
+from ..dht.distributed_store import DistributedKeyValueStore
+from .rpc import RpcClient
+
+
+class RemoteKeyValueStore:
+    """One DHT store node's surface, forwarded to its server process."""
+
+    def __init__(self, rpc: RpcClient, provider_id: str) -> None:
+        self._rpc = rpc
+        self.provider_id = provider_id
+
+    def put(self, key: Any, value: Any) -> None:
+        self._rpc.call("put", {"key": key, "value": value})
+
+    def get(self, key: Any) -> Any:
+        return self._rpc.call("get", {"key": key})
+
+    def get_or_none(self, key: Any) -> Any:
+        return self._rpc.call("get_or_none", {"key": key})
+
+    def get_many(self, keys: Sequence[Any]) -> Dict[Any, Any]:
+        return self._rpc.call("get_many", {"keys": list(keys)})
+
+    def put_many(self, items: Iterable[Tuple[Any, Any]]) -> None:
+        self._rpc.call("put_many", {"items": [[k, v] for k, v in items]})
+
+    def repair_put(self, key: Any, value: Any) -> None:
+        self._rpc.call("repair_put", {"key": key, "value": value})
+
+    def keys(self) -> List[Any]:
+        return self._rpc.call("keys")
+
+    def clear(self) -> None:
+        self._rpc.call("clear")
+
+    def __len__(self) -> int:
+        return self._rpc.call("length")
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return self._rpc.call("stats")
+
+
+class NetworkDistributedStore(DistributedKeyValueStore):
+    """The metadata DHT with every member store living in its own process.
+
+    Only the per-provider leaf calls change; placement, replication,
+    fallback and read repair run in this process exactly as in-process
+    deployments run them.
+    """
+
+    def __init__(
+        self,
+        stubs: Dict[str, RemoteKeyValueStore],
+        virtual_nodes: int = 32,
+        replication: int = 1,
+    ) -> None:
+        super().__init__(
+            provider_ids=list(stubs),
+            virtual_nodes=virtual_nodes,
+            replication=replication,
+        )
+        for pid, stub in stubs.items():
+            self._stores[pid] = stub  # type: ignore[assignment]
+
+
+class RemoteCoordinator:
+    """The sharded version-manager surface over one RpcClient per shard."""
+
+    def __init__(
+        self,
+        shard_rpcs: Sequence[RpcClient],
+        virtual_nodes: int = 32,
+    ) -> None:
+        self._rpcs: List[RpcClient] = list(shard_rpcs)
+        #: Same ring construction as the server-side coordinator — routing
+        #: is a pure function of (shard ids, virtual nodes, statuses), so
+        #: this local mirror resolves owners without a network round trip.
+        self.membership = CoordinatorMembership(
+            [f"vm-{index:03d}" for index in range(len(self._rpcs))],
+            virtual_nodes=virtual_nodes,
+        )
+        self._id_lock = threading.Lock()
+        self._id_pool: List[int] = []
+
+    # -- routing (local, no RPC) ---------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._rpcs)
+
+    @property
+    def epoch(self) -> int:
+        return self.membership.epoch
+
+    def shard_index(self, blob_id: BlobId) -> int:
+        return self.membership.owner_index(blob_id)
+
+    def route(self, blob_id: BlobId) -> Tuple[int, int]:
+        return self.membership.route(blob_id)
+
+    def active_shard_index(self, blob_id: BlobId) -> int:
+        return self.shard_index(blob_id)
+
+    def _shard(self, blob_id: BlobId) -> RpcClient:
+        return self._rpcs[self.shard_index(blob_id)]
+
+    # -- blob-id allocation (shard 0 hosts the counter) ----------------------------
+    def _alloc_blob_id(self) -> BlobId:
+        with self._id_lock:
+            if not self._id_pool:
+                self._id_pool.extend(self._rpcs[0].call("alloc_blob_ids", {"count": 8}))
+            return self._id_pool.pop(0)
+
+    # -- blob lifecycle ------------------------------------------------------------
+    def create_blob(
+        self,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        replication: int = 1,
+        blob_id: Optional[BlobId] = None,
+        avoid_shards: Optional[Sequence[int]] = None,
+    ) -> BlobInfo:
+        if blob_id is None:
+            blob_id = self._alloc_blob_id()
+            if avoid_shards:
+                avoid = set(avoid_shards)
+                eligible = set(range(self.num_shards)) - avoid
+                if eligible:
+                    # Probe forward through the (unique, monotonic) id space
+                    # until an id lands off the avoided shards; skipped ids
+                    # are simply never used — ids are not dense.
+                    while self.shard_index(blob_id) in avoid:
+                        blob_id = self._alloc_blob_id()
+        else:
+            self._rpcs[0].call("reserve_blob_id", {"blob_id": blob_id})
+        return self._shard(blob_id).call(
+            "create_blob",
+            {"chunk_size": chunk_size, "replication": replication, "blob_id": blob_id},
+        )
+
+    def blob_ids(self) -> List[BlobId]:
+        ids: List[BlobId] = []
+        for rpc in self._rpcs:
+            ids.extend(rpc.call("blob_ids"))
+        return sorted(ids)
+
+    def blob_info(self, blob_id: BlobId) -> BlobInfo:
+        return self._shard(blob_id).call("blob_info", {"blob_id": blob_id})
+
+    def drop_blob(self, blob_id: BlobId) -> None:
+        self._shard(blob_id).call("drop_blob", {"blob_id": blob_id})
+
+    # -- the serialised step -------------------------------------------------------
+    def register_append(
+        self,
+        blob_id: BlobId,
+        size: int,
+        writer: Optional[str] = None,
+        guard=None,
+    ):
+        return self._shard(blob_id).call(
+            "register_append", {"blob_id": blob_id, "size": size, "writer": writer}
+        )
+
+    def register_writes_bulk(
+        self,
+        batches: Sequence[Tuple[BlobId, Sequence[Tuple[int, int]]]],
+        writer: Optional[str] = None,
+        epoch: Optional[int] = None,
+        guard=None,
+    ) -> List[List[Any]]:
+        """One RPC per owning shard; results realigned to input order.
+
+        ``epoch`` is accepted for interface parity and ignored — this
+        mirror's membership is static, so the epoch it would check against
+        never moves.
+        """
+        by_shard: Dict[int, List[int]] = {}
+        for position, (blob_id, _spans) in enumerate(batches):
+            by_shard.setdefault(self.shard_index(blob_id), []).append(position)
+        results: List[Optional[List[Any]]] = [None] * len(batches)
+        for shard, positions in by_shard.items():
+            shard_batches = [
+                [batches[p][0], [list(span) for span in batches[p][1]]]
+                for p in positions
+            ]
+            shard_results = self._rpcs[shard].call(
+                "register_writes_bulk", {"batches": shard_batches, "writer": writer}
+            )
+            for position, tickets in zip(positions, shard_results):
+                results[position] = tickets
+        return results  # type: ignore[return-value]
+
+    # -- publication ---------------------------------------------------------------
+    def publish_many(
+        self, blob_id: BlobId, versions: Sequence[Version], guard=None
+    ) -> Version:
+        return self._shard(blob_id).call(
+            "publish_many", {"blob_id": blob_id, "versions": list(versions)}
+        )
+
+    def abort(self, blob_id: BlobId, version: Version, guard=None) -> None:
+        self._shard(blob_id).call("abort", {"blob_id": blob_id, "version": version})
+
+    def mark_repaired(self, blob_id: BlobId, version: Version, guard=None) -> Version:
+        return self._shard(blob_id).call(
+            "mark_repaired", {"blob_id": blob_id, "version": version}
+        )
+
+    # -- read-side queries ---------------------------------------------------------
+    def latest_version(self, blob_id: BlobId) -> Version:
+        return self._shard(blob_id).call("latest_version", {"blob_id": blob_id})
+
+    def get_snapshot(
+        self, blob_id: BlobId, version: Optional[Version] = None
+    ) -> SnapshotInfo:
+        return self._shard(blob_id).call(
+            "get_snapshot", {"blob_id": blob_id, "version": version}
+        )
+
+    def get_history(self, blob_id: BlobId, upto_version: Version):
+        return self._shard(blob_id).call(
+            "get_history", {"blob_id": blob_id, "upto_version": upto_version}
+        )
+
+    def pending_versions(self, blob_id: BlobId) -> List[Version]:
+        return self._shard(blob_id).call("pending_versions", {"blob_id": blob_id})
+
+    def aborted_versions(self, blob_id: BlobId) -> List[Version]:
+        return self._shard(blob_id).call("aborted_versions", {"blob_id": blob_id})
+
+    def version_state(self, blob_id: BlobId, version: Version) -> WriteState:
+        return WriteState(
+            self._shard(blob_id).call(
+                "version_state", {"blob_id": blob_id, "version": version}
+            )
+        )
+
+    def report(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for rpc in self._rpcs:
+            for key, value in rpc.call("report").items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+
+class RemoteProviderManager:
+    """Chunk placement forwarded to the provider-manager process."""
+
+    def __init__(self, rpc: RpcClient) -> None:
+        self._rpc = rpc
+
+    def allocate(
+        self,
+        blob_id: BlobId,
+        offset: int,
+        size: int,
+        chunk_size: int,
+        replication: Optional[int] = None,
+    ) -> Tuple[int, WritePlan]:
+        write_id, plan = self._rpc.call(
+            "allocate",
+            {
+                "blob_id": blob_id,
+                "offset": offset,
+                "size": size,
+                "chunk_size": chunk_size,
+                "replication": replication,
+            },
+        )
+        return write_id, plan
+
+    def complete(self, plan: WritePlan) -> None:
+        self._rpc.call("complete", {"plan": plan})
+
+    def load_snapshot(self) -> Dict[str, int]:
+        return self._rpc.call("load_snapshot")
+
+    def placement_balance(self) -> float:
+        return self._rpc.call("placement_balance")
+
+    def set_provider_alive(self, provider_id: str, alive: bool) -> None:
+        self._rpc.call(
+            "set_provider_alive", {"provider_id": provider_id, "alive": alive}
+        )

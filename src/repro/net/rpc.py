@@ -1,0 +1,198 @@
+"""Blocking RPC client: connection pooling, timeouts, retry-over-servers.
+
+:class:`RpcClient` is what every client-side proxy holds — one per logical
+service, constructed with the *list* of addresses that can answer for it.
+A call walks that list (the msgbox failover idiom): connect to the first
+address, send the framed request, wait for the matching response; on a
+connection-level failure, move to the next address; when a full sweep of
+the list fails, sleep with exponential backoff and sweep again, up to
+``max_retries`` sweeps.  An *application* error decoded from a well-formed
+response is raised immediately without retry — the server answered; the
+operation failed for a reason retrying will not change.
+
+Connections are pooled per address: a worker thread checks a socket out,
+runs its request/response exchange, and checks it back in, so the
+transport's ``parallel_map`` fan-out never interleaves two requests'
+bytes on one socket.  (Request ids still travel on every frame, so the
+protocol itself permits pipelining; the pool simply allocates one socket
+per in-flight request, which keeps the client code synchronous.)
+
+Per-call network time is recorded in a module-level ``threading.local`` —
+``connect`` (establishing sockets), ``send`` (serialising + writing) and
+``wait`` (blocking on the response).  :func:`drain_timings` returns and
+resets the calling thread's accumulators; the transport drains them
+around each job to attribute network time to individual operations.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from . import wire
+from .frames import FrameDecoder, FrameError, encode_frame
+
+
+class NetworkError(ConnectionError):
+    """Every server in the list failed across all retry sweeps."""
+
+
+_timings = threading.local()
+
+
+def _accumulate(connect: float = 0.0, send: float = 0.0, wait: float = 0.0) -> None:
+    _timings.connect = getattr(_timings, "connect", 0.0) + connect
+    _timings.send = getattr(_timings, "send", 0.0) + send
+    _timings.wait = getattr(_timings, "wait", 0.0) + wait
+
+
+def drain_timings() -> Tuple[float, float, float]:
+    """Return and reset this thread's (connect, send, wait) seconds."""
+    out = (
+        getattr(_timings, "connect", 0.0),
+        getattr(_timings, "send", 0.0),
+        getattr(_timings, "wait", 0.0),
+    )
+    _timings.connect = _timings.send = _timings.wait = 0.0
+    return out
+
+
+class _Connection:
+    """One established socket plus its incremental frame decoder."""
+
+    def __init__(self, address: Tuple[str, int], connect_timeout: float) -> None:
+        started = time.perf_counter()
+        self.sock = socket.create_connection(address, timeout=connect_timeout)
+        _accumulate(connect=time.perf_counter() - started)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.decoder = FrameDecoder()
+
+    def exchange(
+        self, message: Dict[str, Any], request_timeout: float, codec: str
+    ) -> Dict[str, Any]:
+        request_id = message["id"]
+        started = time.perf_counter()
+        self.sock.sendall(encode_frame(message, codec=codec))
+        sent = time.perf_counter()
+        _accumulate(send=sent - started)
+        self.sock.settimeout(request_timeout)
+        try:
+            while True:
+                data = self.sock.recv(256 * 1024)
+                if not data:
+                    raise ConnectionError("server closed the connection")
+                for response in self.decoder.feed(data):
+                    # One request in flight per pooled socket, so the only
+                    # valid response carries our id; anything else means the
+                    # stream is corrupt and the socket must be discarded.
+                    if response.get("id") != request_id:
+                        raise ConnectionError(
+                            f"response id {response.get('id')!r} != {request_id!r}"
+                        )
+                    return response
+        finally:
+            _accumulate(wait=time.perf_counter() - started - (sent - started))
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class RpcClient:
+    """Framed RPC over a failover list of ``(host, port)`` addresses."""
+
+    def __init__(
+        self,
+        servers: Sequence[Tuple[str, int]],
+        *,
+        connect_timeout: float = 5.0,
+        request_timeout: float = 30.0,
+        max_retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_max: float = 1.0,
+        codec: str = "json",
+    ) -> None:
+        if not servers:
+            raise ValueError("RpcClient needs at least one server address")
+        self.servers: List[Tuple[str, int]] = [tuple(s) for s in servers]
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.codec = codec
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._pool: Dict[Tuple[str, int], List[_Connection]] = {}
+        self._closed = False
+
+    # -- pooling -------------------------------------------------------------------
+
+    def _checkout(self, address: Tuple[str, int]) -> _Connection:
+        with self._lock:
+            idle = self._pool.get(address)
+            if idle:
+                return idle.pop()
+        return _Connection(address, self.connect_timeout)
+
+    def _checkin(self, address: Tuple[str, int], conn: _Connection) -> None:
+        with self._lock:
+            if not self._closed:
+                self._pool.setdefault(address, []).append(conn)
+                return
+        conn.close()
+
+    # -- calls ---------------------------------------------------------------------
+
+    def call(self, method: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        """Invoke ``method`` on the first reachable server; raise decoded errors."""
+        message = {
+            "id": next(self._ids),
+            "method": method,
+            "params": wire.encode(params or {}),
+        }
+        failures: List[str] = []
+        for sweep in range(self.max_retries + 1):
+            for address in self.servers:
+                try:
+                    conn = self._checkout(address)
+                except (OSError, socket.timeout) as exc:
+                    failures.append(f"{address[0]}:{address[1]}: {exc}")
+                    continue
+                try:
+                    response = conn.exchange(message, self.request_timeout, self.codec)
+                except (ConnectionError, OSError, socket.timeout, FrameError) as exc:
+                    conn.close()
+                    failures.append(f"{address[0]}:{address[1]}: {exc}")
+                    continue
+                self._checkin(address, conn)
+                error = response.get("error")
+                if error is not None:
+                    raise wire.decode(error)
+                return wire.decode(response.get("result"))
+            if sweep < self.max_retries:
+                delay = min(self.backoff_max, self.backoff_base * (2**sweep))
+                time.sleep(delay)
+        raise NetworkError(
+            f"rpc {method!r} failed on all servers after "
+            f"{self.max_retries + 1} sweeps: {'; '.join(failures[-len(self.servers):])}"
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            conns = [c for idle in self._pool.values() for c in idle]
+            self._pool.clear()
+        for conn in conns:
+            conn.close()
+
+    def __enter__(self) -> "RpcClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

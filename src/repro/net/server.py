@@ -1,0 +1,340 @@
+"""Asyncio TCP servers hosting the in-process services unchanged.
+
+One process hosts one service instance — exactly the objects
+``BlobSeerDeployment`` composes in-process, constructed the same way and
+driven through the same methods, only reached through framed RPCs instead
+of direct calls:
+
+* ``provider`` — a :class:`~repro.core.data_provider.DataProvider`;
+* ``meta`` — a DHT store node (:class:`~repro.dht.store.KeyValueStore`);
+* ``coordinator`` — one coordinator shard
+  (:class:`~repro.core.version_manager.VersionManager`), optionally
+  WAL-backed via ``--journal-dir``; every coordinator also carries the
+  global blob-id counter RPCs (``alloc_blob_id``/``reserve_blob_id``) but
+  the deployment only drives shard 0's, which makes ids unique and
+  monotonic across shards (not dense — probed ids are discarded, matching
+  the in-process coordinator's documented id semantics);
+* ``pmgr`` — a :class:`~repro.core.provider_manager.ProviderManager` over
+  a bookkeeping pool that mirrors the provider fleet (placement state
+  lives here; the bytes live in the provider processes, so the pool's
+  ``chunks_stored`` stays 0 and only load-aware placement degrades).
+
+The server accepts any number of connections; on each one, requests are
+dispatched to a thread pool as they arrive and responses return in
+completion order, matched by request id.  Servers bind port 0 by default
+and report the bound address in a one-line JSON ready handshake on
+stdout; SIGTERM stops accepting, drains in-flight requests, then exits.
+
+Entrypoint::
+
+    python -m repro.net.server --role coordinator --index 0 \
+        --config '<flat BlobSeerConfig json>' [--journal-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import functools
+import json
+import signal
+import sys
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from ..core.config import BlobSeerConfig
+from ..core.data_provider import DataProvider
+from ..core.provider_manager import ProviderManager, ProviderPool
+from ..core.version_manager import VersionManager
+from ..dht.store import KeyValueStore
+from . import wire
+from .frames import FrameDecoder, encode_frame
+
+Handlers = Dict[str, Callable[..., Any]]
+
+
+# -- role -> handler tables --------------------------------------------------------
+
+
+def provider_handlers(index: int, config: BlobSeerConfig) -> Handlers:
+    provider = DataProvider(
+        provider_id=f"provider-{index:03d}", host=f"host-{index:03d}"
+    )
+    return {
+        "ping": lambda: True,
+        "put_chunk": provider.put_chunk,
+        "get_chunk": provider.get_chunk,
+        "has_chunk": provider.has_chunk,
+        "delete_chunk": provider.delete_chunk,
+        "chunk_keys": provider.chunk_keys,
+        "report": provider.report,
+        "crash": provider.crash,
+        "recover": provider.recover,
+        "alive": lambda: provider.alive,
+        "chunks_stored": lambda: provider.chunks_stored,
+    }
+
+
+def meta_handlers(index: int, config: BlobSeerConfig) -> Handlers:
+    store = KeyValueStore(provider_id=f"meta-{index:03d}")
+    return {
+        "ping": lambda: True,
+        "put": store.put,
+        "get": store.get,
+        "get_or_none": store.get_or_none,
+        "get_many": store.get_many,
+        "put_many": lambda items: store.put_many((k, v) for k, v in items),
+        "repair_put": store.repair_put,
+        "keys": store.keys,
+        "clear": store.clear,
+        "stats": lambda: store.stats,
+        "length": lambda: len(store),
+    }
+
+
+def coordinator_handlers(
+    index: int, config: BlobSeerConfig, journal_dir: Optional[str] = None
+) -> Handlers:
+    manager = VersionManager()
+    if journal_dir:
+        from ..resilience.journal import ShardJournal
+
+        journal = ShardJournal.open(
+            journal_dir,
+            shard_id=f"vm-{index:03d}",
+            snapshot_interval=config.journal_snapshot_interval,
+        )
+        if journal.has_history:
+            journal.replay_into(manager)
+            manager.journal = journal
+        else:
+            manager.journal = journal
+            journal.snapshot(manager.dump_state())
+
+    # Global blob-id allocation (driven on shard 0 only): hand out ranges,
+    # bump past explicitly-reserved ids, never reuse.
+    id_lock = threading.Lock()
+    next_id = [1]
+    for blob_id in manager.blob_ids():
+        next_id[0] = max(next_id[0], blob_id + 1)
+
+    def alloc_blob_ids(count: int = 1) -> list:
+        with id_lock:
+            start = next_id[0]
+            next_id[0] = start + count
+            return list(range(start, start + count))
+
+    def reserve_blob_id(blob_id: int) -> None:
+        with id_lock:
+            next_id[0] = max(next_id[0], blob_id + 1)
+
+    def register_writes_bulk(batches, writer=None):
+        normalized = [
+            (blob_id, [(off, size) for off, size in spans]) for blob_id, spans in batches
+        ]
+        return manager.register_writes_bulk(normalized, writer=writer)
+
+    return {
+        "ping": lambda: True,
+        "alloc_blob_ids": alloc_blob_ids,
+        "reserve_blob_id": reserve_blob_id,
+        "create_blob": lambda chunk_size, replication, blob_id: manager.create_blob(
+            chunk_size=chunk_size, replication=replication, blob_id=blob_id
+        ),
+        "blob_ids": manager.blob_ids,
+        "blob_info": manager.blob_info,
+        "register_append": lambda blob_id, size, writer=None: manager.register_append(
+            blob_id, size, writer=writer
+        ),
+        "register_writes_bulk": register_writes_bulk,
+        "publish_many": lambda blob_id, versions: manager.publish_many(blob_id, versions),
+        "abort": lambda blob_id, version: manager.abort(blob_id, version),
+        "mark_repaired": lambda blob_id, version: manager.mark_repaired(blob_id, version),
+        "latest_version": manager.latest_version,
+        "get_snapshot": lambda blob_id, version=None: manager.get_snapshot(
+            blob_id, version
+        ),
+        "get_history": manager.get_history,
+        "pending_versions": manager.pending_versions,
+        "aborted_versions": manager.aborted_versions,
+        "version_state": lambda blob_id, version: manager.version_state(
+            blob_id, version
+        ).value,
+        "drop_blob": manager.drop_blob,
+        "report": manager.report,
+        "backlog": manager.backlog,
+    }
+
+
+def pmgr_handlers(index: int, config: BlobSeerConfig) -> Handlers:
+    providers = [
+        DataProvider(provider_id=f"provider-{i:03d}", host=f"host-{i:03d}")
+        for i in range(config.num_data_providers)
+    ]
+    pool = ProviderPool(providers)
+    manager = ProviderManager(pool, config)
+    return {
+        "ping": lambda: True,
+        "allocate": lambda blob_id, offset, size, chunk_size, replication=None: list(
+            manager.allocate(blob_id, offset, size, chunk_size, replication=replication)
+        ),
+        "complete": manager.complete,
+        "load_snapshot": manager.load_snapshot,
+        "placement_balance": manager.placement_balance,
+        "set_provider_alive": lambda provider_id, alive: (
+            pool.get(provider_id).recover() if alive else pool.get(provider_id).crash()
+        ),
+    }
+
+
+ROLES = {
+    "provider": provider_handlers,
+    "meta": meta_handlers,
+    "coordinator": coordinator_handlers,
+    "pmgr": pmgr_handlers,
+}
+
+
+# -- the server --------------------------------------------------------------------
+
+
+class RpcServer:
+    """Serve one handler table over framed RPC on a TCP socket."""
+
+    def __init__(self, handlers: Handlers, host: str = "127.0.0.1", port: int = 0):
+        self.handlers = handlers
+        self.host = host
+        self.port = port
+        self.bound_port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._inflight: set = set()
+        self._stopping = asyncio.Event()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._serve_connection, self.host, self.port)
+        self.bound_port = self._server.sockets[0].getsockname()[1]
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder()
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                data = await reader.read(256 * 1024)
+                if not data:
+                    break
+                for message in decoder.feed(data):
+                    task = asyncio.ensure_future(
+                        self._dispatch(message, writer, write_lock)
+                    )
+                    self._inflight.add(task)
+                    task.add_done_callback(self._inflight.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self,
+        message: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id = message.get("id")
+        loop = asyncio.get_running_loop()
+        try:
+            method = message["method"]
+            handler = self.handlers.get(method)
+            if handler is None:
+                raise ValueError(f"unknown method {method!r}")
+            params = wire.decode(message.get("params") or {})
+            result = await loop.run_in_executor(
+                None, functools.partial(handler, **params)
+            )
+            response = {"id": request_id, "result": wire.encode(result)}
+        except Exception as exc:  # noqa: BLE001 - every failure becomes a wire error
+            response = {"id": request_id, "error": wire.encode(exc)}
+        frame = encode_frame(response)
+        async with write_lock:
+            if writer.is_closing():
+                return
+            writer.write(frame)
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+
+    async def run_until_stopped(self) -> None:
+        """Serve until :meth:`stop`; then drain in-flight requests and return."""
+        await self._stopping.wait()
+        # Stop accepting; existing connections finish their in-flight work.
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)
+
+    def stop(self) -> None:
+        self._stopping.set()
+
+
+async def _amain(args: argparse.Namespace) -> None:
+    config = (
+        BlobSeerConfig.from_dict(json.loads(args.config))
+        if args.config
+        else BlobSeerConfig()
+    )
+    factory = ROLES[args.role]
+    if args.role == "coordinator":
+        handlers = factory(args.index, config, journal_dir=args.journal_dir)
+    else:
+        handlers = factory(args.index, config)
+    server = RpcServer(handlers, host=args.host, port=args.port)
+    await server.start()
+
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, server.stop)
+
+    print(
+        json.dumps(
+            {
+                "ready": True,
+                "role": args.role,
+                "index": args.index,
+                "host": server.host,
+                "port": server.bound_port,
+            }
+        ),
+        flush=True,
+    )
+    await server.run_until_stopped()
+
+
+def main(argv: Optional[list] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.server",
+        description="Host one BlobSeer service role over framed TCP RPC.",
+    )
+    parser.add_argument("--role", required=True, choices=sorted(ROLES))
+    parser.add_argument("--index", type=int, default=0, help="instance index within the role")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 binds an ephemeral port")
+    parser.add_argument("--config", default=None, help="flat BlobSeerConfig JSON")
+    parser.add_argument(
+        "--journal-dir", default=None, help="WAL directory (coordinator role only)"
+    )
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":
+    main()

@@ -8,19 +8,30 @@ makes crash recovery a pure replay problem: if the shard logs each state
 transition before acknowledging it, a restarted shard that replays the log
 reaches exactly the state it crashed in, published frontier included.
 
-:class:`ShardJournal` is that log.  Six record kinds cover the whole
+:class:`ShardJournal` is that log.  Seven record kinds cover the whole
 coordinator state machine:
 
-========  =========================================================
-op        payload
-========  =========================================================
-create    ``chunk_size``, ``replication`` (blob id on the record)
-register  ``version``, ``offset``, ``size``, ``is_append``, ``writer``
-publish   ``version``
-abort     ``version``
-repair    ``version``
-drop      (none — the blob's history migrated to another shard)
-========  =========================================================
+==========  =========================================================
+op          payload
+==========  =========================================================
+create      ``chunk_size``, ``replication`` (blob id on the record)
+register    ``version``, ``offset``, ``size``, ``is_append``, ``writer``
+publish     ``version``
+abort       ``version``
+repair      ``version``
+drop        (none — the blob's history migrated to another shard)
+membership  ``epoch``, ``reason``, ``shard_ids``, ``statuses``
+==========  =========================================================
+
+``membership`` records are *deployment* state, not shard state: the
+coordinator writes one to every live shard's journal each time the ring
+changes (a shard joins, drains, retires, fails over), so a restarted
+deployment re-derives the membership — which slots exist and which are
+retired — from any surviving journal instead of the operator having to
+pass ``statuses=`` to ``recover_from``.  They replay as no-ops
+(:func:`apply_record` skips them); the journal itself tracks the
+highest-epoch one seen, surfaced through :meth:`ShardJournal.
+latest_membership` and persisted across snapshot truncation.
 
 Because every record is emitted *inside* the shard's commit lock, the
 journal is a total order of the shard's transitions; replaying it through
@@ -53,7 +64,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.errors import ServiceError
 
 #: Record kinds a journal understands (also the replay dispatch table's keys).
-JOURNAL_OPS = ("create", "register", "publish", "abort", "repair", "drop")
+JOURNAL_OPS = ("create", "register", "publish", "abort", "repair", "drop", "membership")
 
 
 class JournalReplayError(ServiceError):
@@ -143,6 +154,9 @@ class ShardJournal:
         self.segments_deleted = 0
         self._tail_bytes = 0
         self._tail_started: Optional[float] = None
+        #: Highest-epoch membership payload this journal has seen (from
+        #: appends, ingests, snapshot restore or WAL replay).
+        self._membership_state: Optional[Dict[str, Any]] = None
         self._directory: Optional[Path] = Path(directory) if directory is not None else None
         self._wal_handle = None
         if self._directory is not None:
@@ -192,6 +206,9 @@ class ShardJournal:
             journal._snapshot_state = data["state"]
             journal._snapshot_lsn = data["lsn"]
             journal._next_lsn = data["lsn"] + 1
+            membership = data.get("membership")
+            if membership is not None:
+                journal._note_membership_locked(membership)
         if journal.wal_path.exists():
             for line in journal.wal_path.read_text().splitlines():
                 if not line.strip():
@@ -199,6 +216,8 @@ class ShardJournal:
                 record = JournalRecord.from_json(line)
                 journal._records.append(record)
                 journal._next_lsn = max(journal._next_lsn, record.lsn + 1)
+                if record.op == "membership":
+                    journal._note_membership_locked(record.payload)
         return journal
 
     # -- the write-ahead log ------------------------------------------------------
@@ -214,6 +233,8 @@ class ShardJournal:
             self._records.append(record)
             self.appends += 1
             self._write_record(record)
+            if op == "membership":
+                self._note_membership_locked(record.payload)
             subscribers = tuple(self._subscribers)
         # Notification happens outside the journal lock; the caller (the
         # owning shard) holds its commit lock through this call, so the
@@ -253,6 +274,8 @@ class ShardJournal:
                 self._records.append(stamped)
                 self.appends += 1
                 self._write_record(stamped)
+                if stamped.op == "membership":
+                    self._note_membership_locked(stamped.payload)
                 subscribers = tuple(self._subscribers) if notify else ()
             for callback in subscribers:
                 callback(stamped)
@@ -348,8 +371,16 @@ class ShardJournal:
             self._tail_started = None
             if self._directory is not None:
                 assert self.snapshot_path is not None and self.wal_path is not None
+                # The snapshot carries the latest membership alongside the
+                # shard state — truncation would otherwise drop the WAL
+                # records the ring derivation depends on.
                 payload = json.dumps(
-                    {"lsn": self._snapshot_lsn, "state": state}, sort_keys=True
+                    {
+                        "lsn": self._snapshot_lsn,
+                        "state": state,
+                        "membership": self._membership_state,
+                    },
+                    sort_keys=True,
                 )
                 if self._wal_handle is not None:
                     self._wal_handle.close()
@@ -424,6 +455,30 @@ class ShardJournal:
                 path.unlink(missing_ok=True)
                 self.segments_deleted += 1
 
+    # -- membership -------------------------------------------------------------------
+    def _note_membership_locked(self, payload: Dict[str, Any]) -> None:
+        """Adopt a membership payload if it is as new as the one held.
+
+        Uses a max-epoch rule (``>=`` so a re-stamped copy of the current
+        epoch still refreshes): handoff and migration streams re-ingest
+        old records, and a stale epoch must never regress the stored ring.
+        """
+        current = self._membership_state
+        if current is None or payload.get("epoch", 0) >= current.get("epoch", 0):
+            self._membership_state = dict(payload)
+
+    def latest_membership(self) -> Optional[Dict[str, Any]]:
+        """Highest-epoch membership state this journal holds (or ``None``).
+
+        The payload is what the coordinator journaled on the ring change:
+        ``epoch``, ``reason``, ``shard_ids`` and per-slot ``statuses``
+        (status values as strings).  ``recover_from`` scans every reopened
+        journal's answer and adopts the globally highest epoch.
+        """
+        with self._lock:
+            state = self._membership_state
+            return dict(state) if state is not None else None
+
     # -- replay ---------------------------------------------------------------------
     def replay_into(self, manager: Any) -> int:
         """Rebuild a shard's state: load the snapshot, replay the WAL tail.
@@ -488,6 +543,10 @@ def apply_record(manager: Any, record: JournalRecord) -> None:
     journal and the code disagree and raises :class:`JournalReplayError`
     rather than silently rebuilding a different history.
     """
+    if record.op == "membership":
+        # Deployment-level ring state: tracked by the journal itself
+        # (``latest_membership``), nothing to apply to a shard's manager.
+        return
     payload = record.payload
     saved_journal = manager.journal
     manager.journal = None

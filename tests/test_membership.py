@@ -255,6 +255,38 @@ class TestAddShard:
         assert {b: restarted.latest_version(b) for b in blob_ids} == frontiers
         assert restarted.blob_distribution() == svm.blob_distribution()
 
+    def test_restart_after_scaling_recovers_without_statuses(self, tmp_path):
+        """The ring itself is durable: every epoch bump is journaled, so a
+        restart re-derives retired slots with no operator-passed statuses."""
+        svm, blob_ids = seeded_coordinator(durable=True, directory=str(tmp_path))
+        svm.add_shard()
+        svm.remove_shard(0)
+        frontiers = {b: svm.latest_version(b) for b in blob_ids}
+        owners = {b: svm.shard_index(b) for b in blob_ids}
+        reopened = [
+            ShardJournal.open(tmp_path, shard_id=shard_id)
+            for shard_id in svm.shard_ids
+        ]
+        # The retired slot's reopened journal still reports a (stale)
+        # membership; the max-epoch rule across journals out-votes it.
+        assert any(j.latest_membership() is not None for j in reopened)
+        restarted = ShardedVersionManager(num_shards=len(reopened))
+        restarted.recover_from(reopened)  # note: no statuses=
+        assert restarted.membership.status_of(0) is ShardStatus.RETIRED
+        assert {b: restarted.shard_index(b) for b in blob_ids} == owners
+        assert {b: restarted.latest_version(b) for b in blob_ids} == frontiers
+        # The recovered deployment keeps journaling membership: a crash
+        # committed now is re-derivable by the *next* restart too.
+        epoch_before = restarted.epoch
+        restarted.crash_shard(2)
+        restarted.recover_shard(2)
+        states = [
+            j.latest_membership()
+            for j in restarted.journals
+            if j.latest_membership() is not None
+        ]
+        assert max(state["epoch"] for state in states) == epoch_before + 2
+
 
 class TestRemoveShard:
     def test_drained_blobs_land_on_survivors_with_frontiers_intact(self):

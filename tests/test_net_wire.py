@@ -1,0 +1,212 @@
+"""Wire-format tests for the networked service mode (:mod:`repro.net`).
+
+Frame layer: length-prefixed encode/decode, torn-frame reassembly,
+protocol violations.  Value layer: every protocol dataclass round-trips
+through :func:`repro.net.wire.encode` / ``decode`` compare-equal, bytes
+and non-string-keyed dicts survive, and exceptions are rebuilt by class
+(unknown classes degrade to ``ServiceError`` without losing the text).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import errors
+from repro.core.metadata.segment_tree import WriteRecord
+from repro.core.metadata.tree_node import Fragment, InnerNode, LeafNode
+from repro.core.types import (
+    BlobInfo,
+    ChunkDescriptor,
+    ChunkKey,
+    NodeKey,
+    SnapshotInfo,
+    WritePlan,
+    WriteTicket,
+)
+from repro.net.frames import (
+    HAVE_MSGPACK,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+)
+from repro.net import wire
+
+
+class TestFrames:
+    def test_round_trip_one_frame(self):
+        message = {"id": 7, "method": "ping", "params": {}}
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(message)) == [message]
+        assert decoder.pending_bytes == 0
+
+    def test_torn_frames_fed_byte_by_byte(self):
+        messages = [{"id": i, "result": "x" * i} for i in range(5)]
+        stream = b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(stream)):
+            out.extend(decoder.feed(stream[i : i + 1]))
+        assert out == messages
+        assert decoder.pending_bytes == 0
+
+    def test_many_frames_in_one_feed(self):
+        messages = [{"id": i} for i in range(10)]
+        stream = b"".join(encode_frame(m) for m in messages)
+        # Tail of the stream is a torn frame: withhold its last byte.
+        decoder = FrameDecoder()
+        assert decoder.feed(stream[:-1]) == messages[:-1]
+        assert decoder.pending_bytes > 0
+        assert decoder.feed(stream[-1:]) == messages[-1:]
+
+    def test_oversized_length_prefix_rejected(self):
+        import struct
+
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError):
+            decoder.feed(struct.pack(">I", MAX_FRAME_BYTES + 1))
+
+    def test_unknown_codec_tag_rejected(self):
+        import struct
+
+        body = b"X" + b"{}"
+        with pytest.raises(FrameError):
+            FrameDecoder().feed(struct.pack(">I", len(body)) + body)
+
+    def test_unknown_codec_name_rejected(self):
+        with pytest.raises(FrameError):
+            encode_frame({}, codec="pickle")
+
+    def test_msgpack_gated_when_absent(self):
+        if HAVE_MSGPACK:
+            message = {"id": 1, "params": {"k": [1, 2, 3]}}
+            assert FrameDecoder().feed(encode_frame(message, codec="msgpack")) == [
+                message
+            ]
+        else:
+            with pytest.raises(FrameError):
+                encode_frame({}, codec="msgpack")
+
+
+def round_trip(value):
+    return wire.decode(wire.encode(value))
+
+
+class TestWireValues:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            42,
+            3.5,
+            "text",
+            b"\x00\xffbinary",
+            [1, "two", b"three"],
+            ChunkKey(blob_id=1, write_id=2, offset=3),
+            NodeKey(blob_id=1, version=2, offset=0, size=4096),
+            WriteTicket(
+                blob_id=1,
+                version=2,
+                offset=128,
+                size=64,
+                is_append=True,
+                new_blob_size=192,
+                base_blob_size=128,
+            ),
+            SnapshotInfo(
+                blob_id=1,
+                version=2,
+                size=256,
+                chunk_size=64,
+                root=NodeKey(blob_id=1, version=2, offset=0, size=256),
+            ),
+            BlobInfo(blob_id=9, chunk_size=64, replication=2),
+            WritePlan(
+                blob_id=1,
+                chunk_size=64,
+                placements=((0, ("provider-000", "provider-001")), (64, ("provider-002",))),
+            ),
+            WriteRecord(version=3, offset=0, size=64, new_size=128),
+        ],
+    )
+    def test_value_round_trips_equal(self, value):
+        assert round_trip(value) == value
+
+    def test_tuples_come_back_as_lists_at_top_level(self):
+        # Sequence identity is not preserved (JSON has one list type), but
+        # tuple-typed *fields* of rebuilt dataclasses are re-tupled.
+        assert round_trip((1, 2)) == [1, 2]
+        plan = WritePlan(blob_id=1, chunk_size=64, placements=((0, ("p",)),))
+        rebuilt = round_trip(plan)
+        assert isinstance(rebuilt.placements, tuple)
+        assert isinstance(rebuilt.placements[0][1], tuple)
+
+    def test_metadata_tree_nodes_round_trip(self):
+        key = NodeKey(blob_id=1, version=1, offset=0, size=128)
+        leaf = LeafNode(
+            key=key,
+            fragments=(
+                Fragment(
+                    key=ChunkKey(blob_id=1, write_id=7, offset=0),
+                    providers=("provider-000",),
+                    blob_offset=0,
+                    length=64,
+                    chunk_offset=0,
+                ),
+            ),
+        )
+        inner = InnerNode(
+            key=NodeKey(blob_id=1, version=1, offset=0, size=256),
+            left=key,
+            right=NodeKey(blob_id=1, version=1, offset=128, size=128),
+        )
+        assert round_trip(leaf) == leaf
+        assert round_trip(inner) == inner
+
+    def test_dicts_keyed_by_dataclasses_round_trip(self):
+        key = NodeKey(blob_id=1, version=1, offset=0, size=64)
+        mapping = {key: b"payload", 3: "value"}
+        assert round_trip(mapping) == mapping
+
+    def test_unencodable_value_raises(self):
+        with pytest.raises(wire.WireError):
+            wire.encode(object())
+
+    def test_untagged_mapping_raises(self):
+        with pytest.raises(wire.WireError):
+            wire.decode({"no": "tag"})
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(wire.WireError):
+            wire.decode({"__t": "Mystery", "f": []})
+
+
+class TestWireExceptions:
+    def test_registered_exception_rebuilt_by_class(self):
+        rebuilt = round_trip(errors.BlobNotFoundError("blob 7 does not exist"))
+        assert isinstance(rebuilt, errors.BlobNotFoundError)
+        assert "blob 7" in str(rebuilt)
+
+    def test_decoded_exception_is_returned_not_raised(self):
+        value = round_trip([1, errors.ServiceError("nested"), 3])
+        assert value[0] == 1 and value[2] == 3
+        assert isinstance(value[1], errors.ServiceError)
+
+    def test_epoch_retry_error_keeps_epoch(self):
+        rebuilt = round_trip(errors.EpochRetryError("re-route", epoch=17))
+        assert isinstance(rebuilt, errors.EpochRetryError)
+        assert rebuilt.epoch == 17
+
+    def test_unknown_exception_degrades_to_service_error(self):
+        class Exotic(Exception):
+            pass
+
+        rebuilt = round_trip(Exotic("server-side detail"))
+        assert isinstance(rebuilt, errors.ServiceError)
+        assert "Exotic" in str(rebuilt)
+        assert "server-side detail" in str(rebuilt)
+
+    def test_stdlib_exceptions_round_trip(self):
+        assert isinstance(round_trip(ValueError("bad")), ValueError)
+        assert isinstance(round_trip(KeyError("missing")), KeyError)

@@ -120,6 +120,26 @@ class TestShardJournal:
         # The reopened journal continues the lsn sequence.
         assert reopened.last_lsn == journal.last_lsn
 
+    def test_membership_records_survive_snapshot_and_reopen(self, tmp_path):
+        """Ring state rides the journal: tracked across appends, persisted
+        by snapshots (which drop the WAL records carrying it), restored on
+        reopen — and invisible to replay (it is not shard state)."""
+        journal = ShardJournal(shard_id="vm-000", directory=tmp_path)
+        manager = VersionManager()
+        manager.journal = journal
+        drive_manager(manager)
+        state = {"epoch": 4, "reason": "test", "shard_ids": ["vm-000"], "statuses": ["active"]}
+        journal.append("membership", 0, **state)
+        journal.append("membership", 0, **dict(state, epoch=5))
+        assert journal.latest_membership()["epoch"] == 5
+        journal.snapshot(manager.dump_state())  # WAL tail (incl. membership) dropped
+        assert len(journal) == 0
+        reopened = ShardJournal.open(tmp_path, shard_id="vm-000")
+        assert reopened.latest_membership() == dict(state, epoch=5)
+        rebuilt = VersionManager()
+        reopened.replay_into(rebuilt)
+        assert states_equal(manager, rebuilt)
+
     def test_replay_divergence_is_detected(self):
         rebuilt = VersionManager()
         rebuilt.create_blob(chunk_size=16, blob_id=1)
