@@ -23,6 +23,7 @@ localhost TCP to spawned server processes) costs and guarantees:
 
 from __future__ import annotations
 
+import os
 import threading
 
 import pytest
@@ -36,10 +37,12 @@ from _helpers import KB, save_table
 APPEND_SIZE = 64 * KB
 SEQUENTIAL_OPS = 24
 BATCH_OPS = 24
-#: Generous ceiling on localhost-TCP vs in-process per-op latency — the
-#: CI guard that catches a protocol regression (per-op chatter blow-up),
-#: not a microbenchmark target.
-MAX_OVERHEAD_FACTOR = 500.0
+#: Ceiling on localhost-TCP vs in-process per-op latency — the CI guard
+#: that catches a protocol regression (per-op chatter blow-up).  The
+#: pipelined reactor client landed this at ~16-19x measured; the ceiling
+#: leaves ~4x headroom for slow CI runners, down from the pre-pipelining
+#: 500x placeholder.
+MAX_OVERHEAD_FACTOR = 75.0
 
 APPENDER_THREADS = 4
 APPENDS_PER_THREAD = 10
@@ -56,6 +59,8 @@ def _config(transport: str, **overrides) -> BlobSeerConfig:
         # A killed process should cost milliseconds, not retry sweeps.
         net_max_retries=0,
         net_backoff_base=0.01,
+        # The msgpack CI leg re-runs this smoke over the other codec.
+        net_codec=os.environ.get("REPRO_NET_CODEC", "json"),
     )
     defaults.update(overrides)
     return BlobSeerConfig(**defaults)

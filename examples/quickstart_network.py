@@ -56,6 +56,14 @@ def main() -> None:
               f"{1e3 * timing.wait_seconds:.2f} ms waiting on responses")
         assert timing.send_seconds > 0.0  # a real wire was crossed
 
+        # --- per-connection pipelining stats ------------------------------------
+        # The reactor client multiplexes every request onto one connection
+        # per server; peak_inflight > 1 is the pipeline visibly at work.
+        for address, stats in sorted(deployment.rpc_stats().items()):
+            print(f"  {address}: {stats['requests_sent']} requests over "
+                  f"{stats['connections']} connection(s), "
+                  f"peak {stats['peak_inflight']} in flight")
+
     # Teardown sent SIGTERM; every server drained its in-flight requests
     # and exited cleanly.
     print("network quickstart finished OK")

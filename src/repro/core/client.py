@@ -64,7 +64,14 @@ from .ops import (
     ReadOp,
     WriteOp,
 )
-from .transport import ChunkFetch, ChunkPush, ControlCall, DirectTransport, Transport
+from .transport import (
+    ChunkFetch,
+    ChunkPush,
+    ControlCall,
+    DirectTransport,
+    Transport,
+    parallel_map,
+)
 from .types import BlobId, BlobInfo, ChunkKey, SnapshotInfo, Version, WriteTicket
 
 
@@ -397,10 +404,25 @@ class BlobSeerClient:
                         chunk_offset=0,
                     )
                 )
-        for p in pending:
-            if p.plan is not None:
-                self._deployment.provider_manager.complete(p.plan)
-                p.add_net(transport.take_net_timings())
+        # Confirm every op's placement concurrently: completes of different
+        # plans never conflict, and in networked mode the RPCs pipeline
+        # over the shared provider-manager connection instead of paying one
+        # sequential round trip per op.  The drain-around keeps each op's
+        # socket time attributed to it (zeros on Direct/Sim, whose
+        # charging model for ``complete`` is unchanged).
+        completes = [p for p in pending if p.plan is not None]
+        pm = self._deployment.provider_manager
+
+        def complete_one(plan):
+            transport.take_net_timings()
+            pm.complete(plan)
+            return transport.take_net_timings()
+
+        for p, net in zip(
+            completes,
+            parallel_map([(lambda p=p: complete_one(p.plan)) for p in completes]),
+        ):
+            p.add_net(net)
 
         payloads: Dict[int, Dict[ChunkKey, bytes]] = {}
         for outcome in fetch_outcomes:
@@ -553,6 +575,33 @@ class BlobSeerClient:
             key=lambda p: (p.op.blob_id, p.ticket.version),
         )
 
+        # Prefetch every weaving op's base history concurrently (one
+        # coordinator round trip each; pipelined over shared connections in
+        # networked mode).  Histories are keyed by (blob, version) — unique
+        # per op.  A blob turns *dirty* when one of its ops aborts mid-loop
+        # below; later ops of a dirty blob refetch inline so they observe
+        # the sibling's aborted state, exactly as the sequential loop did.
+        def fetch_history(blob_id, upto):
+            transport.take_net_timings()
+            try:
+                value = vm.get_history(blob_id, upto)
+            except ServiceError as exc:
+                value = exc
+            return value, transport.take_net_timings()
+
+        prefetch_keys = [
+            (p.op.blob_id, p.ticket.version - 1) for p in ordered if not p.needs_repair
+        ]
+        prefetched = dict(
+            zip(
+                prefetch_keys,
+                parallel_map(
+                    [(lambda k=k: fetch_history(*k)) for k in prefetch_keys]
+                ),
+            )
+        )
+        dirty_blobs: set = set()
+
         def queue_repair(p: _Pending) -> None:
             blob_id, version = p.op.blob_id, p.ticket.version
             _, token = transport.record_metadata(
@@ -562,18 +611,25 @@ class BlobSeerClient:
 
         for p in ordered:
             if p.needs_repair:
+                dirty_blobs.add(p.op.blob_id)
                 queue_repair(p)
                 p.add_net(transport.take_net_timings())
                 continue
             info = p.info
             ticket = p.ticket
-            try:
-                history = vm.get_history(info.blob_id, ticket.version - 1)
-            except ServiceError as exc:
+            if info.blob_id not in dirty_blobs:
+                history, net = prefetched[(info.blob_id, ticket.version - 1)]
+                p.add_net(net)
+            else:
+                try:
+                    history = vm.get_history(info.blob_id, ticket.version - 1)
+                except ServiceError as exc:
+                    history = exc
+            if isinstance(history, ServiceError):
                 # Coordinator lost between assignment and the weave (and no
                 # failover path): the op fails, its version stays pending
                 # until the shard's state returns.
-                self._fail(p, exc)
+                self._fail(p, history)
                 p.add_net(transport.take_net_timings())
                 continue
             builder = SegmentTreeBuilder(
@@ -598,6 +654,7 @@ class BlobSeerClient:
                 # order — a same-batch successor's tree builds on top of it)
                 # so the published frontier never stalls behind it.
                 self._fail(p, exc)
+                dirty_blobs.add(info.blob_id)
                 try:
                     vm.abort(info.blob_id, ticket.version)
                 except ServiceError:

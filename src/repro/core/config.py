@@ -116,6 +116,18 @@ class BlobSeerConfig:
     #: Frame codec: ``"json"`` always works; ``"msgpack"`` needs the
     #: optional msgpack package and fails fast when it is absent.
     net_codec: str = "json"
+    #: ``True`` (default) uses the multiplexed reactor client: requests
+    #: pipeline over shared per-server connections.  ``False`` selects the
+    #: PR 6 blocking pool (one socket per in-flight request) — kept as the
+    #: measured baseline for the pipelining benchmarks.
+    net_pipelined: bool = True
+    #: Most requests kept in flight per pipelined connection; a fan-out
+    #: beyond the window queues on the client side.
+    net_max_inflight: int = 64
+    #: Connections the reactor may open per server address (opened on
+    #: demand as load arrives); the blocking pool reuses the same knob as
+    #: its max *idle* sockets per address (floored at 8 by deployments).
+    net_connections_per_server: int = 1
     client: ClientConfig = field(default_factory=ClientConfig)
 
     def __post_init__(self) -> None:
@@ -156,6 +168,9 @@ class BlobSeerConfig:
             "net_backoff_base": self.net_backoff_base,
             "net_backoff_max": self.net_backoff_max,
             "net_codec": self.net_codec,
+            "net_pipelined": self.net_pipelined,
+            "net_max_inflight": self.net_max_inflight,
+            "net_connections_per_server": self.net_connections_per_server,
         }
         d.update(
             {
@@ -247,6 +262,10 @@ def validate_config(config: BlobSeerConfig) -> None:
         raise InvalidConfigError(
             f"unknown net_codec {config.net_codec!r}; expected 'json' or 'msgpack'"
         )
+    if config.net_max_inflight < 1:
+        raise InvalidConfigError("net_max_inflight must be >= 1")
+    if config.net_connections_per_server < 1:
+        raise InvalidConfigError("net_connections_per_server must be >= 1")
     if config.client.metadata_cache_capacity < 1:
         raise InvalidConfigError("metadata_cache_capacity must be >= 1")
     if config.client.prefetch_chunks < 0:

@@ -35,7 +35,7 @@ from .proxies import (
     RemoteKeyValueStore,
     RemoteProviderManager,
 )
-from .rpc import RpcClient
+from .rpc import PooledRpcClient, RpcClient
 from .transport import NetworkTransport
 
 #: Seconds to wait for a server's ready handshake before declaring the
@@ -129,8 +129,7 @@ class ProcessDeployment:
         return handshake
 
     def _rpc(self, *addresses: Tuple[str, int]) -> RpcClient:
-        client = RpcClient(
-            list(addresses),
+        common = dict(
             connect_timeout=self.config.net_connect_timeout,
             request_timeout=self.config.net_request_timeout,
             max_retries=self.config.net_max_retries,
@@ -138,6 +137,22 @@ class ProcessDeployment:
             backoff_max=self.config.net_backoff_max,
             codec=self.config.net_codec,
         )
+        if getattr(self.config, "net_pipelined", True):
+            client = RpcClient(
+                list(addresses),
+                max_inflight=self.config.net_max_inflight,
+                connections_per_server=self.config.net_connections_per_server,
+                **common,
+            )
+        else:
+            # PR 6 idiom, kept selectable as the pipelining baseline.  The
+            # idle cap is floored at 8 so a worker-pool fan-out can still
+            # park all its sockets between rounds.
+            client = PooledRpcClient(
+                list(addresses),
+                max_idle_per_server=max(8, self.config.net_connections_per_server),
+                **common,
+            )
         self._rpcs.append(client)
         return client
 
@@ -186,6 +201,28 @@ class ProcessDeployment:
             chunk_size=chunk_size if chunk_size is not None else self.config.chunk_size,
             replication=replication if replication is not None else self.config.replication,
         )
+
+    def rpc_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-server-address connection stats, aggregated over all clients.
+
+        Keys are ``host:port``; values report open ``connections``,
+        ``requests_sent``, current ``in_flight`` and ``peak_inflight``
+        (how deep the pipeline actually got).
+        """
+        totals: Dict[str, Dict[str, int]] = {}
+        for rpc in self._rpcs:
+            for address, stats in rpc.stats().items():
+                bucket = totals.setdefault(
+                    address,
+                    {"connections": 0, "requests_sent": 0, "in_flight": 0, "peak_inflight": 0},
+                )
+                bucket["connections"] += stats["connections"]
+                bucket["requests_sent"] += stats["requests_sent"]
+                bucket["in_flight"] += stats["in_flight"]
+                bucket["peak_inflight"] = max(
+                    bucket["peak_inflight"], stats["peak_inflight"]
+                )
+        return totals
 
     # -- failure injection -----------------------------------------------------------
     def kill_data_provider(self, provider_id: str) -> None:

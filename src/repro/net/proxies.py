@@ -173,8 +173,8 @@ class RemoteCoordinator:
 
     def blob_ids(self) -> List[BlobId]:
         ids: List[BlobId] = []
-        for rpc in self._rpcs:
-            ids.extend(rpc.call("blob_ids"))
+        for future in [rpc.submit("blob_ids") for rpc in self._rpcs]:
+            ids.extend(future.result())
         return sorted(ids)
 
     def blob_info(self, blob_id: BlobId) -> BlobInfo:
@@ -202,7 +202,8 @@ class RemoteCoordinator:
         epoch: Optional[int] = None,
         guard=None,
     ) -> List[List[Any]]:
-        """One RPC per owning shard; results realigned to input order.
+        """One RPC per owning shard, all shards in flight at once; results
+        realigned to input order.
 
         ``epoch`` is accepted for interface parity and ignored — this
         mirror's membership is static, so the epoch it would check against
@@ -212,15 +213,23 @@ class RemoteCoordinator:
         for position, (blob_id, _spans) in enumerate(batches):
             by_shard.setdefault(self.shard_index(blob_id), []).append(position)
         results: List[Optional[List[Any]]] = [None] * len(batches)
+        futures = []
         for shard, positions in by_shard.items():
             shard_batches = [
                 [batches[p][0], [list(span) for span in batches[p][1]]]
                 for p in positions
             ]
-            shard_results = self._rpcs[shard].call(
-                "register_writes_bulk", {"batches": shard_batches, "writer": writer}
+            futures.append(
+                (
+                    positions,
+                    self._rpcs[shard].submit(
+                        "register_writes_bulk",
+                        {"batches": shard_batches, "writer": writer},
+                    ),
+                )
             )
-            for position, tickets in zip(positions, shard_results):
+        for positions, future in futures:
+            for position, tickets in zip(positions, future.result()):
                 results[position] = tickets
         return results  # type: ignore[return-value]
 
@@ -271,8 +280,8 @@ class RemoteCoordinator:
 
     def report(self) -> Dict[str, int]:
         totals: Dict[str, int] = {}
-        for rpc in self._rpcs:
-            for key, value in rpc.call("report").items():
+        for future in [rpc.submit("report") for rpc in self._rpcs]:
+            for key, value in future.result().items():
                 totals[key] = totals.get(key, 0) + value
         return totals
 

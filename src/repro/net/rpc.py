@@ -1,39 +1,68 @@
-"""Blocking RPC client: connection pooling, timeouts, retry-over-servers.
+"""Multiplexed pipelined RPC: an event-loop reactor behind a blocking surface.
 
-:class:`RpcClient` is what every client-side proxy holds — one per logical
-service, constructed with the *list* of addresses that can answer for it.
-A call walks that list (the msgbox failover idiom): connect to the first
-address, send the framed request, wait for the matching response; on a
-connection-level failure, move to the next address; when a full sweep of
-the list fails, sleep with exponential backoff and sweep again, up to
-``max_retries`` sweeps.  An *application* error decoded from a well-formed
-response is raised immediately without retry — the server answered; the
-operation failed for a reason retrying will not change.
+Two client implementations share one wire protocol and one synchronous
+``call`` surface:
 
-Connections are pooled per address: a worker thread checks a socket out,
-runs its request/response exchange, and checks it back in, so the
-transport's ``parallel_map`` fan-out never interleaves two requests'
-bytes on one socket.  (Request ids still travel on every frame, so the
-protocol itself permits pipelining; the pool simply allocates one socket
-per in-flight request, which keeps the client code synchronous.)
+* :class:`RpcClient` — the default since PR 7: a process-wide asyncio
+  **reactor** (one event loop on a daemon thread) owns a small number of
+  connections per server address (``connections_per_server``), keeps up to
+  ``max_inflight`` requests pipelined on each, coalesces outbound frames
+  queued in the same loop tick into a single ``write()``, and demultiplexes
+  responses by request id into per-request futures that blocking callers
+  wait on.  ``submit()`` returns an :class:`RpcFuture` without blocking, so
+  a whole fan-out (every replica of a chunk push, every first hop of a
+  batch's fetches) goes onto the wire before anything waits — no worker
+  thread per request.
+* :class:`PooledRpcClient` — PR 6's blocking client, kept as the measured
+  baseline (``benchmarks/bench_e16_rpc_pipelining.py``) and selectable via
+  ``BlobSeerConfig(net_pipelined=False)``: one socket per in-flight
+  request, checked out of a per-address pool.  The pool is now *bounded*:
+  at most ``max_idle_per_server`` idle sockets are kept per address and
+  surplus connections are closed on check-in instead of accumulating.
 
-Per-call network time is recorded in a module-level ``threading.local`` —
-``connect`` (establishing sockets), ``send`` (serialising + writing) and
-``wait`` (blocking on the response).  :func:`drain_timings` returns and
-resets the calling thread's accumulators; the transport drains them
-around each job to attribute network time to individual operations.
+Failure handling is the msgbox idiom in both: a call walks the server
+list — connect, send, wait for the matching response; on a
+connection-level failure move to the next address; when a full sweep
+fails, back off exponentially and sweep again, up to ``max_retries``
+sweeps, then raise :class:`NetworkError`.  An *application* error decoded
+from a well-formed response is raised immediately without retry.  When a
+pipelined connection dies with N requests in flight, exactly those N
+futures fail with a connection error and each blocked caller resumes its
+own sweep on the next address — nothing is lost, nothing completes twice
+(a late or duplicate response finds no pending id and is dropped).
+
+Network time is attributed **per request**: each request carries its own
+``(connect, send, wait)`` stamps on the future (``RpcFuture.timing()``),
+where ``connect`` is the connection handshake *amortised over the
+requests that waited for it*, ``send`` is client-side queueing plus the
+write, and ``wait`` is wire plus server time.  For compatibility with the
+drain-based attribution in the control plane, resolving a future also
+accumulates its stamps into the calling thread's ``threading.local`` —
+:func:`drain_timings` returns and resets that accumulator exactly as
+before, so code written against PR 6's semantics keeps working.
 """
 
 from __future__ import annotations
 
+import asyncio
 import itertools
 import socket
 import threading
 import time
+from concurrent.futures import Future as ConcurrentFuture
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from . import wire
 from .frames import FrameDecoder, FrameError, encode_frame
+
+__all__ = [
+    "NetworkError",
+    "PooledRpcClient",
+    "RpcClient",
+    "RpcFuture",
+    "drain_timings",
+]
 
 
 class NetworkError(ConnectionError):
@@ -60,7 +89,521 @@ def drain_timings() -> Tuple[float, float, float]:
     return out
 
 
-class _Connection:
+# ---------------------------------------------------------------------------
+# The reactor: one asyncio loop on a daemon thread, shared process-wide
+# ---------------------------------------------------------------------------
+
+
+class _Reactor:
+    """Background event loop every pipelined client submits coroutines to."""
+
+    def __init__(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        ready = threading.Event()
+        self.thread = threading.Thread(
+            target=self._run, args=(ready,), name="repro-net-reactor", daemon=True
+        )
+        self.thread.start()
+        ready.wait()
+
+    def _run(self, ready: threading.Event) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.call_soon(ready.set)
+        self.loop.run_forever()
+
+    def submit(self, coro) -> ConcurrentFuture:
+        return asyncio.run_coroutine_threadsafe(coro, self.loop)
+
+
+_REACTOR_LOCK = threading.Lock()
+_REACTOR: Optional[_Reactor] = None
+
+
+def get_reactor() -> _Reactor:
+    """The process-wide reactor, started on first use (daemon thread)."""
+    global _REACTOR
+    with _REACTOR_LOCK:
+        if _REACTOR is None or not _REACTOR.thread.is_alive():
+            _REACTOR = _Reactor()
+        return _REACTOR
+
+
+# ---------------------------------------------------------------------------
+# Channels: one pipelined connection each (loop-thread state only)
+# ---------------------------------------------------------------------------
+
+
+class _Slot:
+    """Bookkeeping for one in-flight request on a channel."""
+
+    __slots__ = ("future", "enqueued_at", "sent_at", "connect_share")
+
+    def __init__(self) -> None:
+        self.future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self.enqueued_at = 0.0
+        self.sent_at = 0.0
+        self.connect_share = 0.0
+
+
+class _Channel:
+    """One connection: outbound frames coalesced, responses demuxed by id.
+
+    All state is touched exclusively from the reactor loop, so no locks.
+    A channel that fails (connect error, EOF, torn stream, write error)
+    marks itself ``dead``, completes every pending future with the error,
+    and is discarded by its client; the callers' sweep loops move each
+    failed request to the next address individually.
+    """
+
+    def __init__(self, client: "RpcClient", address: Tuple[str, int]) -> None:
+        self.client = client
+        self.address = address
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.decoder = FrameDecoder()
+        self.pending: Dict[int, _Slot] = {}
+        self.window = asyncio.Semaphore(client.max_inflight)
+        self.dead: Optional[Exception] = None
+        self._connect_task: Optional[asyncio.Task] = None
+        self._connect_waiters = 0
+        self._read_task: Optional[asyncio.Task] = None
+        self._flush_task: Optional[asyncio.Task] = None
+        self._out: List[Tuple[bytes, _Slot]] = []
+        #: Requests routed here and not yet finished — includes ones still
+        #: waiting on connect/window, unlike ``pending``, so the client's
+        #: channel selection sees load the moment it is assigned.
+        self.assigned = 0
+        # -- stats surfaced by RpcClient.stats() --
+        self.requests_sent = 0
+        self.peak_inflight = 0
+
+    # -- lifecycle -----------------------------------------------------------------
+    async def _connect(self) -> float:
+        started = time.perf_counter()
+        host, port = self.address
+        try:
+            self.reader, self.writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port),
+                timeout=self.client.connect_timeout,
+            )
+        except Exception as exc:
+            error = ConnectionError(f"connect to {host}:{port} failed: {exc}")
+            self._fail(error)
+            raise error from None
+        sock = self.writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._read_task = asyncio.ensure_future(self._read_loop())
+        return time.perf_counter() - started
+
+    async def _ensure_connected(self) -> float:
+        """Connect once; return this request's amortised share of the cost."""
+        if self.dead is not None:
+            raise self.dead
+        if self.writer is not None:
+            return 0.0
+        if self._connect_task is None:
+            self._connect_task = asyncio.ensure_future(self._connect())
+        self._connect_waiters += 1
+        elapsed = await asyncio.shield(self._connect_task)
+        # Every request that waited on this handshake shares its cost, so
+        # phase tables do not multiply one connect across a pipeline.
+        return elapsed / max(1, self._connect_waiters)
+
+    def _fail(self, error: Exception) -> None:
+        if self.dead is not None:
+            return
+        self.dead = error
+        if self._read_task is not None:
+            self._read_task.cancel()
+        if self._flush_task is not None:
+            self._flush_task.cancel()
+        if self.writer is not None:
+            try:
+                self.writer.close()
+            except Exception:
+                pass
+        slots, self.pending = list(self.pending.values()), {}
+        self._out.clear()
+        for slot in slots:
+            if not slot.future.done():
+                slot.future.set_exception(ConnectionError(str(error)))
+
+    # -- I/O -----------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                data = await self.reader.read(256 * 1024)
+                if not data:
+                    raise ConnectionError("server closed the connection")
+                for response in self.decoder.feed(data):
+                    slot = self.pending.pop(response.get("id"), None)
+                    # An unmatched id is a response to an abandoned
+                    # (timed-out) request — dropped, never double-completed.
+                    if slot is not None and not slot.future.done():
+                        slot.future.set_result(response)
+        except asyncio.CancelledError:
+            pass
+        except Exception as exc:  # EOF, reset, FrameError: the stream is gone
+            self._fail(exc)
+
+    def _enqueue(self, request_id: int, frame: bytes) -> _Slot:
+        slot = _Slot()
+        slot.enqueued_at = time.perf_counter()
+        self.pending[request_id] = slot
+        self._out.append((frame, slot))
+        self.requests_sent += 1
+        self.peak_inflight = max(self.peak_inflight, len(self.pending))
+        if self._flush_task is None or self._flush_task.done():
+            self._flush_task = asyncio.ensure_future(self._flush())
+        return slot
+
+    async def _flush(self) -> None:
+        """Write every frame queued so far in one coalesced ``write``.
+
+        Frames submitted while a previous flush awaits ``drain()`` pile up
+        in ``_out`` and leave in the next single write — a 64-deep burst of
+        pushes costs a handful of syscalls, not 64.
+        """
+        try:
+            while self._out:
+                batch, self._out = self._out, []
+                now = time.perf_counter()
+                for _, slot in batch:
+                    slot.sent_at = now
+                self.writer.write(b"".join(frame for frame, _ in batch))
+                await self.writer.drain()
+        except asyncio.CancelledError:
+            pass
+        except Exception as exc:
+            self._fail(exc)
+
+    def _expire(self, request_id: int) -> None:
+        # Abandon just this request: the channel stays healthy (a late
+        # response is dropped by the id-miss path above) and pipelined
+        # siblings keep their futures.
+        slot = self.pending.pop(request_id, None)
+        if slot is not None and not slot.future.done():
+            slot.future.set_exception(asyncio.TimeoutError())
+
+    async def request(
+        self, request_id: int, frame: bytes, request_timeout: float
+    ) -> Tuple[Dict[str, Any], Tuple[float, float, float]]:
+        connect_share = await self._ensure_connected()
+        await self.window.acquire()
+        try:
+            if self.dead is not None:
+                raise self.dead
+            slot = self._enqueue(request_id, frame)
+            # A call_later handle is far cheaper per request than
+            # asyncio.wait_for's task machinery — this path runs once per
+            # pipelined request.
+            expiry = asyncio.get_running_loop().call_later(
+                request_timeout, self._expire, request_id
+            )
+            try:
+                response = await slot.future
+            finally:
+                expiry.cancel()
+            done = time.perf_counter()
+            sent = slot.sent_at or done
+            return response, (
+                connect_share,
+                max(0.0, sent - slot.enqueued_at),
+                max(0.0, done - sent),
+            )
+        finally:
+            self.window.release()
+
+
+# ---------------------------------------------------------------------------
+# RpcFuture: the blocking caller's handle on one pipelined request
+# ---------------------------------------------------------------------------
+
+
+class RpcFuture:
+    """Handle on one in-flight RPC submitted to either client flavour.
+
+    ``result()`` blocks until the request completes a full
+    sweep-with-failover cycle: it returns the decoded result, raises the
+    decoded *typed* application error, or raises :class:`NetworkError`
+    when every server failed.  ``timing()`` is this request's
+    ``(connect, send, wait)`` seconds, valid once ``result()`` returned
+    (or raised an application error — the wire was still crossed).
+    """
+
+    def __init__(self, cfuture: ConcurrentFuture, default_timeout: Optional[float]):
+        self._cfuture = cfuture
+        self._default_timeout = default_timeout
+        self._timing = (0.0, 0.0, 0.0)
+        self._accumulated = False
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        response, timing = self._cfuture.result(
+            timeout if timeout is not None else self._default_timeout
+        )
+        self._timing = timing
+        if not self._accumulated:
+            # Thread-local attribution for drain-based callers (control
+            # rounds): charged once, to whichever thread resolves first.
+            self._accumulated = True
+            _accumulate(*timing)
+        error = response.get("error")
+        if error is not None:
+            raise wire.decode(error)
+        return wire.decode(response.get("result"))
+
+    def timing(self) -> Tuple[float, float, float]:
+        return self._timing
+
+    def done(self) -> bool:
+        return self._cfuture.done()
+
+
+# ---------------------------------------------------------------------------
+# RpcClient: the pipelined (reactor) client
+# ---------------------------------------------------------------------------
+
+
+class RpcClient:
+    """Framed, *pipelined* RPC over a failover list of ``(host, port)``.
+
+    The synchronous surface (``call``, typed errors, sweep failover,
+    backoff) is byte-for-byte PR 6's; underneath, requests of any number
+    of calling threads share ``connections_per_server`` reactor
+    connections per address with up to ``max_inflight`` requests pipelined
+    on each.  ``submit``/``call_many`` expose the non-blocking window.
+    """
+
+    def __init__(
+        self,
+        servers: Sequence[Tuple[str, int]],
+        *,
+        connect_timeout: float = 5.0,
+        request_timeout: float = 30.0,
+        max_retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_max: float = 1.0,
+        codec: str = "json",
+        max_inflight: int = 64,
+        connections_per_server: int = 1,
+    ) -> None:
+        if not servers:
+            raise ValueError("RpcClient needs at least one server address")
+        self.servers: List[Tuple[str, int]] = [tuple(s) for s in servers]
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.codec = codec
+        self.max_inflight = max(1, max_inflight)
+        self.connections_per_server = max(1, connections_per_server)
+        self._ids = itertools.count(1)
+        self._closed = False
+        #: address -> channels, touched only on the reactor loop.
+        self._channels: Dict[Tuple[str, int], List[_Channel]] = {}
+        # Safety cap so a blocked caller can never hang past the worst
+        # honest case (every sweep timing out on every server, plus every
+        # backoff), even if the reactor is wedged.
+        sweeps = self.max_retries + 1
+        backoffs = sum(
+            min(self.backoff_max, self.backoff_base * (2**s))
+            for s in range(self.max_retries)
+        )
+        self._result_cap = (
+            sweeps * len(self.servers) * (connect_timeout + request_timeout)
+            + backoffs
+            + 10.0
+        )
+
+    # -- loop-side helpers ---------------------------------------------------------
+    def _channel_for(self, address: Tuple[str, int]) -> _Channel:
+        group = self._channels.setdefault(address, [])
+        live = [ch for ch in group if ch.dead is None]
+        if len(live) != len(group):
+            group[:] = live
+        if not group:
+            channel = _Channel(self, address)
+            group.append(channel)
+            return channel
+        best = min(group, key=lambda ch: ch.assigned)
+        if best.assigned and len(group) < self.connections_per_server:
+            # The least-loaded connection is busy and the cap allows one
+            # more: open it — connections grow with load, up to the cap.
+            channel = _Channel(self, address)
+            group.append(channel)
+            return channel
+        return best
+
+    async def _call_async(
+        self, method: str, request_id: int, frame: bytes
+    ) -> Tuple[Dict[str, Any], Tuple[float, float, float]]:
+        failures: List[str] = []
+        for sweep in range(self.max_retries + 1):
+            for address in self.servers:
+                if self._closed:
+                    raise NetworkError(f"rpc client closed with {method!r} in flight")
+                channel = self._channel_for(address)
+                channel.assigned += 1
+                try:
+                    return await channel.request(
+                        request_id, frame, self.request_timeout
+                    )
+                except (
+                    ConnectionError,
+                    OSError,
+                    asyncio.TimeoutError,
+                    FrameError,
+                ) as exc:
+                    note = str(exc) or type(exc).__name__
+                    failures.append(f"{address[0]}:{address[1]}: {note}")
+                    continue
+                finally:
+                    channel.assigned -= 1
+            if sweep < self.max_retries:
+                await asyncio.sleep(
+                    min(self.backoff_max, self.backoff_base * (2**sweep))
+                )
+        raise NetworkError(
+            f"rpc {method!r} failed on all servers after "
+            f"{self.max_retries + 1} sweeps: {'; '.join(failures[-len(self.servers):])}"
+        )
+
+    async def _shutdown_async(self) -> None:
+        for group in self._channels.values():
+            for channel in group:
+                channel._fail(NetworkError("rpc client closed"))
+        self._channels.clear()
+
+    async def _stats_async(self) -> Dict[str, Dict[str, int]]:
+        out: Dict[str, Dict[str, int]] = {}
+        for address, group in self._channels.items():
+            out[f"{address[0]}:{address[1]}"] = {
+                "connections": len(group),
+                "requests_sent": sum(ch.requests_sent for ch in group),
+                "in_flight": sum(len(ch.pending) for ch in group),
+                "peak_inflight": max((ch.peak_inflight for ch in group), default=0),
+            }
+        return out
+
+    # -- calls ---------------------------------------------------------------------
+    def submit(self, method: str, params: Optional[Dict[str, Any]] = None) -> RpcFuture:
+        """Put one request on the wire and return without blocking.
+
+        Encoding happens here, on the calling thread, so the reactor loop
+        only moves bytes; the frame is encoded once and reused across
+        failover sweeps.
+        """
+        if self._closed:
+            raise NetworkError("rpc client is closed")
+        request_id = next(self._ids)
+        message = {
+            "id": request_id,
+            "method": method,
+            "params": wire.encode(params or {}),
+        }
+        frame = encode_frame(message, codec=self.codec)
+        cfuture = get_reactor().submit(self._call_async(method, request_id, frame))
+        return RpcFuture(cfuture, self._result_cap)
+
+    def call(self, method: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        """Invoke ``method`` on the first reachable server; raise decoded errors."""
+        return self.submit(method, params).result()
+
+    def call_many(
+        self,
+        requests: Sequence[Tuple[str, Optional[Dict[str, Any]]]],
+        return_exceptions: bool = False,
+    ) -> List[Any]:
+        """Submit a whole batch pipelined, then collect results in order.
+
+        Every request is on the wire (window permitting) before the first
+        result is awaited, and the entire batch crosses into the reactor
+        as *one* submission (one loop wake-up instead of one per request —
+        the per-call overhead is paid once).  With ``return_exceptions``
+        the failures — typed application errors and :class:`NetworkError`
+        alike — come back in-place instead of raising, so bulk callers
+        keep per-request outcomes exactly as the in-process bulk APIs
+        return them.
+        """
+        if self._closed:
+            raise NetworkError("rpc client is closed")
+        prepared = []
+        for method, params in requests:
+            request_id = next(self._ids)
+            message = {
+                "id": request_id,
+                "method": method,
+                "params": wire.encode(params or {}),
+            }
+            prepared.append((method, request_id, encode_frame(message, codec=self.codec)))
+
+        async def run_all():
+            return await asyncio.gather(
+                *(
+                    self._call_async(method, request_id, frame)
+                    for method, request_id, frame in prepared
+                ),
+                return_exceptions=True,
+            )
+
+        if not prepared:
+            return []
+        outcomes = get_reactor().submit(run_all()).result(self._result_cap)
+        results: List[Any] = []
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                failure: Exception = (
+                    outcome
+                    if isinstance(outcome, Exception)
+                    else NetworkError(str(outcome))
+                )
+            else:
+                response, timing = outcome
+                _accumulate(*timing)
+                error = response.get("error")
+                if error is None:
+                    results.append(wire.decode(response.get("result")))
+                    continue
+                failure = wire.decode(error)
+            if not return_exceptions:
+                raise failure
+            results.append(failure)
+        return results
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-address connection stats (connections, requests, windows)."""
+        if self._closed or not self._channels:
+            return {}
+        try:
+            return get_reactor().submit(self._stats_async()).result(timeout=5.0)
+        except Exception:
+            return {}
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._channels:
+            try:
+                get_reactor().submit(self._shutdown_async()).result(timeout=5.0)
+            except Exception:
+                pass
+
+    def __enter__(self) -> "RpcClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# PooledRpcClient: PR 6's blocking pool, now bounded — the measured baseline
+# ---------------------------------------------------------------------------
+
+
+class _PooledConnection:
     """One established socket plus its incremental frame decoder."""
 
     def __init__(self, address: Tuple[str, int], connect_timeout: float) -> None:
@@ -71,11 +614,11 @@ class _Connection:
         self.decoder = FrameDecoder()
 
     def exchange(
-        self, message: Dict[str, Any], request_timeout: float, codec: str
+        self, message: Dict[str, Any], frame: bytes, request_timeout: float
     ) -> Dict[str, Any]:
         request_id = message["id"]
         started = time.perf_counter()
-        self.sock.sendall(encode_frame(message, codec=codec))
+        self.sock.sendall(frame)
         sent = time.perf_counter()
         _accumulate(send=sent - started)
         self.sock.settimeout(request_timeout)
@@ -103,8 +646,31 @@ class _Connection:
             pass
 
 
-class RpcClient:
-    """Framed RPC over a failover list of ``(host, port)`` addresses."""
+#: Worker pool for PooledRpcClient.submit — thread-per-in-flight-request,
+#: exactly the PR 6 fan-out idiom the reactor replaces (and the E16
+#: benchmark measures against).
+_POOLED_EXECUTOR_LOCK = threading.Lock()
+_POOLED_EXECUTOR: Optional[ThreadPoolExecutor] = None
+
+
+def _pooled_executor() -> ThreadPoolExecutor:
+    global _POOLED_EXECUTOR
+    with _POOLED_EXECUTOR_LOCK:
+        if _POOLED_EXECUTOR is None:
+            _POOLED_EXECUTOR = ThreadPoolExecutor(
+                max_workers=8, thread_name_prefix="blobseer-rpc-pool"
+            )
+        return _POOLED_EXECUTOR
+
+
+class PooledRpcClient:
+    """Blocking RPC over a failover list: one pooled socket per request.
+
+    PR 6's client, kept as the pipelining baseline.  The pool is bounded:
+    ``max_idle_per_server`` idle sockets are retained per address; a
+    check-in beyond that closes the connection instead of growing the pool
+    without limit.
+    """
 
     def __init__(
         self,
@@ -116,9 +682,10 @@ class RpcClient:
         backoff_base: float = 0.05,
         backoff_max: float = 1.0,
         codec: str = "json",
+        max_idle_per_server: int = 8,
     ) -> None:
         if not servers:
-            raise ValueError("RpcClient needs at least one server address")
+            raise ValueError("PooledRpcClient needs at least one server address")
         self.servers: List[Tuple[str, int]] = [tuple(s) for s in servers]
         self.connect_timeout = connect_timeout
         self.request_timeout = request_timeout
@@ -126,36 +693,35 @@ class RpcClient:
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
         self.codec = codec
+        self.max_idle_per_server = max(1, max_idle_per_server)
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
-        self._pool: Dict[Tuple[str, int], List[_Connection]] = {}
+        self._pool: Dict[Tuple[str, int], List[_PooledConnection]] = {}
         self._closed = False
+        self.idle_closed = 0  #: connections closed by the idle cap
 
     # -- pooling -------------------------------------------------------------------
-
-    def _checkout(self, address: Tuple[str, int]) -> _Connection:
+    def _checkout(self, address: Tuple[str, int]) -> _PooledConnection:
         with self._lock:
             idle = self._pool.get(address)
             if idle:
                 return idle.pop()
-        return _Connection(address, self.connect_timeout)
+        return _PooledConnection(address, self.connect_timeout)
 
-    def _checkin(self, address: Tuple[str, int], conn: _Connection) -> None:
+    def _checkin(self, address: Tuple[str, int], conn: _PooledConnection) -> None:
         with self._lock:
             if not self._closed:
-                self._pool.setdefault(address, []).append(conn)
-                return
+                idle = self._pool.setdefault(address, [])
+                if len(idle) < self.max_idle_per_server:
+                    idle.append(conn)
+                    return
+                self.idle_closed += 1
         conn.close()
 
     # -- calls ---------------------------------------------------------------------
-
-    def call(self, method: str, params: Optional[Dict[str, Any]] = None) -> Any:
-        """Invoke ``method`` on the first reachable server; raise decoded errors."""
-        message = {
-            "id": next(self._ids),
-            "method": method,
-            "params": wire.encode(params or {}),
-        }
+    def _call_raw(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        frame = encode_frame(message, codec=self.codec)
+        method = message["method"]
         failures: List[str] = []
         for sweep in range(self.max_retries + 1):
             for address in self.servers:
@@ -165,16 +731,13 @@ class RpcClient:
                     failures.append(f"{address[0]}:{address[1]}: {exc}")
                     continue
                 try:
-                    response = conn.exchange(message, self.request_timeout, self.codec)
+                    response = conn.exchange(message, frame, self.request_timeout)
                 except (ConnectionError, OSError, socket.timeout, FrameError) as exc:
                     conn.close()
                     failures.append(f"{address[0]}:{address[1]}: {exc}")
                     continue
                 self._checkin(address, conn)
-                error = response.get("error")
-                if error is not None:
-                    raise wire.decode(error)
-                return wire.decode(response.get("result"))
+                return response
             if sweep < self.max_retries:
                 delay = min(self.backoff_max, self.backoff_base * (2**sweep))
                 time.sleep(delay)
@@ -182,6 +745,62 @@ class RpcClient:
             f"rpc {method!r} failed on all servers after "
             f"{self.max_retries + 1} sweeps: {'; '.join(failures[-len(self.servers):])}"
         )
+
+    def _message(self, method: str, params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        return {
+            "id": next(self._ids),
+            "method": method,
+            "params": wire.encode(params or {}),
+        }
+
+    def call(self, method: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        """Invoke ``method`` on the first reachable server; raise decoded errors."""
+        response = self._call_raw(self._message(method, params))
+        error = response.get("error")
+        if error is not None:
+            raise wire.decode(error)
+        return wire.decode(response.get("result"))
+
+    def submit(self, method: str, params: Optional[Dict[str, Any]] = None) -> RpcFuture:
+        """PR 6 fan-out: run the blocking exchange on a worker thread."""
+        if self._closed:
+            raise NetworkError("rpc client is closed")
+        message = self._message(method, params)
+
+        def run() -> Tuple[Dict[str, Any], Tuple[float, float, float]]:
+            drain_timings()  # isolate this request's accumulation
+            response = self._call_raw(message)
+            return response, drain_timings()
+
+        return RpcFuture(_pooled_executor().submit(run), None)
+
+    def call_many(
+        self,
+        requests: Sequence[Tuple[str, Optional[Dict[str, Any]]]],
+        return_exceptions: bool = False,
+    ) -> List[Any]:
+        futures = [self.submit(method, params) for method, params in requests]
+        results: List[Any] = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as exc:  # noqa: BLE001 - per-request outcome
+                if not return_exceptions:
+                    raise
+                results.append(exc)
+        return results
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        with self._lock:
+            return {
+                f"{address[0]}:{address[1]}": {
+                    "connections": len(idle),
+                    "requests_sent": 0,
+                    "in_flight": 0,
+                    "peak_inflight": 1,
+                }
+                for address, idle in self._pool.items()
+            }
 
     def close(self) -> None:
         with self._lock:
@@ -191,7 +810,7 @@ class RpcClient:
         for conn in conns:
             conn.close()
 
-    def __enter__(self) -> "RpcClient":
+    def __enter__(self) -> "PooledRpcClient":
         return self
 
     def __exit__(self, *exc: Any) -> None:

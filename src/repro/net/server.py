@@ -19,9 +19,14 @@ of direct calls:
   lives here; the bytes live in the provider processes, so the pool's
   ``chunks_stored`` stays 0 and only load-aware placement degrades).
 
-The server accepts any number of connections; on each one, requests are
-dispatched to a thread pool as they arrive and responses return in
-completion order, matched by request id.  Servers bind port 0 by default
+The server accepts any number of connections (listen backlog 256); on
+each one, requests are dispatched as they arrive — handlers run inline
+on the event loop (they are GIL-bound in-memory calls; a thread handoff
+would cost two context switches per request for no parallelism) up to a
+per-connection in-flight bound, past which the read loop stops consuming
+and TCP backpressure throttles the client — and responses return in
+completion order, matched by request id, encoded with the configured
+frame codec.  Servers bind port 0 by default
 and report the bound address in a one-line JSON ready handshake on
 stdout; SIGTERM stops accepting, drains in-flight requests, then exits.
 
@@ -35,7 +40,6 @@ from __future__ import annotations
 
 import argparse
 import asyncio
-import functools
 import json
 import signal
 import sys
@@ -201,36 +205,54 @@ ROLES = {
 class RpcServer:
     """Serve one handler table over framed RPC on a TCP socket."""
 
-    def __init__(self, handlers: Handlers, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        handlers: Handlers,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        codec: str = "json",
+        max_inflight_per_connection: int = 256,
+        backlog: int = 256,
+    ):
         self.handlers = handlers
         self.host = host
         self.port = port
+        self.codec = codec
+        self.max_inflight_per_connection = max(1, max_inflight_per_connection)
+        self.backlog = backlog
         self.bound_port: Optional[int] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._inflight: set = set()
         self._stopping = asyncio.Event()
 
     async def start(self) -> None:
-        self._server = await asyncio.start_server(self._serve_connection, self.host, self.port)
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port, backlog=self.backlog
+        )
         self.bound_port = self._server.sockets[0].getsockname()[1]
 
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         decoder = FrameDecoder()
-        write_lock = asyncio.Lock()
         try:
             while True:
                 data = await reader.read(256 * 1024)
                 if not data:
                     break
-                for message in decoder.feed(data):
-                    task = asyncio.ensure_future(
-                        self._dispatch(message, writer, write_lock)
-                    )
-                    self._inflight.add(task)
-                    task.add_done_callback(self._inflight.discard)
-        except (ConnectionError, asyncio.IncompleteReadError):
+                batch = decoder.feed(data)
+                if not batch:
+                    continue
+                # One tracked task per recv batch (not per message): a
+                # pipelined client's 64-deep burst costs one task, and a
+                # SIGTERM drain still waits for every fully-received
+                # request.  Awaiting it here is the backpressure: no
+                # further reads until this batch's responses are flushed.
+                task = asyncio.ensure_future(self._dispatch_batch(batch, writer))
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+                await task
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.CancelledError):
             pass
         finally:
             try:
@@ -239,35 +261,47 @@ class RpcServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _dispatch(
-        self,
-        message: Dict[str, Any],
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
+    async def _dispatch_batch(
+        self, batch: list, writer: asyncio.StreamWriter
     ) -> None:
+        # Responses for a pipelined batch coalesce into single writes;
+        # ``max_inflight_per_connection`` bounds how many buffer between
+        # flushes so server memory stays flat under deep windows.
+        out: list = []
+        for message in batch:
+            out.append(encode_frame(self._handle(message), codec=self.codec))
+            if len(out) >= self.max_inflight_per_connection:
+                await self._write_frames(out, writer)
+                out = []
+        if out:
+            await self._write_frames(out, writer)
+
+    def _handle(self, message: Dict[str, Any]) -> Dict[str, Any]:
         request_id = message.get("id")
-        loop = asyncio.get_running_loop()
         try:
             method = message["method"]
             handler = self.handlers.get(method)
             if handler is None:
                 raise ValueError(f"unknown method {method!r}")
             params = wire.decode(message.get("params") or {})
-            result = await loop.run_in_executor(
-                None, functools.partial(handler, **params)
-            )
-            response = {"id": request_id, "result": wire.encode(result)}
+            # Handlers run inline on the loop: they are all GIL-bound
+            # in-memory service calls, so a thread-pool handoff buys no
+            # parallelism and costs two context switches per request —
+            # the dominant per-op server cost under a pipelined client.
+            result = handler(**params)
+            return {"id": request_id, "result": wire.encode(result)}
         except Exception as exc:  # noqa: BLE001 - every failure becomes a wire error
-            response = {"id": request_id, "error": wire.encode(exc)}
-        frame = encode_frame(response)
-        async with write_lock:
-            if writer.is_closing():
-                return
-            writer.write(frame)
-            try:
-                await writer.drain()
-            except (ConnectionError, OSError):
-                pass
+            return {"id": request_id, "error": wire.encode(exc)}
+
+    @staticmethod
+    async def _write_frames(frames: list, writer: asyncio.StreamWriter) -> None:
+        if writer.is_closing():
+            return
+        writer.write(b"".join(frames))
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
 
     async def run_until_stopped(self) -> None:
         """Serve until :meth:`stop`; then drain in-flight requests and return."""
@@ -294,7 +328,15 @@ async def _amain(args: argparse.Namespace) -> None:
         handlers = factory(args.index, config, journal_dir=args.journal_dir)
     else:
         handlers = factory(args.index, config)
-    server = RpcServer(handlers, host=args.host, port=args.port)
+    server = RpcServer(
+        handlers,
+        host=args.host,
+        port=args.port,
+        codec=config.net_codec,
+        max_inflight_per_connection=max(
+            64, getattr(config, "net_max_inflight", 64)
+        ),
+    )
     await server.start()
 
     loop = asyncio.get_running_loop()

@@ -2,11 +2,17 @@
 
 Same surface as :class:`~repro.core.transport.DirectTransport`, different
 wiring: chunk pushes and fetches travel to the data-provider server
-processes as framed RPCs, and control-plane closures run in this process
-against the remote proxies (:mod:`repro.net.proxies`) — the network cost
-happens *inside* ``fn()`` and is recovered per call from the RPC layer's
-thread-local accumulators, so the batch engine's phase timings stay
-honest without it knowing which transport it runs on.
+processes as framed RPCs.  Since PR 7 the data plane is *threadless*: a
+``transfer`` submits every push replica and every fetch's first hop as
+pipelined requests through the RPC reactor (``rpc.submit``) before
+waiting on anything, so a whole batch's chunks are on the wire in the
+order the plan produced them and responses are collected as they demux —
+no worker thread per RPC.  Control-plane closures still run on
+``parallel_map`` worker threads (the thread is a cheap *waiter* now; the
+RPCs inside pipeline over the shared reactor connections), and their
+network cost is recovered per call from the RPC layer's thread-local
+accumulators, so the batch engine's phase timings stay honest without it
+knowing which transport it runs on.
 
 Failure handling is the msgbox idiom at two levels: the per-service
 :class:`~repro.net.rpc.RpcClient` retries over its address list with
@@ -18,7 +24,8 @@ and walks a fetch's replica list until one holds the chunk.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Sequence, Tuple, TypeVar
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from ..core.errors import ChunkNotFoundError, ProviderUnavailableError
 from ..core.transport import (
@@ -30,9 +37,13 @@ from ..core.transport import (
     Transport,
     parallel_map,
 )
-from .rpc import NetworkError, RpcClient, drain_timings
+from .rpc import NetworkError, RpcFuture, drain_timings
 
 T = TypeVar("T")
+
+#: Failures that mean "this replica/hop is unavailable", not "the store
+#: rejected the operation": walk to the next provider.
+_HOP_ERRORS = (NetworkError, ProviderUnavailableError, FutureTimeoutError)
 
 
 class NetworkTransport(Transport):
@@ -42,7 +53,7 @@ class NetworkTransport(Transport):
 
     def __init__(
         self,
-        provider_rpcs: Dict[str, RpcClient],
+        provider_rpcs: Dict[str, Any],
         max_workers: int = 8,
     ) -> None:
         #: provider id -> RpcClient for that data-provider process.
@@ -72,7 +83,9 @@ class NetworkTransport(Transport):
         self, calls: Sequence[ControlCall]
     ) -> List[Tuple[Any, float, Tuple[float, float, float]]]:
         # Each round runs on its own worker thread, so draining the RPC
-        # accumulators around fn() captures exactly that round's sockets.
+        # accumulators around fn() captures exactly that round's requests.
+        # The threads only *wait*: the RPCs inside each closure pipeline
+        # over the reactor's shared per-server connections.
         def one_round(call: ControlCall):
             drain_timings()
             value = call.fn()
@@ -90,67 +103,118 @@ class NetworkTransport(Transport):
     def transfer(
         self, pushes: Sequence[ChunkPush], fetches: Sequence[ChunkFetch]
     ) -> Tuple[List[PushOutcome], List[FetchOutcome]]:
-        thunks: List[Callable[[], Any]] = [
-            (lambda job=job: self._do_push(job)) for job in pushes
-        ]
-        thunks.extend((lambda job=job: self._do_fetch(job)) for job in fetches)
-        # Unlike DirectTransport there is no byte threshold: every job is a
-        # real network round trip, so fan-out pays for itself immediately.
-        outcomes = parallel_map(thunks, max_workers=self._max_workers)
-        return outcomes[: len(pushes)], outcomes[len(pushes) :]
-
-    def _do_push(self, job: ChunkPush) -> PushOutcome:
-        outcome = PushOutcome(job=job)
-        start = self.now()
+        # Per-request timing rides each outcome (summed from the futures it
+        # waited on); the thread-local accumulator is drained before and
+        # after so the same seconds are not *also* handed to the engine's
+        # next take_net_timings() drain — that would double-count.
         drain_timings()
-        stored: List[str] = []
-        for pid in job.providers:
-            rpc = self._providers.get(pid)
+        start = self.now()
+        # Submit phase: every push replica and every fetch's first hop goes
+        # onto the wire (window permitting) before anything blocks.
+        push_futs: List[List[Tuple[str, Optional[RpcFuture]]]] = [
+            [(pid, self._submit_put(pid, job)) for pid in job.providers]
+            for job in pushes
+        ]
+        fetch_futs: List[Tuple[int, Optional[RpcFuture]]] = []
+        for job in fetches:
+            hop, fut = self._submit_get_from(job, 0)
+            fetch_futs.append((hop, fut))
+        # Collect phase, in plan order: replica results arrive demuxed in
+        # any order but providers_stored keeps the job's replica ordering.
+        push_outcomes = [
+            self._collect_push(job, futs, start)
+            for job, futs in zip(pushes, push_futs)
+        ]
+        fetch_outcomes = [
+            self._collect_fetch(job, hop, fut, start)
+            for job, (hop, fut) in zip(fetches, fetch_futs)
+        ]
+        drain_timings()
+        return push_outcomes, fetch_outcomes
+
+    def _submit_put(self, pid: str, job: ChunkPush) -> Optional[RpcFuture]:
+        rpc = self._providers.get(pid)
+        if rpc is None:
+            return None
+        try:
+            return rpc.submit("put_chunk", {"key": job.key, "data": job.data})
+        except NetworkError:
+            return None
+
+    def _submit_get_from(
+        self, job: ChunkFetch, first_hop: int
+    ) -> Tuple[int, Optional[RpcFuture]]:
+        """Submit the fetch to the first *wired* provider at or after ``first_hop``."""
+        for hop in range(first_hop, len(job.providers)):
+            rpc = self._providers.get(job.providers[hop])
             if rpc is None:
                 continue
             try:
-                rpc.call("put_chunk", {"key": job.key, "data": job.data})
-                stored.append(pid)
+                return hop, rpc.submit("get_chunk", {"key": job.key})
             except NetworkError:
+                continue
+        return len(job.providers), None
+
+    def _collect_push(
+        self, job: ChunkPush, futs: Sequence[Tuple[str, Optional[RpcFuture]]], start: float
+    ) -> PushOutcome:
+        outcome = PushOutcome(job=job)
+        stored: List[str] = []
+        net = [0.0, 0.0, 0.0]
+        for pid, fut in futs:
+            if fut is None:
+                continue
+            try:
+                fut.result()
+                stored.append(pid)
+            except _HOP_ERRORS:
                 # Replica unreachable (process killed): skip it — the write
                 # survives as long as one replica stores the chunk, exactly
                 # as Direct mode treats a crashed provider.
-                continue
-            except ProviderUnavailableError:
-                continue
+                pass
             except Exception as exc:  # defensive: store-level failures stay per-job
-                outcome.error = exc
-                break
+                if outcome.error is None:
+                    outcome.error = exc
+            timing = fut.timing()
+            net[0] += timing[0]
+            net[1] += timing[1]
+            net[2] += timing[2]
         outcome.replicas_stored = len(stored)
         outcome.providers_stored = tuple(stored)
+        # Pipelined jobs overlap, so per-job elapsed is measured from the
+        # shared submit point — an upper bound per job, honest in total.
         outcome.elapsed = self.now() - start
-        outcome.connect_seconds, outcome.send_seconds, outcome.wait_seconds = (
-            drain_timings()
-        )
+        outcome.connect_seconds, outcome.send_seconds, outcome.wait_seconds = net
         return outcome
 
-    def _do_fetch(self, job: ChunkFetch) -> FetchOutcome:
+    def _collect_fetch(
+        self, job: ChunkFetch, hop: int, fut: Optional[RpcFuture], start: float
+    ) -> FetchOutcome:
         outcome = FetchOutcome(job=job)
-        start = self.now()
-        drain_timings()
+        net = [0.0, 0.0, 0.0]
         last_error: Exception = ProviderUnavailableError(
             job.providers[0] if job.providers else "?"
         )
-        for pid in job.providers:
-            rpc = self._providers.get(pid)
-            if rpc is None:
-                continue
+        while fut is not None:
             try:
-                outcome.payload = rpc.call("get_chunk", {"key": job.key})
-                break
-            except (NetworkError, ProviderUnavailableError, ChunkNotFoundError) as exc:
+                outcome.payload = fut.result()
+            except _HOP_ERRORS + (ChunkNotFoundError,) as exc:
                 last_error = exc
+                timing = fut.timing()
+                net[0] += timing[0]
+                net[1] += timing[1]
+                net[2] += timing[2]
+                hop, fut = self._submit_get_from(job, hop + 1)
+                continue
+            timing = fut.timing()
+            net[0] += timing[0]
+            net[1] += timing[1]
+            net[2] += timing[2]
+            break
         else:
             outcome.error = last_error
         outcome.elapsed = self.now() - start
-        outcome.connect_seconds, outcome.send_seconds, outcome.wait_seconds = (
-            drain_timings()
-        )
+        outcome.connect_seconds, outcome.send_seconds, outcome.wait_seconds = net
         return outcome
 
     # -- metadata ------------------------------------------------------------------

@@ -15,6 +15,7 @@ and a replication-2 kill-a-provider run with zero failed operations.
 
 from __future__ import annotations
 
+import os
 import socket
 import threading
 import time
@@ -55,6 +56,8 @@ def _network_config(**overrides):
         net_backoff_base=0.01,
         net_connect_timeout=5.0,
         net_request_timeout=30.0,
+        # The msgpack CI leg re-runs this whole slice over the other codec.
+        net_codec=os.environ.get("REPRO_NET_CODEC", "json"),
     )
     base.update(overrides)
     return BlobSeerConfig(**base)
