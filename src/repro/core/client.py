@@ -467,9 +467,11 @@ class BlobSeerClient:
             if p.failed and isinstance(p.op, AppendOp) and p.ticket is not None:
                 try:
                     vm.abort(p.op.blob_id, p.ticket.version)
-                except ServiceError:
-                    # Coordinator unreachable: the abort cannot be recorded;
-                    # the version stays pending until the shard returns.
+                except (ServiceError, ConnectionError):
+                    # Coordinator unreachable (in networked mode the proxy
+                    # surfaces this as either type): the abort cannot be
+                    # recorded; the version stays pending until the shard
+                    # (or its standby) returns.
                     continue
                 finally:
                     p.add_net(transport.take_net_timings())
@@ -657,7 +659,7 @@ class BlobSeerClient:
                 dirty_blobs.add(info.blob_id)
                 try:
                     vm.abort(info.blob_id, ticket.version)
-                except ServiceError:
+                except (ServiceError, ConnectionError):
                     continue  # coordinator gone too: nothing to repair against
                 p.needs_repair = True
                 queue_repair(p)
@@ -677,7 +679,7 @@ class BlobSeerClient:
         for p, _ in repair_rounds:
             try:
                 vm.mark_repaired(p.op.blob_id, p.ticket.version)
-            except ServiceError:
+            except (ServiceError, ConnectionError):
                 # Coordinator lost mid-repair: the no-op tree exists, the
                 # state flip waits for the shard (or its standby) to return.
                 continue

@@ -128,6 +128,18 @@ class BlobSeerConfig:
     #: demand as load arrives); the blocking pool reuses the same knob as
     #: its max *idle* sockets per address (floored at 8 by deployments).
     net_connections_per_server: int = 1
+    #: Seconds between ``ClusterMonitor`` health probes of the networked
+    #: coordinator shards and their standbys.
+    net_heartbeat_interval: float = 0.25
+    #: Consecutive missed heartbeats before the monitor marks a coordinator
+    #: shard down and triggers its standby's takeover.
+    net_failover_suspect_after: int = 3
+    #: Process-hosted standbys per coordinator shard in networked mode
+    #: (0 or 1; the ring-successor topology hosts at most one).  Standbys
+    #: need a journal directory to stream from, so they only spawn when the
+    #: deployment is journal-backed (``journal_enabled`` or an explicit
+    #: ``journal_dir``).
+    net_standby_per_shard: int = 1
     client: ClientConfig = field(default_factory=ClientConfig)
 
     def __post_init__(self) -> None:
@@ -171,6 +183,9 @@ class BlobSeerConfig:
             "net_pipelined": self.net_pipelined,
             "net_max_inflight": self.net_max_inflight,
             "net_connections_per_server": self.net_connections_per_server,
+            "net_heartbeat_interval": self.net_heartbeat_interval,
+            "net_failover_suspect_after": self.net_failover_suspect_after,
+            "net_standby_per_shard": self.net_standby_per_shard,
         }
         d.update(
             {
@@ -266,6 +281,14 @@ def validate_config(config: BlobSeerConfig) -> None:
         raise InvalidConfigError("net_max_inflight must be >= 1")
     if config.net_connections_per_server < 1:
         raise InvalidConfigError("net_connections_per_server must be >= 1")
+    if config.net_heartbeat_interval <= 0:
+        raise InvalidConfigError("net_heartbeat_interval must be > 0")
+    if config.net_failover_suspect_after < 1:
+        raise InvalidConfigError("net_failover_suspect_after must be >= 1")
+    if not 0 <= config.net_standby_per_shard <= 1:
+        raise InvalidConfigError(
+            "net_standby_per_shard must be 0 or 1 (one ring-successor standby)"
+        )
     if config.client.metadata_cache_capacity < 1:
         raise InvalidConfigError("metadata_cache_capacity must be >= 1")
     if config.client.prefetch_chunks < 0:

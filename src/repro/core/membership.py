@@ -241,6 +241,41 @@ class CoordinatorMembership:
             self._ring = self._clone_ring()
             self._bump("membership restored")
 
+    def adopt_state(self, state: Dict[str, object]) -> bool:
+        """Adopt a membership :meth:`state` learned from another party.
+
+        The wire-refresh path of the networked client: a mirror that
+        observed a dead shard pulls ``membership`` from every reachable
+        coordinator/standby process and feeds the highest-epoch answer
+        here.  The state is applied only when it is strictly newer than
+        this membership's epoch *and* describes the same slot lineage
+        (identical ``shard_ids``) — a stale or foreign state is refused
+        (``False``) rather than regressing the ring.  Unlike
+        :meth:`restore_statuses`, the adopted epoch is installed verbatim
+        so both parties agree on the single integer from then on.
+        """
+        with self._lock:
+            epoch = int(state["epoch"])  # type: ignore[arg-type]
+            if epoch <= self.epoch or list(state.get("shard_ids") or []) != self.shard_ids:
+                return False
+            self._require_stable()
+            self._status = [ShardStatus(status) for status in state["statuses"]]  # type: ignore[index]
+            self._ring = self._clone_ring()
+            self.epoch = epoch
+            reason = f"adopted: {state.get('reason', 'remote state')}"
+            self.epoch_log.append((self.epoch, reason))
+            self._changed.notify_all()
+            if self.on_change is not None:
+                self.on_change(
+                    {
+                        "epoch": self.epoch,
+                        "reason": reason,
+                        "shard_ids": list(self.shard_ids),
+                        "statuses": [status.value for status in self._status],
+                    }
+                )
+            return True
+
     def _bump(self, reason: str) -> None:
         self.epoch += 1
         self.epoch_log.append((self.epoch, reason))

@@ -481,6 +481,37 @@ class VersionManager:
                 and entry.record.version > state.published_frontier
             ]
 
+    def writer_tickets(self, blob_id: BlobId, writer: str) -> List[WriteTicket]:
+        """Tickets previously assigned to ``writer`` on this blob, in order.
+
+        The reconcile surface for at-most-once registration over a lossy
+        network: a client whose register ack was lost (e.g. the coordinator
+        process was SIGKILLed after journaling but before responding)
+        retries with the same per-round writer token, and the shard answers
+        with the tickets it already holds instead of assigning duplicates.
+        Rebuilds each ticket from the entry list — a linear scan of one
+        blob's history, paid only on the retry path, never on the hot path.
+        """
+        with self._lock:
+            state = self._state(blob_id)
+            tickets: List[WriteTicket] = []
+            for index, entry in enumerate(state.entries):
+                if entry.writer != writer:
+                    continue
+                base = state.entries[index - 1].record.new_size if index else 0
+                tickets.append(
+                    WriteTicket(
+                        blob_id=blob_id,
+                        version=entry.record.version,
+                        offset=entry.record.offset,
+                        size=entry.record.size,
+                        is_append=entry.is_append,
+                        new_blob_size=entry.record.new_size,
+                        base_blob_size=base,
+                    )
+                )
+            return tickets
+
     def aborted_versions(self, blob_id: BlobId) -> List[Version]:
         with self._lock:
             state = self._state(blob_id)

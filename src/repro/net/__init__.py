@@ -31,14 +31,24 @@ Layers, bottom up:
   deployment surface the batch engine calls (``version_manager``,
   ``provider_manager``, ``metadata_store``) over RPC;
 * :mod:`repro.net.transport` / :mod:`repro.net.deployment` — the
-  ``Transport`` implementation and the process launcher.
+  ``Transport`` implementation and the process launcher;
+* :mod:`repro.net.monitor` / :mod:`repro.net.chaos` — heartbeat failure
+  detection driving standby takeover (``ClusterMonitor``), and the seeded
+  kill/restart timetable (``ChaosSchedule``) the failover tests and the
+  E17 benchmark inject faults with.
 """
 
+from .chaos import ChaosEvent, ChaosSchedule
 from .deployment import ProcessDeployment
+from .monitor import ClusterMonitor, MonitorEvent
 from .rpc import NetworkError, PooledRpcClient, RpcClient, RpcFuture
 from .transport import NetworkTransport
 
 __all__ = [
+    "ChaosEvent",
+    "ChaosSchedule",
+    "ClusterMonitor",
+    "MonitorEvent",
     "NetworkError",
     "NetworkTransport",
     "PooledRpcClient",

@@ -1,0 +1,160 @@
+"""Fault-injection harness: kill/restart deployment roles on a timetable.
+
+:class:`ChaosSchedule` drives :class:`~repro.net.deployment.
+ProcessDeployment`'s failure-injection surface (``kill_coordinator_shard``,
+``kill_meta_node``, ``kill_standby``, ``kill_data_provider``,
+``restart_coordinator_shard``, ``restart_standby``, ``restart_meta_node``)
+from a list of :class:`ChaosEvent` entries — either hand-written (the E17
+benchmark pins one SIGKILL mid-storm so runs are comparable) or generated
+from a seed (:meth:`ChaosSchedule.generate`), so a soak test can replay the
+exact same failure storm from one integer.
+
+The schedule runs on its own thread against wall time from ``start()``;
+each event dispatches at ``at`` seconds into the run.  Dispatch errors are
+captured per event (``errors``), never raised into the workload under
+test — a chaos harness that crashes the harness is measuring nothing.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+__all__ = ["ChaosEvent", "ChaosSchedule"]
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault: ``action`` on ``role``/``index`` at ``at`` s."""
+
+    at: float
+    action: str  # "kill" | "restart"
+    role: str  # "coordinator" | "standby" | "meta" | "provider"
+    index: int
+
+
+@dataclass
+class ChaosRecord:
+    """What actually happened when an event fired."""
+
+    event: ChaosEvent
+    fired_at: float
+    error: Optional[str] = None
+
+
+class ChaosSchedule:
+    """A seeded (or hand-pinned) kill/restart timetable over a deployment."""
+
+    #: (action, role) -> deployment method + how the index is passed.
+    _DISPATCH = {
+        ("kill", "coordinator"): lambda dep, i: dep.kill_coordinator_shard(i),
+        ("kill", "standby"): lambda dep, i: dep.kill_standby(i),
+        ("kill", "meta"): lambda dep, i: dep.kill_meta_node(i),
+        ("kill", "provider"): lambda dep, i: dep.kill_data_provider(
+            f"provider-{i:03d}"
+        ),
+        ("restart", "coordinator"): lambda dep, i: dep.restart_coordinator_shard(i),
+        ("restart", "standby"): lambda dep, i: dep.restart_standby(i),
+        ("restart", "meta"): lambda dep, i: dep.restart_meta_node(i),
+    }
+
+    def __init__(self, events: Sequence[ChaosEvent]) -> None:
+        self.events: List[ChaosEvent] = sorted(events, key=lambda e: e.at)
+        self.records: List[ChaosRecord] = []
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        duration: float,
+        roles: Sequence[Tuple[str, int]],
+        kills: int = 2,
+        restart_after: Optional[float] = 1.0,
+        settle: float = 0.5,
+    ) -> "ChaosSchedule":
+        """A reproducible storm: ``kills`` faults over ``duration`` seconds.
+
+        ``roles`` lists the candidate victims as ``(role, index)`` pairs;
+        kill times land in ``[settle, duration - settle]`` so the workload
+        has ramp-up and drain room.  With ``restart_after`` set, every kill
+        schedules the matching restart that much later (capped inside the
+        window) — the crash/rejoin cycle, not just the crash.
+        """
+        if not roles:
+            raise ValueError("chaos generation needs at least one candidate role")
+        if duration <= 2 * settle:
+            raise ValueError("duration too short for the settle margins")
+        rng = random.Random(seed)
+        events: List[ChaosEvent] = []
+        for _ in range(kills):
+            role, index = roles[rng.randrange(len(roles))]
+            at = rng.uniform(settle, duration - settle)
+            events.append(ChaosEvent(at=at, action="kill", role=role, index=index))
+            if restart_after is not None and role in ("coordinator", "standby", "meta"):
+                events.append(
+                    ChaosEvent(
+                        at=min(duration - settle / 2, at + restart_after),
+                        action="restart",
+                        role=role,
+                        index=index,
+                    )
+                )
+        return cls(events)
+
+    # -- execution -------------------------------------------------------------------
+    def start(
+        self,
+        deployment: Any,
+        on_event: Optional[Callable[[ChaosRecord], None]] = None,
+    ) -> None:
+        """Dispatch the timetable against ``deployment`` on a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("chaos schedule already running")
+        self._stop.clear()
+
+        def run() -> None:
+            started = time.monotonic()
+            for event in self.events:
+                delay = event.at - (time.monotonic() - started)
+                if delay > 0 and self._stop.wait(delay):
+                    return
+                if self._stop.is_set():
+                    return
+                record = ChaosRecord(event=event, fired_at=time.monotonic() - started)
+                dispatch = self._DISPATCH.get((event.action, event.role))
+                try:
+                    if dispatch is None:
+                        raise ValueError(
+                            f"no dispatch for {event.action!r} on {event.role!r}"
+                        )
+                    dispatch(deployment, event.index)
+                except Exception as exc:  # noqa: BLE001 - harness must outlive faults
+                    record.error = f"{type(exc).__name__}: {exc}"
+                self.records.append(record)
+                if on_event is not None:
+                    try:
+                        on_event(record)
+                    except Exception:  # noqa: BLE001
+                        pass
+
+        self._thread = threading.Thread(target=run, name="chaos-schedule", daemon=True)
+        self._thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.join(timeout=5.0)
+        self._thread = None
+
+    @property
+    def failed_dispatches(self) -> List[ChaosRecord]:
+        return [record for record in self.records if record.error is not None]

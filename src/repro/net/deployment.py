@@ -9,26 +9,43 @@ facade exposes the same attributes the client wiring reads
 ``config``, ``client()``/``create_blob()``), backed by the RPC proxies,
 so ``BlobSeerClient`` code runs against it unchanged.
 
+Failover (PR 8): when the deployment is journal-backed (``journal_enabled``
+or an explicit ``journal_dir`` — without one a standby would have nothing
+durable to recover from) and ``net_standby_per_shard`` is 1, every
+coordinator shard gets a ``--role standby`` process following its journal
+stream, and a :class:`~repro.net.monitor.ClusterMonitor` heartbeats the
+coordinator fleet: a shard that misses ``net_failover_suspect_after``
+probes is marked ``DOWN`` in the shared membership mirror, its standby is
+promoted, and the new epoch is broadcast to every surviving process.
+``restart_coordinator_shard`` runs the rejoin protocol (standby resigns →
+primary respawns on the same WAL, ingesting the handoff → clients re-route
+back on the next epoch).
+
 Teardown sends SIGTERM (servers drain in-flight requests) and escalates
-to SIGKILL for stragglers; :meth:`kill_data_provider` is the failure
-injection used by the resilience tests and the E15 benchmark — a hard
-SIGKILL mid-workload, survived client-side by replica failover.
+to SIGKILL for stragglers.  Failure injection — ``kill_data_provider``,
+``kill_coordinator_shard``, ``kill_meta_node``, ``kill_standby`` — is a
+hard SIGKILL through the ``(role, index) -> process`` map, usable directly
+or on a :class:`~repro.net.chaos.ChaosSchedule` timetable.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import BlobSeerConfig
+from ..core.membership import ShardStatus
 from ..core.types import BlobInfo
+from .monitor import ClusterMonitor
 from .proxies import (
     NetworkDistributedStore,
     RemoteCoordinator,
@@ -52,14 +69,27 @@ class ProcessDeployment:
         seed: int = 0,
         host: Optional[str] = None,
         journal_dir: Optional[str] = None,
+        monitor: bool = True,
     ) -> None:
         self.config = config or BlobSeerConfig()
         self.host = host or getattr(self.config, "net_host", "127.0.0.1")
         self._journal_dir = journal_dir
-        self.processes: List[subprocess.Popen] = []
+        self._owns_journal_dir = False
+        if self._journal_dir is None and getattr(self.config, "journal_enabled", False):
+            # ``make_deployment`` only passes the config, so a journal-backed
+            # networked deployment derives its WAL directory here; owned
+            # directories are removed again on close.
+            self._journal_dir = tempfile.mkdtemp(prefix="blobseer-net-wal-")
+            self._owns_journal_dir = True
+        #: ``(role, index) -> Popen``: the authoritative process map every
+        #: failure-injection and restart path goes through.
+        self._procs: Dict[Tuple[str, int], subprocess.Popen] = {}
+        #: ``(role, index) -> (host, port)`` of the live processes.
+        self._addrs: Dict[Tuple[str, int], Tuple[str, int]] = {}
         self._rpcs: List[RpcClient] = []
         self._next_client_id = 0
         self._config_json = json.dumps(self.config.to_dict())
+        self.monitor: Optional[ClusterMonitor] = None
 
         try:
             specs = (
@@ -68,22 +98,43 @@ class ProcessDeployment:
                 + [("coordinator", index) for index in range(self.config.num_version_managers)]
                 + [("pmgr", 0)]
             )
-            procs = [self._spawn(role, index) for role, index in specs]
-            self.processes = [proc for proc, _role in procs]
-            with ThreadPoolExecutor(max_workers=len(procs)) as pool:
-                handshakes = list(
-                    pool.map(lambda pr: self._read_handshake(*pr), procs)
+            self._launch(specs)
+            if self.with_standbys:
+                # Second wave: standbys need their primary's bound address.
+                self._launch(
+                    [("standby", index) for index in range(self.config.num_version_managers)]
                 )
-            addrs: Dict[Tuple[str, int], Tuple[str, int]] = {
-                (hs["role"], hs["index"]): (hs["host"], hs["port"]) for hs in handshakes
-            }
-            self._wire(addrs)
+            self._wire()
+            self._broadcast_membership(self.version_manager.membership.state())
+            if monitor and self.with_standbys:
+                self._start_monitor()
         except Exception:
             self.close()
             raise
 
+    @property
+    def with_standbys(self) -> bool:
+        """Whether this deployment hosts standby processes (needs a WAL)."""
+        return bool(
+            getattr(self.config, "net_standby_per_shard", 0) > 0 and self._journal_dir
+        )
+
+    @property
+    def processes(self) -> List[subprocess.Popen]:
+        """Flat process list (compat surface; the map is authoritative)."""
+        return list(self._procs.values())
+
     # -- spawning ------------------------------------------------------------------
-    def _spawn(self, role: str, index: int) -> Tuple[subprocess.Popen, str]:
+    def _spawn_args(self, role: str, index: int) -> List[str]:
+        extra: List[str] = []
+        if role in ("coordinator", "standby") and self._journal_dir:
+            extra += ["--journal-dir", str(self._journal_dir)]
+        if role == "standby":
+            primary = self._addrs[("coordinator", index)]
+            extra += ["--primary", f"{primary[0]}:{primary[1]}"]
+        return extra
+
+    def _spawn(self, role: str, index: int) -> subprocess.Popen:
         command = [
             sys.executable,
             "-m",
@@ -98,16 +149,24 @@ class ProcessDeployment:
             "0",
             "--config",
             self._config_json,
-        ]
-        if role == "coordinator" and self._journal_dir:
-            command += ["--journal-dir", str(self._journal_dir)]
+        ] + self._spawn_args(role, index)
         env = dict(os.environ)
         package_root = str(Path(__file__).resolve().parents[2])
         env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
-        proc = subprocess.Popen(
-            command, stdout=subprocess.PIPE, env=env, text=True
-        )
-        return proc, role
+        return subprocess.Popen(command, stdout=subprocess.PIPE, env=env, text=True)
+
+    def _launch(self, specs: Sequence[Tuple[str, int]]) -> None:
+        """Spawn ``specs`` in parallel and record processes + addresses."""
+        procs = [(role, index, self._spawn(role, index)) for role, index in specs]
+        for role, index, proc in procs:
+            self._procs[(role, index)] = proc
+        with ThreadPoolExecutor(max_workers=len(procs)) as pool:
+            handshakes = list(
+                pool.map(lambda entry: self._read_handshake(entry[2], entry[0]), procs)
+            )
+        for handshake in handshakes:
+            key = (handshake["role"], handshake["index"])
+            self._addrs[key] = (handshake["host"], handshake["port"])
 
     def _read_handshake(self, proc: subprocess.Popen, role: str) -> Dict:
         deadline = time.monotonic() + READY_TIMEOUT
@@ -156,31 +215,84 @@ class ProcessDeployment:
         self._rpcs.append(client)
         return client
 
-    def _wire(self, addrs: Dict[Tuple[str, int], Tuple[str, int]]) -> None:
+    def _wire(self) -> None:
+        addrs = self._addrs
         #: One RpcClient per data-provider process, keyed like the pool.
         self.provider_rpcs: Dict[str, RpcClient] = {
             f"provider-{index:03d}": self._rpc(addrs[("provider", index)])
             for index in range(self.config.num_data_providers)
         }
-        meta_stubs = {
+        self._meta_stubs: Dict[str, RemoteKeyValueStore] = {
             f"meta-{index:03d}": RemoteKeyValueStore(
                 self._rpc(addrs[("meta", index)]), f"meta-{index:03d}"
             )
             for index in range(self.config.num_metadata_providers)
         }
         self.metadata_store = NetworkDistributedStore(
-            meta_stubs,
+            self._meta_stubs,
             virtual_nodes=self.config.dht_virtual_nodes,
             replication=self.config.metadata_replication,
         )
+        standby_rpcs: List[Optional[RpcClient]] = [
+            self._rpc(addrs[("standby", index)])
+            if ("standby", index) in addrs
+            else None
+            for index in range(self.config.num_version_managers)
+        ]
         self.version_manager = RemoteCoordinator(
             [
                 self._rpc(addrs[("coordinator", index)])
                 for index in range(self.config.num_version_managers)
             ],
             virtual_nodes=self.config.dht_virtual_nodes,
+            standby_rpcs=standby_rpcs,
         )
         self.provider_manager = RemoteProviderManager(self._rpc(addrs[("pmgr", 0)]))
+
+    # -- membership plumbing ---------------------------------------------------------
+    def _broadcast_membership(self, state: Dict[str, Any]) -> None:
+        """Push a membership state to every live coordinator and standby.
+
+        Coordinators journal it (so restarts re-derive the ring);
+        standbys remember it (and journal it into their handoff once they
+        serve).  Dead processes are skipped — that is exactly when a
+        broadcast happens.
+        """
+        for index in range(self.config.num_version_managers):
+            for role in ("coordinator", "standby"):
+                if (role, index) not in self._addrs:
+                    continue
+                rpc = (
+                    self.version_manager._rpcs[index]
+                    if role == "coordinator"
+                    else self.version_manager._standbys[index]
+                )
+                if rpc is None:
+                    continue
+                try:
+                    rpc.call("note_membership", {"state": state})
+                except Exception:  # noqa: BLE001 - dead targets are expected
+                    continue
+
+    def _start_monitor(self) -> None:
+        monitor = ClusterMonitor(
+            membership=self.version_manager.membership,
+            interval=getattr(self.config, "net_heartbeat_interval", 0.25),
+            suspect_after=getattr(self.config, "net_failover_suspect_after", 3),
+            codec=self.config.net_codec,
+            broadcast=self._broadcast_membership,
+        )
+        for index in range(self.config.num_version_managers):
+            monitor.watch(
+                "coordinator",
+                index,
+                self._addrs[("coordinator", index)],
+                standby=self._addrs.get(("standby", index)),
+            )
+            if ("standby", index) in self._addrs:
+                monitor.watch("standby", index, self._addrs[("standby", index)])
+        monitor.start()
+        self.monitor = monitor
 
     # -- clients -------------------------------------------------------------------
     def client(self, client_id: Optional[str] = None, transport=None):
@@ -225,24 +337,139 @@ class ProcessDeployment:
         return totals
 
     # -- failure injection -----------------------------------------------------------
+    def _kill(self, role: str, index: int) -> None:
+        """SIGKILL one process through the role map (no drain — a crash)."""
+        proc = self._procs.get((role, index))
+        if proc is None:
+            raise KeyError(f"no {role} process with index {index}")
+        proc.kill()
+        proc.wait(timeout=5.0)
+
     def kill_data_provider(self, provider_id: str) -> None:
         """SIGKILL a data-provider process (no drain — it is a crash)."""
         index = int(provider_id.rsplit("-", 1)[1])
-        self.processes[index].kill()
+        self._kill("provider", index)
         # Placement stops selecting the dead provider for *new* chunks;
         # already-placed replicas fail over at the transport.
         self.provider_manager.set_provider_alive(provider_id, False)
 
+    def kill_coordinator_shard(self, index: int) -> None:
+        """SIGKILL coordinator shard ``index`` mid-flight.
+
+        Detection and standby promotion are the monitor's job — this is
+        the crash, nothing else.
+        """
+        self._kill("coordinator", index)
+
+    def kill_meta_node(self, index: int) -> None:
+        """SIGKILL metadata DHT node ``index`` (reads fail over to replicas)."""
+        self._kill("meta", index)
+
+    def kill_standby(self, index: int) -> None:
+        """SIGKILL shard ``index``'s standby process."""
+        self._kill("standby", index)
+
+    # -- restart orchestration --------------------------------------------------------
+    def restart_coordinator_shard(
+        self, index: int, graceful: bool = False
+    ) -> Tuple[str, int]:
+        """Respawn coordinator shard ``index`` on its journal and rejoin it.
+
+        The rejoin protocol, in order: stop the old process (SIGTERM drain
+        when ``graceful``, else SIGKILL — a no-op if it is already dead);
+        tell the standby to ``resign`` so its handoff journal is closed on
+        disk *before* the primary replays; respawn the primary on the same
+        ``--journal-dir`` (boot replays the WAL, then ingests the handoff);
+        repoint the shard's client and the standby's pull stream at the new
+        address; mark the shard ``ACTIVE`` again (epoch bump) and broadcast
+        the new state.  Returns the new address.
+        """
+        key = ("coordinator", index)
+        proc = self._procs.get(key)
+        if proc is not None and proc.poll() is None:
+            proc.send_signal(signal.SIGTERM if graceful else signal.SIGKILL)
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+        standby_rpc = (
+            self.version_manager._standbys[index]
+            if index < len(self.version_manager._standbys)
+            else None
+        )
+        if standby_rpc is not None:
+            try:
+                standby_rpc.call("resign")
+            except Exception:  # noqa: BLE001 - standby may itself be dead
+                pass
+        self._launch([key])
+        address = self._addrs[key]
+        new_rpc = self._rpc(address)
+        self.version_manager.replace_shard_rpc(index, new_rpc)
+        if standby_rpc is not None:
+            try:
+                standby_rpc.call("follow", {"primary": f"{address[0]}:{address[1]}"})
+            except Exception:  # noqa: BLE001
+                pass
+        membership = self.version_manager.membership
+        if membership.status_of(index) == ShardStatus.DOWN:
+            membership.mark_active(index)
+        self._broadcast_membership(membership.state())
+        if self.monitor is not None:
+            self.monitor.update_target(
+                "coordinator", index, address, standby=self._addrs.get(("standby", index))
+            )
+        return address
+
+    def restart_standby(self, index: int) -> Tuple[str, int]:
+        """Respawn shard ``index``'s standby and re-follow the primary."""
+        key = ("standby", index)
+        proc = self._procs.get(key)
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=5.0)
+        self._launch([key])
+        address = self._addrs[key]
+        new_rpc = self._rpc(address)
+        self.version_manager.replace_standby_rpc(index, new_rpc)
+        if self.monitor is not None:
+            self.monitor.update_target("standby", index, address)
+            self.monitor.update_target(
+                "coordinator",
+                index,
+                self._addrs[("coordinator", index)],
+                standby=address,
+            )
+        return address
+
+    def restart_meta_node(self, index: int) -> Tuple[str, int]:
+        """Respawn metadata node ``index`` empty (replicas + scrub refill it)."""
+        key = ("meta", index)
+        proc = self._procs.get(key)
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=5.0)
+        self._launch([key])
+        address = self._addrs[key]
+        stub = self._meta_stubs[f"meta-{index:03d}"]
+        stub._rpc = self._rpc(address)
+        return address
+
     # -- teardown ------------------------------------------------------------------
     def close(self) -> None:
+        if self.monitor is not None:
+            self.monitor.stop()
+            self.monitor = None
         for rpc in self._rpcs:
             rpc.close()
         self._rpcs = []
-        for proc in self.processes:
+        procs = list(self._procs.values())
+        for proc in procs:
             if proc.poll() is None:
                 proc.send_signal(signal.SIGTERM)
         deadline = time.monotonic() + 5.0
-        for proc in self.processes:
+        for proc in procs:
             try:
                 proc.wait(timeout=max(0.1, deadline - time.monotonic()))
             except subprocess.TimeoutExpired:
@@ -250,7 +477,11 @@ class ProcessDeployment:
                 proc.wait(timeout=5.0)
             if proc.stdout is not None:
                 proc.stdout.close()
-        self.processes = []
+        self._procs = {}
+        self._addrs = {}
+        if self._owns_journal_dir and self._journal_dir:
+            shutil.rmtree(self._journal_dir, ignore_errors=True)
+            self._journal_dir = None
 
     def __enter__(self) -> "ProcessDeployment":
         return self

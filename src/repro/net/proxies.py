@@ -25,11 +25,15 @@ attributed to operations through :func:`repro.net.rpc.drain_timings`.
 
 from __future__ import annotations
 
+import random
 import threading
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+import time
+import uuid
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.config import DEFAULT_CHUNK_SIZE
-from ..core.membership import CoordinatorMembership
+from ..core.errors import EpochRetryError, ServiceError
+from ..core.membership import CoordinatorMembership, ShardStatus
 from ..core.types import BlobId, BlobInfo, SnapshotInfo, Version, WritePlan
 from ..core.version_manager import WriteState
 from ..dht.distributed_store import DistributedKeyValueStore
@@ -99,14 +103,39 @@ class NetworkDistributedStore(DistributedKeyValueStore):
 
 
 class RemoteCoordinator:
-    """The sharded version-manager surface over one RpcClient per shard."""
+    """The sharded version-manager surface over one RpcClient per shard.
+
+    Failover-aware since PR 8: the local membership mirror is no longer
+    static.  A shard marked ``DOWN`` (by the deployment's
+    :class:`~repro.net.monitor.ClusterMonitor`, or learned over the wire via
+    :meth:`refresh_membership`) keeps its ring position — blobs never move
+    on failover — but its calls are served by the shard's standby process.
+    A call that hits a dead or not-yet-promoted target
+    (``NetworkError``/``EpochRetryError``) refreshes the mirror from the
+    surviving processes and retries with jittered backoff, so an in-flight
+    commit degrades to a bounded stall instead of a failure.  Registration
+    retries carry a per-round writer token and ``reconcile=True``, letting
+    the serving shard answer with the tickets an interrupted round already
+    assigned instead of assigning duplicates.
+    """
 
     def __init__(
         self,
         shard_rpcs: Sequence[RpcClient],
         virtual_nodes: int = 32,
+        standby_rpcs: Optional[Sequence[Optional[RpcClient]]] = None,
+        reroute_retries: int = 20,
+        reroute_backoff: float = 0.05,
+        reroute_backoff_max: float = 0.2,
     ) -> None:
         self._rpcs: List[RpcClient] = list(shard_rpcs)
+        #: Per-shard standby client (``None`` where no standby is deployed);
+        #: serves a shard's traffic while its primary is marked down.
+        self._standbys: List[Optional[RpcClient]] = (
+            list(standby_rpcs)
+            if standby_rpcs is not None
+            else [None] * len(self._rpcs)
+        )
         #: Same ring construction as the server-side coordinator — routing
         #: is a pure function of (shard ids, virtual nodes, statuses), so
         #: this local mirror resolves owners without a network round trip.
@@ -114,8 +143,116 @@ class RemoteCoordinator:
             [f"vm-{index:03d}" for index in range(len(self._rpcs))],
             virtual_nodes=virtual_nodes,
         )
+        self.reroute_retries = reroute_retries
+        self.reroute_backoff = reroute_backoff
+        self.reroute_backoff_max = reroute_backoff_max
         self._id_lock = threading.Lock()
         self._id_pool: List[int] = []
+        #: Monitoring counters.
+        self.reroutes = 0
+        self.membership_refreshes = 0
+
+    # -- failover plumbing ---------------------------------------------------------
+    def replace_shard_rpc(self, index: int, rpc: RpcClient) -> None:
+        """Swap shard ``index``'s client (its primary respawned elsewhere)."""
+        self._rpcs[index] = rpc
+
+    def replace_standby_rpc(self, index: int, rpc: Optional[RpcClient]) -> None:
+        self._standbys[index] = rpc
+
+    def _serving_rpc(self, shard: int) -> RpcClient:
+        """The client currently answering for ``shard``: its primary, or its
+        standby while the mirror says the primary is down."""
+        if self.membership.status_of(shard) == ShardStatus.DOWN:
+            standby = self._standbys[shard]
+            if standby is not None:
+                return standby
+        return self._rpcs[shard]
+
+    def refresh_membership(self) -> bool:
+        """Re-learn the membership from the deployment, adopt the max epoch.
+
+        Asks every coordinator and standby process for its journaled
+        membership state in parallel, tolerating the dead ones, and adopts
+        the highest-epoch answer into the local mirror (no-op when nothing
+        newer is known).  Returns whether the mirror moved.
+        """
+        self.membership_refreshes += 1
+        futures = []
+        for rpc in [*self._rpcs, *self._standbys]:
+            if rpc is None:
+                continue
+            try:
+                futures.append(rpc.submit("membership"))
+            except ConnectionError:
+                continue
+        best: Optional[Dict[str, Any]] = None
+        for future in futures:
+            try:
+                state = future.result()
+            except Exception:  # noqa: BLE001 - dead processes are expected here
+                continue
+            if state is None:
+                continue
+            if best is None or state.get("epoch", 0) > best.get("epoch", 0):
+                best = state
+        if best is None:
+            return False
+        try:
+            return self.membership.adopt_state(best)
+        except ServiceError:
+            return False
+
+    def _call_with_failover(
+        self,
+        shard_of: Callable[[], int],
+        method: str,
+        params: Dict[str, Any],
+        reconcilable: bool = False,
+    ) -> Any:
+        """Run one RPC against whatever currently serves the target shard.
+
+        ``NetworkError`` (the target process is gone) and
+        ``EpochRetryError`` (the target says our routing is stale — e.g. a
+        standby not yet promoted) both mean the same thing here: refresh the
+        mirror and try the re-resolved server after a jittered backoff.
+        Registration calls set ``reconcilable`` so every retry after the
+        first carries ``reconcile=True`` — the first attempt may have been
+        applied with its ack lost, and the writer token lets the shard
+        answer idempotently.  Bounded: after ``reroute_retries`` attempts
+        the last error propagates.
+        """
+        delay = self.reroute_backoff
+        last: Optional[BaseException] = None
+        for attempt in range(self.reroute_retries):
+            if attempt:
+                call_params = dict(params, reconcile=True) if reconcilable else params
+            else:
+                call_params = params
+            try:
+                return self._serving_rpc(shard_of()).call(method, call_params)
+            except (EpochRetryError, ConnectionError, OSError) as exc:
+                last = exc
+                self.reroutes += 1
+                self.refresh_membership()
+                time.sleep(delay * (1.0 + random.random() * 0.5))
+                delay = min(self.reroute_backoff_max, delay * 2)
+        assert last is not None
+        raise ServiceError(
+            f"rpc {method!r} still failing after {self.reroute_retries} "
+            f"re-route attempts: {last}"
+        ) from last
+
+    def _call_routed(
+        self,
+        blob_id: BlobId,
+        method: str,
+        params: Dict[str, Any],
+        reconcilable: bool = False,
+    ) -> Any:
+        return self._call_with_failover(
+            lambda: self.shard_index(blob_id), method, params, reconcilable
+        )
 
     # -- routing (local, no RPC) ---------------------------------------------------
     @property
@@ -142,7 +279,11 @@ class RemoteCoordinator:
     def _alloc_blob_id(self) -> BlobId:
         with self._id_lock:
             if not self._id_pool:
-                self._id_pool.extend(self._rpcs[0].call("alloc_blob_ids", {"count": 8}))
+                self._id_pool.extend(
+                    self._call_with_failover(
+                        lambda: 0, "alloc_blob_ids", {"count": 8}
+                    )
+                )
             return self._id_pool.pop(0)
 
     # -- blob lifecycle ------------------------------------------------------------
@@ -165,25 +306,39 @@ class RemoteCoordinator:
                     while self.shard_index(blob_id) in avoid:
                         blob_id = self._alloc_blob_id()
         else:
-            self._rpcs[0].call("reserve_blob_id", {"blob_id": blob_id})
-        return self._shard(blob_id).call(
+            self._call_with_failover(
+                lambda: 0, "reserve_blob_id", {"blob_id": blob_id}
+            )
+        return self._call_routed(
+            blob_id,
             "create_blob",
             {"chunk_size": chunk_size, "replication": replication, "blob_id": blob_id},
         )
 
     def blob_ids(self) -> List[BlobId]:
         ids: List[BlobId] = []
-        for future in [rpc.submit("blob_ids") for rpc in self._rpcs]:
+        futures = [
+            self._serving_rpc(shard).submit("blob_ids")
+            for shard in range(self.num_shards)
+        ]
+        for future in futures:
             ids.extend(future.result())
         return sorted(ids)
 
     def blob_info(self, blob_id: BlobId) -> BlobInfo:
-        return self._shard(blob_id).call("blob_info", {"blob_id": blob_id})
+        return self._call_routed(blob_id, "blob_info", {"blob_id": blob_id})
 
     def drop_blob(self, blob_id: BlobId) -> None:
-        self._shard(blob_id).call("drop_blob", {"blob_id": blob_id})
+        self._call_routed(blob_id, "drop_blob", {"blob_id": blob_id})
 
     # -- the serialised step -------------------------------------------------------
+    @staticmethod
+    def _writer_token(writer: Optional[str]) -> str:
+        """Per-round writer token: unique to one logical registration, stable
+        across its internal retries, so a reconcile after a lost ack finds
+        exactly the tickets that round assigned."""
+        return f"{writer or ''}#{uuid.uuid4().hex[:10]}"
+
     def register_append(
         self,
         blob_id: BlobId,
@@ -191,8 +346,11 @@ class RemoteCoordinator:
         writer: Optional[str] = None,
         guard=None,
     ):
-        return self._shard(blob_id).call(
-            "register_append", {"blob_id": blob_id, "size": size, "writer": writer}
+        return self._call_routed(
+            blob_id,
+            "register_append",
+            {"blob_id": blob_id, "size": size, "writer": self._writer_token(writer)},
+            reconcilable=True,
         )
 
     def register_writes_bulk(
@@ -205,9 +363,9 @@ class RemoteCoordinator:
         """One RPC per owning shard, all shards in flight at once; results
         realigned to input order.
 
-        ``epoch`` is accepted for interface parity and ignored — this
-        mirror's membership is static, so the epoch it would check against
-        never moves.
+        ``epoch`` is accepted for interface parity and ignored — epoch
+        staleness surfaces as ``EpochRetryError`` from the serving process
+        and is absorbed by the failover retry below.
         """
         by_shard: Dict[int, List[int]] = {}
         for position, (blob_id, _spans) in enumerate(batches):
@@ -219,17 +377,35 @@ class RemoteCoordinator:
                 [batches[p][0], [list(span) for span in batches[p][1]]]
                 for p in positions
             ]
+            token = self._writer_token(writer)
             futures.append(
                 (
                     positions,
-                    self._rpcs[shard].submit(
+                    shard_batches,
+                    token,
+                    self._serving_rpc(shard).submit(
                         "register_writes_bulk",
-                        {"batches": shard_batches, "writer": writer},
+                        {"batches": shard_batches, "writer": token},
                     ),
                 )
             )
-        for positions, future in futures:
-            for position, tickets in zip(positions, future.result()):
+        for positions, shard_batches, token, future in futures:
+            try:
+                shard_results = future.result()
+            except (EpochRetryError, ConnectionError, OSError):
+                # The fast parallel path lost this shard mid-round: fall
+                # back to the failover loop, reconciling with the same
+                # token — whatever the interrupted round already assigned
+                # comes back instead of being assigned twice.  A shard
+                # marked DOWN keeps its ring slot, so re-resolving any blob
+                # of the group finds the whole group's serving process.
+                shard_results = self._call_with_failover(
+                    lambda: self.shard_index(batches[positions[0]][0]),
+                    "register_writes_bulk",
+                    {"batches": shard_batches, "writer": token, "reconcile": True},
+                    reconcilable=True,
+                )
+            for position, tickets in zip(positions, shard_results):
                 results[position] = tickets
         return results  # type: ignore[return-value]
 
@@ -237,50 +413,56 @@ class RemoteCoordinator:
     def publish_many(
         self, blob_id: BlobId, versions: Sequence[Version], guard=None
     ) -> Version:
-        return self._shard(blob_id).call(
-            "publish_many", {"blob_id": blob_id, "versions": list(versions)}
+        # Retry-idempotent on the shard (PENDING -> COMPLETED only), so the
+        # failover loop can safely re-send a round whose ack was lost.
+        return self._call_routed(
+            blob_id, "publish_many", {"blob_id": blob_id, "versions": list(versions)}
         )
 
     def abort(self, blob_id: BlobId, version: Version, guard=None) -> None:
-        self._shard(blob_id).call("abort", {"blob_id": blob_id, "version": version})
+        self._call_routed(blob_id, "abort", {"blob_id": blob_id, "version": version})
 
     def mark_repaired(self, blob_id: BlobId, version: Version, guard=None) -> Version:
-        return self._shard(blob_id).call(
-            "mark_repaired", {"blob_id": blob_id, "version": version}
+        return self._call_routed(
+            blob_id, "mark_repaired", {"blob_id": blob_id, "version": version}
         )
 
     # -- read-side queries ---------------------------------------------------------
     def latest_version(self, blob_id: BlobId) -> Version:
-        return self._shard(blob_id).call("latest_version", {"blob_id": blob_id})
+        return self._call_routed(blob_id, "latest_version", {"blob_id": blob_id})
 
     def get_snapshot(
         self, blob_id: BlobId, version: Optional[Version] = None
     ) -> SnapshotInfo:
-        return self._shard(blob_id).call(
-            "get_snapshot", {"blob_id": blob_id, "version": version}
+        return self._call_routed(
+            blob_id, "get_snapshot", {"blob_id": blob_id, "version": version}
         )
 
     def get_history(self, blob_id: BlobId, upto_version: Version):
-        return self._shard(blob_id).call(
-            "get_history", {"blob_id": blob_id, "upto_version": upto_version}
+        return self._call_routed(
+            blob_id, "get_history", {"blob_id": blob_id, "upto_version": upto_version}
         )
 
     def pending_versions(self, blob_id: BlobId) -> List[Version]:
-        return self._shard(blob_id).call("pending_versions", {"blob_id": blob_id})
+        return self._call_routed(blob_id, "pending_versions", {"blob_id": blob_id})
 
     def aborted_versions(self, blob_id: BlobId) -> List[Version]:
-        return self._shard(blob_id).call("aborted_versions", {"blob_id": blob_id})
+        return self._call_routed(blob_id, "aborted_versions", {"blob_id": blob_id})
 
     def version_state(self, blob_id: BlobId, version: Version) -> WriteState:
         return WriteState(
-            self._shard(blob_id).call(
-                "version_state", {"blob_id": blob_id, "version": version}
+            self._call_routed(
+                blob_id, "version_state", {"blob_id": blob_id, "version": version}
             )
         )
 
     def report(self) -> Dict[str, int]:
         totals: Dict[str, int] = {}
-        for future in [rpc.submit("report") for rpc in self._rpcs]:
+        futures = [
+            self._serving_rpc(shard).submit("report")
+            for shard in range(self.num_shards)
+        ]
+        for future in futures:
             for key, value in future.result().items():
                 totals[key] = totals.get(key, 0) + value
         return totals

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import socket
 import threading
 import time
@@ -67,6 +68,19 @@ __all__ = [
 
 class NetworkError(ConnectionError):
     """Every server in the list failed across all retry sweeps."""
+
+
+#: Upper bound of the multiplicative sweep-backoff jitter: each backoff
+#: sleeps ``delay * uniform(1, 1 + JITTER)``.  Jitter is strictly upward so
+#: the exponential floor (what the failover tests assert on) still holds;
+#: its purpose is de-synchronisation — without it, every client that lost
+#: the same dead shard retries in lockstep and thundering-herds the standby
+#: the instant it takes over.
+BACKOFF_JITTER = 0.5
+
+
+def _jittered(delay: float) -> float:
+    return delay * (1.0 + random.random() * BACKOFF_JITTER)
 
 
 _timings = threading.local()
@@ -408,7 +422,7 @@ class RpcClient:
         # backoff), even if the reactor is wedged.
         sweeps = self.max_retries + 1
         backoffs = sum(
-            min(self.backoff_max, self.backoff_base * (2**s))
+            min(self.backoff_max, self.backoff_base * (2**s)) * (1.0 + BACKOFF_JITTER)
             for s in range(self.max_retries)
         )
         self._result_cap = (
@@ -463,7 +477,7 @@ class RpcClient:
                     channel.assigned -= 1
             if sweep < self.max_retries:
                 await asyncio.sleep(
-                    min(self.backoff_max, self.backoff_base * (2**sweep))
+                    _jittered(min(self.backoff_max, self.backoff_base * (2**sweep)))
                 )
         raise NetworkError(
             f"rpc {method!r} failed on all servers after "
@@ -739,7 +753,7 @@ class PooledRpcClient:
                 self._checkin(address, conn)
                 return response
             if sweep < self.max_retries:
-                delay = min(self.backoff_max, self.backoff_base * (2**sweep))
+                delay = _jittered(min(self.backoff_max, self.backoff_base * (2**sweep)))
                 time.sleep(delay)
         raise NetworkError(
             f"rpc {method!r} failed on all servers after "

@@ -44,8 +44,10 @@ import json
 import signal
 import sys
 import threading
-from typing import Any, Callable, Dict, Optional
+import uuid
+from typing import Any, Callable, Dict, List, Optional
 
+from ..core import errors
 from ..core.config import BlobSeerConfig
 from ..core.data_provider import DataProvider
 from ..core.provider_manager import ProviderManager, ProviderPool
@@ -55,6 +57,18 @@ from . import wire
 from .frames import FrameDecoder, encode_frame
 
 Handlers = Dict[str, Callable[..., Any]]
+
+#: Gap left above the highest known blob id when a coordinator restarts or a
+#: standby takes over.  Ids are allocated in ranges ahead of blob creation
+#: and the counter itself is not journaled, so a recovering shard only sees
+#: the ids that reached ``create_blob``; skipping a window past them keeps
+#: handed-out-but-uncreated ids from being reissued (ids are documented
+#: non-dense, so the gap is free).
+ID_RESTART_GAP = 1024
+
+#: Batch size cap of one ``journal_stream`` response; a lagging standby
+#: drains the backlog over several pulls instead of one giant frame.
+STREAM_BATCH_RECORDS = 512
 
 
 # -- role -> handler tables --------------------------------------------------------
@@ -66,6 +80,7 @@ def provider_handlers(index: int, config: BlobSeerConfig) -> Handlers:
     )
     return {
         "ping": lambda: True,
+        "health": lambda: {"role": "provider", "index": index, "serving": provider.alive},
         "put_chunk": provider.put_chunk,
         "get_chunk": provider.get_chunk,
         "has_chunk": provider.has_chunk,
@@ -83,6 +98,7 @@ def meta_handlers(index: int, config: BlobSeerConfig) -> Handlers:
     store = KeyValueStore(provider_id=f"meta-{index:03d}")
     return {
         "ping": lambda: True,
+        "health": lambda: {"role": "meta", "index": index, "serving": True},
         "put": store.put,
         "get": store.get,
         "get_or_none": store.get_or_none,
@@ -96,31 +112,16 @@ def meta_handlers(index: int, config: BlobSeerConfig) -> Handlers:
     }
 
 
-def coordinator_handlers(
-    index: int, config: BlobSeerConfig, journal_dir: Optional[str] = None
-) -> Handlers:
-    manager = VersionManager()
-    if journal_dir:
-        from ..resilience.journal import ShardJournal
-
-        journal = ShardJournal.open(
-            journal_dir,
-            shard_id=f"vm-{index:03d}",
-            snapshot_interval=config.journal_snapshot_interval,
-        )
-        if journal.has_history:
-            journal.replay_into(manager)
-            manager.journal = journal
-        else:
-            manager.journal = journal
-            journal.snapshot(manager.dump_state())
-
-    # Global blob-id allocation (driven on shard 0 only): hand out ranges,
-    # bump past explicitly-reserved ids, never reuse.
+def _blob_id_allocator(manager: VersionManager, gap: int = 0) -> Handlers:
+    """Global blob-id allocation (driven on shard 0 only): hand out ranges,
+    bump past explicitly-reserved ids, never reuse.  ``gap`` skips a window
+    above the recovered maximum on restart/takeover (:data:`ID_RESTART_GAP`)."""
     id_lock = threading.Lock()
     next_id = [1]
     for blob_id in manager.blob_ids():
         next_id[0] = max(next_id[0], blob_id + 1)
+    if gap and next_id[0] > 1:
+        next_id[0] += gap
 
     def alloc_blob_ids(count: int = 1) -> list:
         with id_lock:
@@ -132,42 +133,374 @@ def coordinator_handlers(
         with id_lock:
             next_id[0] = max(next_id[0], blob_id + 1)
 
-    def register_writes_bulk(batches, writer=None):
+    return {"alloc_blob_ids": alloc_blob_ids, "reserve_blob_id": reserve_blob_id}
+
+
+def _reconcile_register(manager: VersionManager, blob_id, spans, writer) -> List[Any]:
+    """Idempotent re-registration for a retried round (lost-ack recovery).
+
+    The client's per-round writer token is unique, so the tickets already
+    carrying it are exactly what the interrupted round assigned, in span
+    order.  Each span consumes the next matching existing ticket; spans past
+    what the first attempt got through (a SIGKILL mid-bulk journals a
+    partial round) are registered now.  Matching is by shape (append, or
+    same offset+size) so spans the first attempt *rejected* — which consumed
+    no version — cannot steal a later span's ticket.
+    """
+    existing = list(manager.writer_tickets(blob_id, writer))
+    outcomes: List[Any] = []
+    for offset, size in spans:
+        head = existing[0] if existing else None
+        if head is not None and head.size == size and (
+            head.is_append or head.offset == offset
+        ):
+            outcomes.append(existing.pop(0))
+        else:
+            outcomes.append(
+                manager.register_writes(blob_id, [(offset, size)], writer=writer)[0]
+            )
+    return outcomes
+
+
+def _manager_surface(get_manager: Callable[[], VersionManager]) -> Handlers:
+    """The coordinator-shard data plane over a per-call manager resolver.
+
+    Shared by the ``coordinator`` role (resolver returns the one manager)
+    and the ``standby`` role (resolver returns the replica, or raises the
+    retryable routing error while the primary still owns the shard).
+    """
+
+    def register_append(blob_id, size, writer=None, reconcile=False):
+        manager = get_manager()
+        if reconcile and writer:
+            tickets = manager.writer_tickets(blob_id, writer)
+            if tickets:
+                return tickets[0]
+        return manager.register_append(blob_id, size, writer=writer)
+
+    def register_writes_bulk(batches, writer=None, reconcile=False):
+        manager = get_manager()
         normalized = [
             (blob_id, [(off, size) for off, size in spans]) for blob_id, spans in batches
         ]
+        if reconcile and writer:
+            return [
+                _reconcile_register(manager, blob_id, spans, writer)
+                for blob_id, spans in normalized
+            ]
         return manager.register_writes_bulk(normalized, writer=writer)
 
     return {
         "ping": lambda: True,
-        "alloc_blob_ids": alloc_blob_ids,
-        "reserve_blob_id": reserve_blob_id,
-        "create_blob": lambda chunk_size, replication, blob_id: manager.create_blob(
+        "create_blob": lambda chunk_size, replication, blob_id: get_manager().create_blob(
             chunk_size=chunk_size, replication=replication, blob_id=blob_id
         ),
-        "blob_ids": manager.blob_ids,
-        "blob_info": manager.blob_info,
-        "register_append": lambda blob_id, size, writer=None: manager.register_append(
-            blob_id, size, writer=writer
-        ),
+        "blob_ids": lambda: get_manager().blob_ids(),
+        "blob_info": lambda blob_id: get_manager().blob_info(blob_id),
+        "register_append": register_append,
         "register_writes_bulk": register_writes_bulk,
-        "publish_many": lambda blob_id, versions: manager.publish_many(blob_id, versions),
-        "abort": lambda blob_id, version: manager.abort(blob_id, version),
-        "mark_repaired": lambda blob_id, version: manager.mark_repaired(blob_id, version),
-        "latest_version": manager.latest_version,
-        "get_snapshot": lambda blob_id, version=None: manager.get_snapshot(
+        "publish_many": lambda blob_id, versions: get_manager().publish_many(
+            blob_id, versions
+        ),
+        "abort": lambda blob_id, version: get_manager().abort(blob_id, version),
+        "mark_repaired": lambda blob_id, version: get_manager().mark_repaired(
             blob_id, version
         ),
-        "get_history": manager.get_history,
-        "pending_versions": manager.pending_versions,
-        "aborted_versions": manager.aborted_versions,
-        "version_state": lambda blob_id, version: manager.version_state(
+        "latest_version": lambda blob_id: get_manager().latest_version(blob_id),
+        "get_snapshot": lambda blob_id, version=None: get_manager().get_snapshot(
             blob_id, version
-        ).value,
-        "drop_blob": manager.drop_blob,
-        "report": manager.report,
-        "backlog": manager.backlog,
+        ),
+        "get_history": lambda blob_id, upto_version: get_manager().get_history(
+            blob_id, upto_version
+        ),
+        "pending_versions": lambda blob_id: get_manager().pending_versions(blob_id),
+        "aborted_versions": lambda blob_id: get_manager().aborted_versions(blob_id),
+        "version_state": lambda blob_id, version: get_manager()
+        .version_state(blob_id, version)
+        .value,
+        "drop_blob": lambda blob_id: get_manager().drop_blob(blob_id),
+        "report": lambda: get_manager().report(),
+        "backlog": lambda: get_manager().backlog(),
     }
+
+
+def coordinator_handlers(
+    index: int, config: BlobSeerConfig, journal_dir: Optional[str] = None
+) -> Handlers:
+    from ..resilience.journal import ShardJournal
+
+    shard_id = f"vm-{index:03d}"
+    manager = VersionManager()
+    journal: Optional[ShardJournal] = None
+    restarted = False
+    if journal_dir:
+        journal = ShardJournal.open(
+            journal_dir,
+            shard_id=shard_id,
+            snapshot_interval=config.journal_snapshot_interval,
+        )
+        if journal.has_history:
+            restarted = True
+            journal.replay_into(manager)
+            manager.journal = journal
+            # A rejoining primary folds in what its standby committed while
+            # it was down: the handoff journal's records are ingested into
+            # the WAL (and applied) and only then dropped from disk.
+            handoff = ShardJournal.open(journal_dir, shard_id=f"{shard_id}-handoff")
+            if handoff.has_history:
+                journal.ingest(handoff.records(), apply_to=manager)
+                handoff.discard_files()
+            else:
+                handoff.close()
+        else:
+            manager.journal = journal
+            journal.snapshot(manager.dump_state())
+
+    # Per-boot stream token: a standby resuming by lsn across a primary
+    # restart would diverge (the handoff ingest re-stamps lsns), so a token
+    # mismatch forces it to re-bootstrap from the snapshot instead.
+    boot_token = uuid.uuid4().hex
+
+    def journal_stream(
+        after_lsn: int = 0,
+        stream_id: Optional[str] = None,
+        bootstrap: bool = False,
+        max_records: int = STREAM_BATCH_RECORDS,
+    ) -> Dict[str, Any]:
+        if journal is None:
+            raise errors.ServiceError(
+                f"coordinator {shard_id} has no journal to stream (no --journal-dir)"
+            )
+        view = journal.stream_state(
+            after_lsn=int(after_lsn),
+            bootstrap=bool(bootstrap) or stream_id != boot_token,
+        )
+        records = view["records"]
+        truncated = len(records) > max_records
+        if truncated:
+            records = records[:max_records]
+        if records:
+            last_lsn = records[-1].lsn
+        else:
+            last_lsn = view["snapshot_lsn"] if view["bootstrap"] else int(after_lsn)
+        return {
+            "stream_id": boot_token,
+            "bootstrap": view["bootstrap"],
+            "snapshot": view["snapshot"],
+            "snapshot_lsn": view["snapshot_lsn"],
+            "records": records,
+            "last_lsn": last_lsn,
+            "truncated": truncated,
+        }
+
+    def note_membership(state) -> bool:
+        if journal is not None:
+            journal.append("membership", 0, **state)
+        return True
+
+    handlers = _manager_surface(lambda: manager)
+    handlers.update(_blob_id_allocator(manager, gap=ID_RESTART_GAP if restarted else 0))
+    handlers.update(
+        {
+            "health": lambda: {
+                "role": "coordinator",
+                "shard_id": shard_id,
+                "serving": True,
+                "last_lsn": journal.last_lsn if journal is not None else 0,
+                "restarted": restarted,
+            },
+            "journal_stream": journal_stream,
+            "membership": lambda: (
+                journal.latest_membership() if journal is not None else None
+            ),
+            "note_membership": note_membership,
+        }
+    )
+    return handlers
+
+
+def standby_handlers(
+    index: int,
+    config: BlobSeerConfig,
+    journal_dir: Optional[str] = None,
+    primary: Optional[str] = None,
+) -> Handlers:
+    """A process-hosted hot standby for coordinator shard ``index``.
+
+    Follows the primary's journal over the wire (a puller thread calling its
+    ``journal_stream`` RPC) into a :class:`~repro.resilience.failover.
+    StreamedStandby`; on ``take_over`` it catches up from the shared on-disk
+    WAL and serves the full coordinator surface from the replica, journaling
+    every transition to the handoff file the rejoining primary ingests.
+    Until then the data plane answers with the retryable
+    :class:`~repro.core.errors.EpochRetryError` — a client landing here has
+    stale routing, not a broken shard.
+    """
+    from ..resilience.failover import StreamedStandby
+    from .rpc import PooledRpcClient
+
+    shard_id = f"vm-{index:03d}"
+    standby = StreamedStandby(shard_id)
+    # One lock serialises puller applies against takeover/resign; RPC
+    # handlers run inline on the server loop but the puller is a thread.
+    state_lock = threading.Lock()
+    commits_served = [0]
+    latest_membership: List[Optional[Dict[str, Any]]] = [None]
+    stop_pulling = threading.Event()
+    client_box: List[Optional[PooledRpcClient]] = [None]
+    pulls = [0]
+    poll = max(0.01, config.net_heartbeat_interval / 5.0)
+
+    def _pull_loop(client: PooledRpcClient) -> None:
+        while not stop_pulling.is_set():
+            drain = False
+            try:
+                with state_lock:
+                    if standby.taking_over:
+                        return
+                    after, token = standby.applied_lsn, standby.stream_id
+                batch = client.call(
+                    "journal_stream", {"after_lsn": after, "stream_id": token}
+                )
+                with state_lock:
+                    if standby.taking_over or stop_pulling.is_set():
+                        return
+                    standby.apply_batch(
+                        batch["stream_id"],
+                        batch["bootstrap"],
+                        batch["snapshot"],
+                        batch["snapshot_lsn"],
+                        batch["records"],
+                    )
+                pulls[0] += 1
+                drain = bool(batch.get("truncated"))
+            except (ConnectionError, OSError):
+                # Primary unreachable: keep polling quietly — either it
+                # comes back or the monitor promotes us via ``take_over``.
+                pass
+            except Exception as exc:  # noqa: BLE001 - follower must survive
+                print(
+                    f"standby {shard_id}: stream pull failed: {exc}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+            if not drain:
+                stop_pulling.wait(poll)
+
+    def follow(primary: str) -> bool:
+        """(Re)attach the pull stream to a primary at ``host:port``."""
+        host, _, port = primary.rpartition(":")
+        stop_pulling.set()
+        old = client_box[0]
+        if old is not None:
+            old.close()
+        client = PooledRpcClient(
+            [(host, int(port))],
+            connect_timeout=2.0,
+            request_timeout=10.0,
+            max_retries=0,
+            codec=config.net_codec,
+        )
+        client_box[0] = client
+        stop_pulling.clear()
+        threading.Thread(
+            target=_pull_loop,
+            args=(client,),
+            name=f"standby-pull-{shard_id}",
+            daemon=True,
+        ).start()
+        return True
+
+    def take_over(state: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Promote the replica (idempotent).  ``state`` is the membership
+        snapshot that marked the primary down; journaling it into the
+        handoff makes the takeover epoch durable — a deployment restart
+        adopts it instead of resurrecting the dead shard's routing."""
+        stop_pulling.set()
+        with state_lock:
+            if not standby.taking_over:
+                standby.take_over(journal_dir)
+                if state is None:
+                    state = latest_membership[0]
+                if state is not None:
+                    standby.handoff.append("membership", 0, **state)
+                    latest_membership[0] = dict(state)
+            return standby.status()
+
+    def resign() -> Dict[str, Any]:
+        """Stop serving so the rejoining primary can ingest the handoff."""
+        with state_lock:
+            standby.resign()
+            return standby.status()
+
+    def note_membership(state) -> bool:
+        with state_lock:
+            latest_membership[0] = dict(state)
+            if standby.taking_over:
+                standby.handoff.append("membership", 0, **state)
+        return True
+
+    def get_manager() -> VersionManager:
+        if not standby.taking_over:
+            raise errors.EpochRetryError(
+                f"standby {shard_id} is not serving (the primary owns the shard)",
+                epoch=0,
+            )
+        return standby.manager
+
+    def health() -> Dict[str, Any]:
+        with state_lock:
+            return {
+                "role": "standby",
+                "shard_id": shard_id,
+                "serving": standby.taking_over,
+                "applied_lsn": standby.applied_lsn,
+                "commits_served": commits_served[0],
+            }
+
+    def standby_status() -> Dict[str, Any]:
+        with state_lock:
+            status = standby.status()
+        status["commits_served"] = commits_served[0]
+        status["pulls"] = pulls[0]
+        return status
+
+    handlers = _manager_surface(get_manager)
+    base_publish = handlers["publish_many"]
+
+    def publish_many(blob_id, versions):
+        frontier = base_publish(blob_id=blob_id, versions=versions)
+        commits_served[0] += len(versions)
+        return frontier
+
+    handlers["publish_many"] = publish_many
+
+    # Blob-id allocation only exists once the replica is promoted (the
+    # primary owns the counter until then); reseeded with the restart gap.
+    id_box: List[Optional[Handlers]] = [None]
+
+    def _ids() -> Handlers:
+        get_manager()  # raises the routing error while the primary serves
+        if id_box[0] is None:
+            id_box[0] = _blob_id_allocator(standby.manager, gap=ID_RESTART_GAP)
+        return id_box[0]
+
+    handlers.update(
+        {
+            "alloc_blob_ids": lambda count=1: _ids()["alloc_blob_ids"](count),
+            "reserve_blob_id": lambda blob_id: _ids()["reserve_blob_id"](blob_id),
+            "health": health,
+            "follow": follow,
+            "take_over": take_over,
+            "resign": resign,
+            "standby_status": standby_status,
+            "membership": lambda: latest_membership[0],
+            "note_membership": note_membership,
+        }
+    )
+    if primary:
+        follow(primary)
+    return handlers
 
 
 def pmgr_handlers(index: int, config: BlobSeerConfig) -> Handlers:
@@ -179,6 +512,7 @@ def pmgr_handlers(index: int, config: BlobSeerConfig) -> Handlers:
     manager = ProviderManager(pool, config)
     return {
         "ping": lambda: True,
+        "health": lambda: {"role": "pmgr", "index": index, "serving": True},
         "allocate": lambda blob_id, offset, size, chunk_size, replication=None: list(
             manager.allocate(blob_id, offset, size, chunk_size, replication=replication)
         ),
@@ -195,6 +529,7 @@ ROLES = {
     "provider": provider_handlers,
     "meta": meta_handlers,
     "coordinator": coordinator_handlers,
+    "standby": standby_handlers,
     "pmgr": pmgr_handlers,
 }
 
@@ -326,6 +661,10 @@ async def _amain(args: argparse.Namespace) -> None:
     factory = ROLES[args.role]
     if args.role == "coordinator":
         handlers = factory(args.index, config, journal_dir=args.journal_dir)
+    elif args.role == "standby":
+        handlers = factory(
+            args.index, config, journal_dir=args.journal_dir, primary=args.primary
+        )
     else:
         handlers = factory(args.index, config)
     server = RpcServer(
@@ -369,7 +708,14 @@ def main(argv: Optional[list] = None) -> None:
     parser.add_argument("--port", type=int, default=0, help="0 binds an ephemeral port")
     parser.add_argument("--config", default=None, help="flat BlobSeerConfig JSON")
     parser.add_argument(
-        "--journal-dir", default=None, help="WAL directory (coordinator role only)"
+        "--journal-dir",
+        default=None,
+        help="WAL directory (coordinator and standby roles)",
+    )
+    parser.add_argument(
+        "--primary",
+        default=None,
+        help="host:port of the coordinator shard a standby follows",
     )
     args = parser.parse_args(argv)
     try:

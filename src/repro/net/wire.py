@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Tuple, Type
 from ..core import errors
 from ..core.metadata.segment_tree import WriteRecord
 from ..core.metadata.tree_node import Fragment, InnerNode, LeafNode
+from ..resilience.journal import JournalRecord
 from ..core.types import (
     BlobInfo,
     ChunkDescriptor,
@@ -133,6 +134,11 @@ _TYPES: Dict[str, Tuple[type, Tuple[str, ...], Callable[[List[Any]], Any]]] = {
         WriteRecord,
         ("version", "offset", "size", "new_size"),
         lambda f: WriteRecord(*f),
+    ),
+    "JournalRecord": (
+        JournalRecord,
+        ("lsn", "op", "blob_id", "payload"),
+        lambda f: JournalRecord(lsn=f[0], op=f[1], blob_id=f[2], payload=f[3]),
     ),
 }
 

@@ -17,7 +17,7 @@ failures of physical components):
 """
 
 from .journal import JOURNAL_OPS, JournalRecord, JournalReplayError, ShardJournal, apply_record
-from .failover import ShardStandby
+from .failover import ShardStandby, StreamedStandby
 from .scrub import AntiEntropyScrubber, ScrubReport, ScrubTick
 
 __all__ = [
@@ -29,5 +29,6 @@ __all__ = [
     "ScrubTick",
     "ShardJournal",
     "ShardStandby",
+    "StreamedStandby",
     "apply_record",
 ]

@@ -25,7 +25,8 @@ records flow strictly primary → journal → standby.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.errors import ServiceError
 from ..core.version_manager import VersionManager
@@ -118,3 +119,152 @@ class ShardStandby:
     def discard_handoff(self) -> None:
         """Drop the handoff files once the primary WAL holds their records."""
         self.handoff.discard_files()
+
+
+class StreamedStandby:
+    """Pull-based replica of one coordinator shard, for process-hosted standbys.
+
+    :class:`ShardStandby` rides the journal's in-process ``subscribe()``
+    callback — impossible across a process boundary.  A ``StreamedStandby``
+    instead applies batches fetched over the wire: the standby server's
+    puller thread calls the coordinator's ``journal_stream`` RPC with the
+    replica's acked lsn, and each response carries the primary's per-boot
+    ``stream_id`` token, an optional snapshot bootstrap, and the records
+    after that lsn.
+
+    Transport-free by design: the :mod:`repro.net` layer fetches and decodes
+    batches, this class holds the replica state machine, the lsn cursor, and
+    the takeover lifecycle.  The ``stream_id`` token guards against a primary
+    restart mid-stream — a restarted primary folds its handoff records back
+    in with *re-stamped* lsns, so resuming by lsn across a restart would
+    silently diverge; a token mismatch forces a snapshot re-bootstrap
+    instead.
+    """
+
+    def __init__(self, shard_id: str) -> None:
+        self.shard_id = shard_id
+        #: The replica state machine, trailing the primary by at most one
+        #: un-pulled stream batch.
+        self.manager = VersionManager()
+        #: Highest primary lsn applied to the replica (the stream ack cursor).
+        self.applied_lsn = 0
+        #: Boot token of the primary journal this replica is following.
+        self.stream_id: Optional[str] = None
+        self.taking_over = False
+        self.handoff: ShardJournal = ShardJournal(shard_id=f"{shard_id}-handoff")
+        #: Monitoring counters.
+        self.records_applied = 0
+        self.bootstraps = 0
+        self.takeovers = 0
+
+    # -- the pull stream ----------------------------------------------------------
+    def apply_batch(
+        self,
+        stream_id: str,
+        bootstrap: bool,
+        snapshot: Optional[Dict[str, Any]],
+        snapshot_lsn: int,
+        records: Sequence[JournalRecord],
+    ) -> int:
+        """Apply one ``journal_stream`` response; returns records applied.
+
+        A ``bootstrap`` batch replaces the replica wholesale (snapshot state
+        plus the primary's full record tail); an incremental batch must carry
+        the stream token the replica is already following, otherwise the
+        primary restarted since the last pull and the caller must re-request
+        with ``bootstrap=True`` rather than resume by lsn.
+        """
+        if self.taking_over:
+            raise ServiceError(
+                f"shard {self.shard_id} standby received stream records during takeover"
+            )
+        if bootstrap:
+            manager = VersionManager()
+            if snapshot is not None:
+                manager.load_state(snapshot)
+            self.manager = manager
+            self.applied_lsn = int(snapshot_lsn)
+            self.stream_id = stream_id
+            self.bootstraps += 1
+        elif self.stream_id != stream_id:
+            raise ServiceError(
+                f"shard {self.shard_id} stream token changed "
+                f"({self.stream_id!r} -> {stream_id!r}): primary restarted, "
+                "re-bootstrap required"
+            )
+        applied = 0
+        for record in records:
+            if record.lsn <= self.applied_lsn:
+                continue
+            apply_record(self.manager, record)
+            self.applied_lsn = record.lsn
+            applied += 1
+        self.records_applied += applied
+        return applied
+
+    # -- takeover lifecycle --------------------------------------------------------
+    def take_over(self, journal_dir: Optional[str | Path] = None) -> None:
+        """Promote the replica to the shard's state of record.
+
+        Before serving, the standby catches up from the dead primary's
+        on-disk WAL in the shared ``journal_dir`` — append-flush-before-ack
+        makes that WAL the durable truth, so registrations the primary
+        acknowledged but never streamed (in flight when it was SIGKILLed)
+        are recovered here, not lost.  If the replica has fallen behind a
+        snapshot truncation it rebuilds wholesale; otherwise it applies the
+        WAL tail past its cursor.  From then on every transition is logged
+        to a file-backed handoff journal the rejoining primary ingests; a
+        handoff left by a predecessor standby that died mid-takeover is
+        folded in first and extended, never discarded.
+        """
+        if self.taking_over:
+            return
+        if journal_dir is not None:
+            disk = ShardJournal.open(journal_dir, shard_id=self.shard_id)
+            if self.applied_lsn < disk.snapshot_lsn:
+                manager = VersionManager()
+                disk.replay_into(manager)
+                self.manager = manager
+                self.bootstraps += 1
+            else:
+                for record in disk.records_since(self.applied_lsn):
+                    apply_record(self.manager, record)
+                    self.records_applied += 1
+            self.applied_lsn = max(self.applied_lsn, disk.last_lsn)
+            disk.close()
+            self.handoff = ShardJournal.open(
+                journal_dir, shard_id=f"{self.shard_id}-handoff"
+            )
+            for record in self.handoff.records():
+                apply_record(self.manager, record)
+                self.records_applied += 1
+        else:
+            self.handoff = ShardJournal(shard_id=f"{self.shard_id}-handoff")
+        self.manager.journal = self.handoff
+        self.taking_over = True
+        self.takeovers += 1
+
+    def resign(self) -> None:
+        """Stop serving (the primary is rejoining).
+
+        Closes the handoff journal but leaves its files on disk — the
+        respawned primary ingests them into its WAL and only then discards
+        them; dropping them here would lose every commit the standby served.
+        """
+        if not self.taking_over:
+            return
+        self.manager.journal = None
+        self.taking_over = False
+        self.handoff.close()
+
+    def status(self) -> Dict[str, Any]:
+        """Stream/takeover introspection (the standby server's RPC answer)."""
+        return {
+            "shard_id": self.shard_id,
+            "applied_lsn": self.applied_lsn,
+            "stream_id": self.stream_id,
+            "taking_over": self.taking_over,
+            "records_applied": self.records_applied,
+            "bootstraps": self.bootstraps,
+            "takeovers": self.takeovers,
+        }

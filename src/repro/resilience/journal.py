@@ -150,6 +150,8 @@ class ShardJournal:
         #: Monitoring counters (the simulator charges time per append).
         self.appends = 0
         self.snapshots = 0
+        #: Whether :meth:`open` dropped a torn (half-written) final WAL line.
+        self.torn_tail_dropped = False
         #: WAL segments deleted by the retention policy (monitoring).
         self.segments_deleted = 0
         self._tail_bytes = 0
@@ -210,10 +212,20 @@ class ShardJournal:
             if membership is not None:
                 journal._note_membership_locked(membership)
         if journal.wal_path.exists():
-            for line in journal.wal_path.read_text().splitlines():
-                if not line.strip():
-                    continue
-                record = JournalRecord.from_json(line)
+            lines = [
+                line for line in journal.wal_path.read_text().splitlines() if line.strip()
+            ]
+            for position, line in enumerate(lines):
+                try:
+                    record = JournalRecord.from_json(line)
+                except (json.JSONDecodeError, KeyError):
+                    # A torn *final* line is a write the process died inside —
+                    # never acknowledged, safe to drop.  Anywhere else it is
+                    # corruption and must fail loudly.
+                    if position == len(lines) - 1:
+                        journal.torn_tail_dropped = True
+                        break
+                    raise
                 journal._records.append(record)
                 journal._next_lsn = max(journal._next_lsn, record.lsn + 1)
                 if record.op == "membership":
@@ -504,6 +516,37 @@ class ShardJournal:
         """Records with lsn strictly greater than ``lsn`` (catch-up reads)."""
         with self._lock:
             return [record for record in self._records if record.lsn > lsn]
+
+    def stream_state(self, after_lsn: int = 0, bootstrap: bool = False) -> Dict[str, Any]:
+        """One consistent catch-up view for a journal-stream follower.
+
+        A follower that has applied everything up to ``after_lsn`` gets the
+        incremental tail (records with higher lsns).  When it has fallen
+        behind a snapshot truncation — or asks for a full ``bootstrap``
+        (late join, primary restart) — the answer carries the snapshot
+        state plus the complete in-memory tail, captured under one lock so
+        snapshot and records can never straddle a concurrent compaction.
+        """
+        with self._lock:
+            if bootstrap or after_lsn < self._snapshot_lsn:
+                return {
+                    "bootstrap": True,
+                    "snapshot": self._snapshot_state,
+                    "snapshot_lsn": self._snapshot_lsn,
+                    "records": list(self._records),
+                }
+            return {
+                "bootstrap": False,
+                "snapshot": None,
+                "snapshot_lsn": self._snapshot_lsn,
+                "records": [record for record in self._records if record.lsn > after_lsn],
+            }
+
+    @property
+    def snapshot_lsn(self) -> int:
+        """Lsn the current snapshot covers (0 when no snapshot was taken)."""
+        with self._lock:
+            return self._snapshot_lsn
 
     @property
     def last_lsn(self) -> int:
