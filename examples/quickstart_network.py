@@ -15,6 +15,9 @@ Run with::
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 from repro.core import BlobSeerConfig
 from repro.core.deployment import make_deployment
 
@@ -31,6 +34,7 @@ def main() -> None:
         chunk_size=64 * 1024,
         replication=2,
         transport="network",      # <- the one-field flip
+        obs_tracing=True,         # <- record spans on every process
     )
     with make_deployment(config) as deployment:
         client = deployment.client()
@@ -63,6 +67,30 @@ def main() -> None:
             print(f"  {address}: {stats['requests_sent']} requests over "
                   f"{stats['connections']} connection(s), "
                   f"peak {stats['peak_inflight']} in flight")
+
+        # --- observability: cluster-wide percentiles + a merged trace -----------
+        # Every process answers a ``metrics`` RPC beside ``health``;
+        # histograms are log-bucketed so per-process shards merge exactly
+        # and the percentiles below are deployment-wide, not one role's.
+        from repro.obs import metrics as obs_metrics
+
+        snap = deployment.metrics_snapshot()
+        merged = snap["merged"]
+        print("latency percentiles across every process (ms):")
+        print(f"  {'histogram':<28} {'p50':>8} {'p95':>8} {'p99':>8}")
+        for name in ("coordinator_commit_seconds", "provider_put_seconds",
+                     "rpc_client_queue_wait_seconds"):
+            p = obs_metrics.percentiles(merged, name)
+            print(f"  {name:<28} {1e3 * p['p50']:>8.3f} "
+                  f"{1e3 * p['p95']:>8.3f} {1e3 * p['p99']:>8.3f}")
+
+        # Spans were recorded on every process (obs_tracing=True) with
+        # trace contexts carried on the RPC envelopes — the harvest merges
+        # into one timeline chrome://tracing or Perfetto can open.
+        trace_path = deployment.save_chrome_trace(
+            os.path.join(tempfile.gettempdir(), "quickstart_trace.json")
+        )
+        print(f"merged Chrome trace saved to {trace_path}")
 
     # --- failover: SIGKILL a coordinator shard mid-write --------------------
     # Journal-backed deployments also spawn one standby process per

@@ -45,8 +45,10 @@ the client executes them in **batches** over a pluggable
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs import trace as obs_trace
 from .chunking import reassemble, split_payload
 from .config import ClientConfig
 from .errors import EpochRetryError, InvalidRangeError, ReplicationError, ServiceError
@@ -101,11 +103,14 @@ class _Pending:
         "connect_seconds",
         "send_seconds",
         "wait_seconds",
+        "trace",
     )
 
     def __init__(self, index: int, op: Op) -> None:
         self.index = index
         self.op = op
+        #: Per-op trace context (child of the batch root) when tracing is on.
+        self.trace: Optional[obs_trace.TraceContext] = None
         self.error: Optional[BaseException] = None
         self.info: Optional[BlobInfo] = None
         self.snapshot: Optional[SnapshotInfo] = None
@@ -256,13 +261,47 @@ class BlobSeerClient:
         transport.take_net_timings()
         pending = [_Pending(index, op) for index, op in enumerate(ops)]
 
-        self._phase_setup(pending)
-        self._phase_transfer(pending)
-        self._phase_assign_versions(pending)
-        self._phase_weave_and_publish(pending, started)
+        # One root trace context per batch, one child per op.  The batch
+        # context stays active for the dynamic extent of the phases, so
+        # control-plane RPCs issued inline on this thread parent under it;
+        # per-op data-plane jobs and phase-1 setup carry the op's child
+        # context instead (ChunkPush/ChunkFetch ``trace`` fields, phase-1
+        # activation below).
+        tr = obs_trace.tracer()
+        batch_ctx: Optional[obs_trace.TraceContext] = None
+        wall_started = time.time()
+        if tr.enabled:
+            batch_ctx = obs_trace.TraceContext.root()
+            for p in pending:
+                p.trace = batch_ctx.child()
+
+        with obs_trace.activate(batch_ctx):
+            self._phase_setup(pending)
+            self._phase_transfer(pending)
+            self._phase_assign_versions(pending)
+            self._phase_weave_and_publish(pending, started)
 
         self.counters["batches"] += 1
         results = [self._result_of(p, started) for p in pending]
+        if batch_ctx is not None:
+            # Client-side spans: op durations mapped onto the batch's wall
+            # start (phase timings run on the transport clock); the batch
+            # span closes over everything, so server spans nest two deep.
+            for p, result in zip(pending, results):
+                tr.record(
+                    f"op:{p.op.kind.value}",
+                    p.trace,
+                    wall_started,
+                    wall_started + max(0.0, result.timing.duration),
+                    tags={"index": p.index, "status": result.status.value},
+                )
+            tr.record(
+                "batch",
+                batch_ctx,
+                wall_started,
+                time.time(),
+                tags={"ops": len(pending), "client": self.client_id},
+            )
         return results
 
     # -- phase 1: control-plane setup ------------------------------------------------------
@@ -280,80 +319,92 @@ class BlobSeerClient:
         for p in pending:
             op = p.op
             try:
-                if isinstance(op, ReadOp):
-                    snapshot = snapshots.get((op.blob_id, op.version))
-                    if snapshot is None:
-                        snapshot = transport.control(
-                            "version_manager",
-                            lambda op=op: vm.get_snapshot(op.blob_id, op.version),
-                            shard=vm.active_shard_index(op.blob_id),
+                # Activate the op's own context: the control RPCs of this
+                # op's setup (snapshot resolution, append tickets, placement)
+                # parent under the op span, not the batch span.  A no-op
+                # (None over None) when tracing is off.
+                with obs_trace.activate(p.trace):
+                    if isinstance(op, ReadOp):
+                        snapshot = snapshots.get((op.blob_id, op.version))
+                        if snapshot is None:
+                            snapshot = transport.control(
+                                "version_manager",
+                                lambda op=op: vm.get_snapshot(op.blob_id, op.version),
+                                shard=vm.active_shard_index(op.blob_id),
+                            )
+                            snapshots[(op.blob_id, op.version)] = snapshot
+                            snapshots[(op.blob_id, snapshot.version)] = snapshot
+                        p.snapshot = snapshot
+                        if op.offset > p.snapshot.size:
+                            raise InvalidRangeError(
+                                f"read offset {op.offset} is beyond the end of snapshot "
+                                f"v{p.snapshot.version} (size {p.snapshot.size})"
+                            )
+                        p.target = Interval.of(op.offset, op.size).intersection(
+                            Interval(0, p.snapshot.size)
                         )
-                        snapshots[(op.blob_id, op.version)] = snapshot
-                        snapshots[(op.blob_id, snapshot.version)] = snapshot
-                    p.snapshot = snapshot
-                    if op.offset > p.snapshot.size:
-                        raise InvalidRangeError(
-                            f"read offset {op.offset} is beyond the end of snapshot "
-                            f"v{p.snapshot.version} (size {p.snapshot.size})"
+                        if p.target.empty:
+                            p.data = b""
+                            continue
+                        reader = SegmentTreeReader(
+                            self._metadata, p.snapshot.chunk_size, vectored=self._vectored
                         )
-                    p.target = Interval.of(op.offset, op.size).intersection(
-                        Interval(0, p.snapshot.size)
-                    )
-                    if p.target.empty:
-                        p.data = b""
-                        continue
-                    reader = SegmentTreeReader(
-                        self._metadata, p.snapshot.chunk_size, vectored=self._vectored
-                    )
-                    snapshot = p.snapshot
-                    target = p.target
-                    fragments, token = transport.record_metadata(
-                        lambda: reader.lookup(snapshot.root, target)
-                    )
-                    self.counters["metadata_nodes_fetched"] += reader.nodes_fetched
-                    self.counters["metadata_levels_fetched"] += reader.levels_fetched
-                    p.read_fragments = fragments
-                    read_rounds.append((p, token))
-                    p.fetch_jobs = [
-                        ChunkFetch(p.index, tuple(f.providers), f.key, f.length)
-                        for f in fragments
-                    ]
-                else:
-                    p.info = vm.blob_info(op.blob_id)
-                    if isinstance(op, AppendOp):
-                        # The append offset is assigned atomically with the
-                        # version, so the ticket has to come first (documented
-                        # deviation from the write path).
-                        p.ticket = transport.control(
-                            "version_manager",
-                            lambda op=op: vm.register_append(
-                                op.blob_id, len(op.data), writer=self.client_id
-                            ),
-                            shard=vm.active_shard_index(op.blob_id),
+                        snapshot = p.snapshot
+                        target = p.target
+                        fragments, token = transport.record_metadata(
+                            lambda: reader.lookup(snapshot.root, target)
                         )
-                        offset = p.ticket.offset
+                        self.counters["metadata_nodes_fetched"] += reader.nodes_fetched
+                        self.counters["metadata_levels_fetched"] += reader.levels_fetched
+                        p.read_fragments = fragments
+                        read_rounds.append((p, token))
+                        p.fetch_jobs = [
+                            ChunkFetch(
+                                p.index,
+                                tuple(f.providers),
+                                f.key,
+                                f.length,
+                                trace=p.trace,
+                            )
+                            for f in fragments
+                        ]
                     else:
-                        offset = op.offset
-                    # Step 1: place and push chunks before taking a version.
-                    p.write_id, p.plan = transport.control(
-                        "provider_manager",
-                        lambda op=op, offset=offset: pm.allocate(
-                            op.blob_id,
-                            offset,
-                            len(op.data),
-                            p.info.chunk_size,
-                            replication=p.info.replication,
-                        ),
-                    )
-                    p.push_jobs = [
-                        ChunkPush(
-                            p.index,
-                            p.plan.providers_for(piece.blob_offset),
-                            ChunkKey(op.blob_id, p.write_id, piece.blob_offset),
-                            piece.data,
+                        p.info = vm.blob_info(op.blob_id)
+                        if isinstance(op, AppendOp):
+                            # The append offset is assigned atomically with the
+                            # version, so the ticket has to come first (documented
+                            # deviation from the write path).
+                            p.ticket = transport.control(
+                                "version_manager",
+                                lambda op=op: vm.register_append(
+                                    op.blob_id, len(op.data), writer=self.client_id
+                                ),
+                                shard=vm.active_shard_index(op.blob_id),
+                            )
+                            offset = p.ticket.offset
+                        else:
+                            offset = op.offset
+                        # Step 1: place and push chunks before taking a version.
+                        p.write_id, p.plan = transport.control(
+                            "provider_manager",
+                            lambda op=op, offset=offset: pm.allocate(
+                                op.blob_id,
+                                offset,
+                                len(op.data),
+                                p.info.chunk_size,
+                                replication=p.info.replication,
+                            ),
                         )
-                        for piece in split_payload(offset, op.data, p.info.chunk_size)
-                    ]
+                        p.push_jobs = [
+                            ChunkPush(
+                                p.index,
+                                p.plan.providers_for(piece.blob_offset),
+                                ChunkKey(op.blob_id, p.write_id, piece.blob_offset),
+                                piece.data,
+                                trace=p.trace,
+                            )
+                            for piece in split_payload(offset, op.data, p.info.chunk_size)
+                        ]
             except Exception as exc:
                 self._fail(p, exc)
             finally:
@@ -412,11 +463,16 @@ class BlobSeerClient:
         # charging model for ``complete`` is unchanged).
         completes = [p for p in pending if p.plan is not None]
         pm = self._deployment.provider_manager
+        # parallel_map workers don't inherit this thread's contextvars:
+        # re-activate the batch context inside the closure so the RPCs the
+        # completes issue still carry the trace envelope.
+        batch_ctx = obs_trace.current_context()
 
         def complete_one(plan):
-            transport.take_net_timings()
-            pm.complete(plan)
-            return transport.take_net_timings()
+            with obs_trace.activate(batch_ctx):
+                transport.take_net_timings()
+                pm.complete(plan)
+                return transport.take_net_timings()
 
         for p, net in zip(
             completes,
@@ -536,6 +592,9 @@ class BlobSeerClient:
                     # successor while the home shard is failed over).
                     shard=vm.active_shard_index(batches[0][0]),
                     units=sum(len(blob_specs) for _, blob_specs in specs),
+                    # The round is shared by several ops: trace it under the
+                    # batch span (transport workers re-activate it).
+                    trace=obs_trace.current_context(),
                 )
             )
             call_groups.append(batches)
@@ -583,13 +642,18 @@ class BlobSeerClient:
         # per op.  A blob turns *dirty* when one of its ops aborts mid-loop
         # below; later ops of a dirty blob refetch inline so they observe
         # the sibling's aborted state, exactly as the sequential loop did.
+        batch_ctx = obs_trace.current_context()
+
         def fetch_history(blob_id, upto):
-            transport.take_net_timings()
-            try:
-                value = vm.get_history(blob_id, upto)
-            except ServiceError as exc:
-                value = exc
-            return value, transport.take_net_timings()
+            # Worker threads don't inherit contextvars; carry the batch
+            # context in so the prefetches trace under the batch span.
+            with obs_trace.activate(batch_ctx):
+                transport.take_net_timings()
+                try:
+                    value = vm.get_history(blob_id, upto)
+                except ServiceError as exc:
+                    value = exc
+                return value, transport.take_net_timings()
 
         prefetch_keys = [
             (p.op.blob_id, p.ticket.version - 1) for p in ordered if not p.needs_repair
@@ -712,6 +776,7 @@ class BlobSeerClient:
                     fn=publish,
                     shard=vm.active_shard_index(blob_id),
                     units=len(versions),
+                    trace=obs_trace.current_context(),
                 )
             )
         for group, (outcome, completed_at, net) in zip(
@@ -750,6 +815,7 @@ class BlobSeerClient:
             send_seconds=p.send_seconds,
             wait_seconds=p.wait_seconds,
         )
+        trace_id = p.trace.trace_id if p.trace is not None else None
         if p.failed:
             return OpResult(
                 index=p.index,
@@ -758,6 +824,7 @@ class BlobSeerClient:
                 write_id=p.write_id,
                 error=p.error,
                 timing=timing,
+                trace_id=trace_id,
             )
         return OpResult(
             index=p.index,
@@ -768,6 +835,7 @@ class BlobSeerClient:
             offset=p.ticket.offset if p.ticket is not None else None,
             data=p.data,
             timing=timing,
+            trace_id=trace_id,
         )
 
     # -- core operations (thin wrappers over one-operation batches) ---------------------------

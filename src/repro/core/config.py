@@ -140,6 +140,17 @@ class BlobSeerConfig:
     #: deployment is journal-backed (``journal_enabled`` or an explicit
     #: ``journal_dir``).
     net_standby_per_shard: int = 1
+    #: Record distributed-tracing spans (client op spans, RPC envelopes,
+    #: server-side decode/dispatch/journal spans).  Off by default; the
+    #: metrics plane is always on (it is orders of magnitude cheaper).
+    obs_tracing: bool = False
+    #: Log any op/span slower than this many seconds to the tracer's
+    #: slow-op log (0 = slow-op logging disabled).
+    obs_slow_op_threshold: float = 0.0
+    #: Seconds between ``ClusterMonitor`` metrics scrapes of the watched
+    #: servers, piggybacked on the heartbeat loop (0 = scrape on demand
+    #: only, via ``ProcessDeployment.metrics_snapshot()``).
+    obs_metrics_interval: float = 0.0
     client: ClientConfig = field(default_factory=ClientConfig)
 
     def __post_init__(self) -> None:
@@ -186,6 +197,9 @@ class BlobSeerConfig:
             "net_heartbeat_interval": self.net_heartbeat_interval,
             "net_failover_suspect_after": self.net_failover_suspect_after,
             "net_standby_per_shard": self.net_standby_per_shard,
+            "obs_tracing": self.obs_tracing,
+            "obs_slow_op_threshold": self.obs_slow_op_threshold,
+            "obs_metrics_interval": self.obs_metrics_interval,
         }
         d.update(
             {
@@ -289,6 +303,10 @@ def validate_config(config: BlobSeerConfig) -> None:
         raise InvalidConfigError(
             "net_standby_per_shard must be 0 or 1 (one ring-successor standby)"
         )
+    if config.obs_slow_op_threshold < 0:
+        raise InvalidConfigError("obs_slow_op_threshold must be >= 0")
+    if config.obs_metrics_interval < 0:
+        raise InvalidConfigError("obs_metrics_interval must be >= 0")
     if config.client.metadata_cache_capacity < 1:
         raise InvalidConfigError("metadata_cache_capacity must be >= 1")
     if config.client.prefetch_chunks < 0:

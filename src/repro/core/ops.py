@@ -152,6 +152,9 @@ class OpResult:
     data: Optional[bytes] = None
     error: Optional[BaseException] = None
     timing: OpTiming = field(default_factory=OpTiming)
+    #: Trace id of the operation's span when tracing was enabled (None
+    #: otherwise) — the handle that joins this result to the exported spans.
+    trace_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:

@@ -52,12 +52,18 @@ class ControlCall:
     a bulk ``register_writes_bulk`` of 32 specs is *one* round trip but
     still 32 serialised assignments at the coordinator, and an honest
     transport charges its service time accordingly.
+
+    ``trace`` (optional) is the :class:`~repro.obs.trace.TraceContext` this
+    round belongs to.  Concurrent transports run ``fn`` on pool workers
+    where the caller's context variable does not flow, so the engine pins
+    the context here and the transport re-activates it around the call.
     """
 
     service: str
     fn: Callable[[], Any]
     shard: int = 0
     units: int = 1
+    trace: Optional[Any] = None
 
 
 # ---------------------------------------------------------------------------
@@ -73,6 +79,9 @@ class ChunkPush:
     providers: Tuple[str, ...]
     key: ChunkKey
     data: bytes
+    #: Trace context of the owning batch op (ridden into RPC envelopes by
+    #: networked transports; in-process transports ignore it).
+    trace: Optional[Any] = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,6 +93,8 @@ class ChunkFetch:
     key: ChunkKey
     #: Bytes of the fragment actually needed (what travels on the wire).
     length: int
+    #: Trace context of the owning batch op (see :class:`ChunkPush`).
+    trace: Optional[Any] = None
 
 
 @dataclass(slots=True)

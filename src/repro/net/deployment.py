@@ -45,6 +45,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..core.config import BlobSeerConfig
 from ..core.membership import ShardStatus
 from ..core.types import BlobInfo
+from ..obs import configure_observability
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .monitor import ClusterMonitor
 from .proxies import (
     NetworkDistributedStore,
@@ -90,6 +93,10 @@ class ProcessDeployment:
         self._next_client_id = 0
         self._config_json = json.dumps(self.config.to_dict())
         self.monitor: Optional[ClusterMonitor] = None
+        # The client process participates in the observability plane too:
+        # apply the obs_* knobs (the spawned servers apply them at boot from
+        # the same config JSON).
+        configure_observability(self.config, role="client")
 
         try:
             specs = (
@@ -281,6 +288,7 @@ class ProcessDeployment:
             suspect_after=getattr(self.config, "net_failover_suspect_after", 3),
             codec=self.config.net_codec,
             broadcast=self._broadcast_membership,
+            metrics_interval=getattr(self.config, "obs_metrics_interval", 0.0),
         )
         for index in range(self.config.num_version_managers):
             monitor.watch(
@@ -335,6 +343,81 @@ class ProcessDeployment:
                     bucket["peak_inflight"], stats["peak_inflight"]
                 )
         return totals
+
+    # -- observability ---------------------------------------------------------------
+    def _obs_rpcs(self) -> Dict[str, RpcClient]:
+        """One wired client per live process, keyed ``role-index``."""
+        targets: Dict[str, RpcClient] = dict(self.provider_rpcs)
+        for name, stub in self._meta_stubs.items():
+            targets[name] = stub._rpc
+        for index, rpc in enumerate(self.version_manager._rpcs):
+            targets[f"coordinator-{index:03d}"] = rpc
+        for index, rpc in enumerate(self.version_manager._standbys):
+            if rpc is not None:
+                targets[f"standby-{index:03d}"] = rpc
+        targets["pmgr-000"] = self.provider_manager._rpc
+        return targets
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Scrape every process's ``metrics`` RPC and merge the snapshots.
+
+        Returns ``{"processes": {name: snapshot}, "merged": snapshot,
+        "commit_latency": {"p50", "p95", "p99"}}``.  The client process's
+        own registry (reactor + proxy metrics) joins under ``"client"``;
+        dead processes are skipped.  Histograms merge exactly (log-bucketed
+        counts are additive), so deployment-wide percentiles are honest.
+        """
+        futures = []
+        for name, rpc in self._obs_rpcs().items():
+            try:
+                futures.append((name, rpc.submit("metrics")))
+            except Exception:  # noqa: BLE001 - dead processes are expected
+                continue
+        processes: Dict[str, Any] = {}
+        for name, future in futures:
+            try:
+                snapshot = future.result()
+            except Exception:  # noqa: BLE001
+                continue
+            if isinstance(snapshot, dict):
+                processes[name] = snapshot
+        processes["client"] = obs_metrics.registry().snapshot()
+        merged = obs_metrics.merge_snapshots(processes.values())
+        return {
+            "processes": processes,
+            "merged": merged,
+            "commit_latency": obs_metrics.percentiles(
+                merged, "coordinator_commit_seconds"
+            ),
+        }
+
+    def trace_snapshot(self) -> List[obs_trace.Span]:
+        """Drain spans from every process (and this one) into one list.
+
+        Span ids embed the originating pid, so the merged list renders as
+        one multi-process timeline; draining is destructive on purpose —
+        each harvest returns only spans recorded since the previous one.
+        """
+        futures = []
+        for name, rpc in self._obs_rpcs().items():
+            try:
+                futures.append(rpc.submit("trace_spans"))
+            except Exception:  # noqa: BLE001
+                continue
+        spans: List[obs_trace.Span] = obs_trace.tracer().drain()
+        for future in futures:
+            try:
+                dicts = future.result()
+            except Exception:  # noqa: BLE001
+                continue
+            if isinstance(dicts, list):
+                spans.extend(obs_trace.Span.from_dict(d) for d in dicts)
+        spans.sort(key=lambda span: span.start)
+        return spans
+
+    def save_chrome_trace(self, path: str) -> str:
+        """Harvest the cluster's spans and save them as Chrome trace JSON."""
+        return obs_trace.save_chrome_trace(path, self.trace_snapshot())
 
     # -- failure injection -----------------------------------------------------------
     def _kill(self, role: str, index: int) -> None:

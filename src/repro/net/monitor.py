@@ -55,6 +55,12 @@ class _Target:
     down: bool = False
     last_seen: Optional[float] = None
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: Last ``health`` payload (role, uptime, serving state, RSS): the
+    #: liveness probe doubles as a vitals scrape.
+    vitals: Dict[str, Any] = field(default_factory=dict)
+    #: Last ``metrics`` snapshot (only when ``metrics_interval`` > 0).
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    last_metrics_at: Optional[float] = None
 
 
 class ClusterMonitor:
@@ -74,14 +80,20 @@ class ClusterMonitor:
         codec: str = "json",
         broadcast: Optional[Callable[[Dict[str, Any]], None]] = None,
         on_event: Optional[Callable[[MonitorEvent], None]] = None,
+        metrics_interval: float = 0.0,
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be > 0")
         if suspect_after < 1:
             raise ValueError("suspect_after must be >= 1")
+        if metrics_interval < 0:
+            raise ValueError("metrics_interval must be >= 0")
         self.membership = membership
         self.interval = interval
         self.suspect_after = suspect_after
+        #: Scrape each target's ``metrics`` RPC this often (0 = never —
+        #: on-demand aggregation through the deployment stays available).
+        self.metrics_interval = metrics_interval
         self.codec = codec
         self.broadcast = broadcast
         self.on_event = on_event
@@ -173,7 +185,7 @@ class ClusterMonitor:
     def _probe(self, target: _Target) -> None:
         self.probes += 1
         try:
-            target.client.call("health")
+            answer = target.client.call("health")
         except Exception:  # noqa: BLE001 - any failure is a missed heartbeat
             target.misses += 1
             if target.misses >= self.suspect_after and not target.down:
@@ -184,6 +196,22 @@ class ClusterMonitor:
             return
         target.last_seen = time.monotonic()
         target.misses = 0
+        if isinstance(answer, dict):
+            # The probe doubles as a vitals scrape: health now reports role,
+            # uptime, serving state and process RSS.
+            target.vitals = answer
+        if self.metrics_interval > 0 and (
+            target.last_metrics_at is None
+            or time.monotonic() - target.last_metrics_at >= self.metrics_interval
+        ):
+            try:
+                snapshot = target.client.call("metrics")
+            except Exception:  # noqa: BLE001 - metrics are best-effort
+                pass
+            else:
+                if isinstance(snapshot, dict):
+                    target.metrics = snapshot
+                target.last_metrics_at = time.monotonic()
         if target.down:
             # Report-only: rejoin is an orchestrated restart, not something
             # the prober should improvise from one good heartbeat.
@@ -223,6 +251,25 @@ class ClusterMonitor:
                 self.broadcast(state)
             except Exception as exc:  # noqa: BLE001
                 self._record("takeover_failed", target, f"broadcast: {exc}")
+
+    # -- scraped state ----------------------------------------------------------------
+    def vitals(self) -> Dict[Tuple[str, int], Dict[str, Any]]:
+        """Last ``health`` payload per watched target (empty until probed)."""
+        with self._lock:
+            return {
+                key: dict(target.vitals)
+                for key, target in self._targets.items()
+                if target.vitals
+            }
+
+    def scraped_metrics(self) -> Dict[Tuple[str, int], Dict[str, Any]]:
+        """Last ``metrics`` snapshot per target (``metrics_interval`` > 0)."""
+        with self._lock:
+            return {
+                key: target.metrics
+                for key, target in self._targets.items()
+                if target.metrics
+            }
 
     def _record(self, kind: str, target: _Target, detail: str) -> None:
         event = MonitorEvent(

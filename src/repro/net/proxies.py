@@ -37,6 +37,7 @@ from ..core.membership import CoordinatorMembership, ShardStatus
 from ..core.types import BlobId, BlobInfo, SnapshotInfo, Version, WritePlan
 from ..core.version_manager import WriteState
 from ..dht.distributed_store import DistributedKeyValueStore
+from ..obs import metrics as obs_metrics
 from .rpc import RpcClient
 
 
@@ -234,6 +235,10 @@ class RemoteCoordinator:
             except (EpochRetryError, ConnectionError, OSError) as exc:
                 last = exc
                 self.reroutes += 1
+                if obs_metrics.enabled():
+                    obs_metrics.registry().counter("coordinator_reroutes_total").inc()
+                    if isinstance(exc, EpochRetryError):
+                        obs_metrics.registry().counter("epoch_retries_total").inc()
                 self.refresh_membership()
                 time.sleep(delay * (1.0 + random.random() * 0.5))
                 delay = min(self.reroute_backoff_max, delay * 2)

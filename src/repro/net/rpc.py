@@ -35,11 +35,19 @@ Network time is attributed **per request**: each request carries its own
 ``(connect, send, wait)`` stamps on the future (``RpcFuture.timing()``),
 where ``connect`` is the connection handshake *amortised over the
 requests that waited for it*, ``send`` is client-side queueing plus the
-write, and ``wait`` is wire plus server time.  For compatibility with the
-drain-based attribution in the control plane, resolving a future also
-accumulates its stamps into the calling thread's ``threading.local`` —
-:func:`drain_timings` returns and resets that accumulator exactly as
-before, so code written against PR 6's semantics keeps working.
+write, and ``wait`` is wire plus server time.  For drain-based callers the
+stamps also land in a **keyed timing ledger**: every request gets a
+process-unique timing key, charged by whichever thread resolves the
+future.  :func:`drain_timings` with no arguments returns and resets the
+current thread's charges (PR 6 semantics); :func:`timing_scope` collects
+the keys of every request submitted on a thread inside its block and
+drains *exactly those* — regardless of which thread resolved them — so
+interleaved ``call_many`` batches can no longer attribute a round's
+seconds to the wrong op (the PR 9 `OpTiming` drift fix).
+
+Requests additionally carry the active :class:`~repro.obs.trace.TraceContext`
+(when one is set) as a compact frame-envelope pair, and the reactor feeds
+the process metrics registry (queue wait, in-flight depth, coalesce sizes).
 """
 
 from __future__ import annotations
@@ -52,9 +60,12 @@ import threading
 import time
 from concurrent.futures import Future as ConcurrentFuture
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from . import wire
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .frames import FrameDecoder, FrameError, encode_frame
 
 __all__ = [
@@ -62,7 +73,9 @@ __all__ = [
     "PooledRpcClient",
     "RpcClient",
     "RpcFuture",
+    "TimingScope",
     "drain_timings",
+    "timing_scope",
 ]
 
 
@@ -83,24 +96,149 @@ def _jittered(delay: float) -> float:
     return delay * (1.0 + random.random() * BACKOFF_JITTER)
 
 
-_timings = threading.local()
+# ---------------------------------------------------------------------------
+# The timing ledger: keyed (connect, send, wait) charges
+# ---------------------------------------------------------------------------
+#
+# Each request gets a process-unique *timing key* at submit time; the thread
+# that resolves its future charges the stamps under that key.  Two drain
+# styles coexist:
+#
+# * ``drain_timings()`` — PR 6 compatibility: pop every charge made *by this
+#   thread* (keyed or anonymous) since the last drain.
+# * ``drain_timings(keys)`` / ``TimingScope.drain()`` — pop exactly the named
+#   keys, wherever they were charged.  Rounds that know their request set use
+#   this, so a concurrent batch resolving futures on a shared worker thread
+#   cannot have its seconds drained into another op's row.
+
+_ledger_lock = threading.Lock()
+#: timing key -> (charging thread ident, connect, send, wait)
+_keyed_charges: Dict[int, Tuple[int, float, float, float]] = {}
+#: thread ident -> [connect, send, wait] for key-less (pooled-call) charges
+_anon_charges: Dict[int, List[float]] = {}
+_timing_keys = itertools.count(1)
+_scopes = threading.local()
+
+
+def _new_timing_key() -> int:
+    """Allocate a timing key, registering it with this thread's open scopes."""
+    key = next(_timing_keys)
+    for scope in getattr(_scopes, "stack", ()):
+        scope.keys.add(key)
+    return key
+
+
+def _charge(key: Optional[int], connect: float, send: float, wait: float) -> None:
+    ident = threading.get_ident()
+    with _ledger_lock:
+        if key is None:
+            bucket = _anon_charges.setdefault(ident, [0.0, 0.0, 0.0])
+            bucket[0] += connect
+            bucket[1] += send
+            bucket[2] += wait
+        else:
+            prior = _keyed_charges.get(key)
+            if prior is None:
+                # Bound the ledger for callers that never drain: evict the
+                # oldest charges (dicts iterate in insertion order) once the
+                # table is clearly stale.
+                while len(_keyed_charges) >= 65536:
+                    _keyed_charges.pop(next(iter(_keyed_charges)))
+                _keyed_charges[key] = (ident, connect, send, wait)
+            else:
+                _keyed_charges[key] = (
+                    ident,
+                    prior[1] + connect,
+                    prior[2] + send,
+                    prior[3] + wait,
+                )
 
 
 def _accumulate(connect: float = 0.0, send: float = 0.0, wait: float = 0.0) -> None:
-    _timings.connect = getattr(_timings, "connect", 0.0) + connect
-    _timings.send = getattr(_timings, "send", 0.0) + send
-    _timings.wait = getattr(_timings, "wait", 0.0) + wait
+    _charge(None, connect, send, wait)
 
 
-def drain_timings() -> Tuple[float, float, float]:
-    """Return and reset this thread's (connect, send, wait) seconds."""
-    out = (
-        getattr(_timings, "connect", 0.0),
-        getattr(_timings, "send", 0.0),
-        getattr(_timings, "wait", 0.0),
-    )
-    _timings.connect = _timings.send = _timings.wait = 0.0
-    return out
+def drain_timings(keys: Optional[Iterable[int]] = None) -> Tuple[float, float, float]:
+    """Return and reset accumulated (connect, send, wait) seconds.
+
+    With no ``keys``: everything charged by the *current thread*.  With a
+    key set: exactly those requests' charges, from any thread; charges not
+    yet made (unresolved futures) simply contribute nothing.
+    """
+    connect = send = wait = 0.0
+    with _ledger_lock:
+        if keys is None:
+            ident = threading.get_ident()
+            bucket = _anon_charges.pop(ident, None)
+            if bucket is not None:
+                connect, send, wait = bucket
+            mine = [k for k, v in _keyed_charges.items() if v[0] == ident]
+            for key in mine:
+                _, c, s, w = _keyed_charges.pop(key)
+                connect += c
+                send += s
+                wait += w
+        else:
+            for key in keys:
+                entry = _keyed_charges.pop(key, None)
+                if entry is not None:
+                    connect += entry[1]
+                    send += entry[2]
+                    wait += entry[3]
+    return (connect, send, wait)
+
+
+class TimingScope:
+    """Collects the timing keys of requests submitted within its block."""
+
+    __slots__ = ("keys",)
+
+    def __init__(self) -> None:
+        self.keys: Set[int] = set()
+
+    def drain(self) -> Tuple[float, float, float]:
+        return drain_timings(self.keys)
+
+
+@contextmanager
+def timing_scope() -> Iterator[TimingScope]:
+    """Track every request submitted on this thread inside the block.
+
+    ``scope.drain()`` afterwards pops exactly those requests' charges,
+    immune to interleaving from other batches sharing the worker threads.
+    """
+    scope = TimingScope()
+    stack = getattr(_scopes, "stack", None)
+    if stack is None:
+        stack = _scopes.stack = []
+    stack.append(scope)
+    try:
+        yield scope
+    finally:
+        stack.remove(scope)
+
+
+# -- reactor-side metrics ----------------------------------------------------
+# Handles are cached per registry instance so the per-request cost is one
+# identity check; tests that reset the registry get fresh handles.
+
+_metric_cache: Tuple[Any, Optional[Tuple[Any, ...]]] = (None, None)
+
+
+def _reactor_metrics() -> Tuple[Any, ...]:
+    global _metric_cache
+    reg = obs_metrics.registry()
+    if _metric_cache[0] is not reg:
+        _metric_cache = (
+            reg,
+            (
+                reg.histogram("rpc_client_queue_wait_seconds"),
+                reg.histogram("rpc_client_inflight_depth"),
+                reg.histogram("rpc_client_coalesce_batch"),
+                reg.counter("rpc_client_requests_total"),
+            ),
+        )
+    return _metric_cache[1]
 
 
 # ---------------------------------------------------------------------------
@@ -150,13 +288,14 @@ def get_reactor() -> _Reactor:
 class _Slot:
     """Bookkeeping for one in-flight request on a channel."""
 
-    __slots__ = ("future", "enqueued_at", "sent_at", "connect_share")
+    __slots__ = ("future", "enqueued_at", "sent_at", "connect_share", "sampled")
 
     def __init__(self) -> None:
         self.future: asyncio.Future = asyncio.get_running_loop().create_future()
         self.enqueued_at = 0.0
         self.sent_at = 0.0
         self.connect_share = 0.0
+        self.sampled = False
 
 
 class _Channel:
@@ -268,6 +407,14 @@ class _Channel:
         self._out.append((frame, slot))
         self.requests_sent += 1
         self.peak_inflight = max(self.peak_inflight, len(self.pending))
+        _reactor_metrics()[3].inc()
+        # The distribution histograms sample 1-in-8: two ~1µs records per
+        # request on the event-loop critical path would cost >10% of the
+        # protocol floor (the E18 gate), and percentile estimates don't
+        # need every event — the requests_total counter stays exact.
+        if self.requests_sent & 0x7 == 0:
+            slot.sampled = True
+            _reactor_metrics()[1].record(len(self.pending))
         if self._flush_task is None or self._flush_task.done():
             self._flush_task = asyncio.ensure_future(self._flush())
         return slot
@@ -285,6 +432,7 @@ class _Channel:
                 now = time.perf_counter()
                 for _, slot in batch:
                     slot.sent_at = now
+                _reactor_metrics()[2].record(len(batch))
                 self.writer.write(b"".join(frame for frame, _ in batch))
                 await self.writer.drain()
         except asyncio.CancelledError:
@@ -321,6 +469,8 @@ class _Channel:
                 expiry.cancel()
             done = time.perf_counter()
             sent = slot.sent_at or done
+            if slot.sampled:
+                _reactor_metrics()[0].record(max(0.0, sent - slot.enqueued_at))
             return response, (
                 connect_share,
                 max(0.0, sent - slot.enqueued_at),
@@ -346,11 +496,18 @@ class RpcFuture:
     (or raised an application error — the wire was still crossed).
     """
 
-    def __init__(self, cfuture: ConcurrentFuture, default_timeout: Optional[float]):
+    def __init__(
+        self,
+        cfuture: ConcurrentFuture,
+        default_timeout: Optional[float],
+        timing_key: Optional[int] = None,
+    ):
         self._cfuture = cfuture
         self._default_timeout = default_timeout
         self._timing = (0.0, 0.0, 0.0)
         self._accumulated = False
+        #: Ledger key the stamps are charged under (see ``timing_scope``).
+        self.timing_key = timing_key
 
     def result(self, timeout: Optional[float] = None) -> Any:
         response, timing = self._cfuture.result(
@@ -358,10 +515,10 @@ class RpcFuture:
         )
         self._timing = timing
         if not self._accumulated:
-            # Thread-local attribution for drain-based callers (control
-            # rounds): charged once, to whichever thread resolves first.
+            # Ledger attribution for drain-based callers (control rounds):
+            # charged once, under this request's key.
             self._accumulated = True
-            _accumulate(*timing)
+            _charge(self.timing_key, *timing)
         error = response.get("error")
         if error is not None:
             raise wire.decode(error)
@@ -502,12 +659,18 @@ class RpcClient:
         return out
 
     # -- calls ---------------------------------------------------------------------
-    def submit(self, method: str, params: Optional[Dict[str, Any]] = None) -> RpcFuture:
+    def submit(
+        self,
+        method: str,
+        params: Optional[Dict[str, Any]] = None,
+        trace: Optional[obs_trace.TraceContext] = None,
+    ) -> RpcFuture:
         """Put one request on the wire and return without blocking.
 
         Encoding happens here, on the calling thread, so the reactor loop
         only moves bytes; the frame is encoded once and reused across
-        failover sweeps.
+        failover sweeps.  The active trace context (or an explicit
+        ``trace``) rides the frame envelope.
         """
         if self._closed:
             raise NetworkError("rpc client is closed")
@@ -517,9 +680,13 @@ class RpcClient:
             "method": method,
             "params": wire.encode(params or {}),
         }
+        if trace is None:
+            trace = obs_trace.current_context()
+        if trace is not None:
+            message[wire.TRACE_KEY] = wire.encode_trace(trace)
         frame = encode_frame(message, codec=self.codec)
         cfuture = get_reactor().submit(self._call_async(method, request_id, frame))
-        return RpcFuture(cfuture, self._result_cap)
+        return RpcFuture(cfuture, self._result_cap, _new_timing_key())
 
     def call(self, method: str, params: Optional[Dict[str, Any]] = None) -> Any:
         """Invoke ``method`` on the first reachable server; raise decoded errors."""
@@ -543,6 +710,8 @@ class RpcClient:
         """
         if self._closed:
             raise NetworkError("rpc client is closed")
+        trace = obs_trace.current_context()
+        envelope = wire.encode_trace(trace) if trace is not None else None
         prepared = []
         for method, params in requests:
             request_id = next(self._ids)
@@ -551,13 +720,22 @@ class RpcClient:
                 "method": method,
                 "params": wire.encode(params or {}),
             }
-            prepared.append((method, request_id, encode_frame(message, codec=self.codec)))
+            if envelope is not None:
+                message[wire.TRACE_KEY] = envelope
+            prepared.append(
+                (
+                    method,
+                    request_id,
+                    encode_frame(message, codec=self.codec),
+                    _new_timing_key(),
+                )
+            )
 
         async def run_all():
             return await asyncio.gather(
                 *(
                     self._call_async(method, request_id, frame)
-                    for method, request_id, frame in prepared
+                    for method, request_id, frame, _ in prepared
                 ),
                 return_exceptions=True,
             )
@@ -566,7 +744,7 @@ class RpcClient:
             return []
         outcomes = get_reactor().submit(run_all()).result(self._result_cap)
         results: List[Any] = []
-        for outcome in outcomes:
+        for outcome, (_, _, _, timing_key) in zip(outcomes, prepared):
             if isinstance(outcome, BaseException):
                 failure: Exception = (
                     outcome
@@ -575,7 +753,7 @@ class RpcClient:
                 )
             else:
                 response, timing = outcome
-                _accumulate(*timing)
+                _charge(timing_key, *timing)
                 error = response.get("error")
                 if error is None:
                     results.append(wire.decode(response.get("result")))
@@ -761,11 +939,15 @@ class PooledRpcClient:
         )
 
     def _message(self, method: str, params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
-        return {
+        message = {
             "id": next(self._ids),
             "method": method,
             "params": wire.encode(params or {}),
         }
+        trace = obs_trace.current_context()
+        if trace is not None:
+            message[wire.TRACE_KEY] = wire.encode_trace(trace)
+        return message
 
     def call(self, method: str, params: Optional[Dict[str, Any]] = None) -> Any:
         """Invoke ``method`` on the first reachable server; raise decoded errors."""
@@ -775,18 +957,25 @@ class PooledRpcClient:
             raise wire.decode(error)
         return wire.decode(response.get("result"))
 
-    def submit(self, method: str, params: Optional[Dict[str, Any]] = None) -> RpcFuture:
+    def submit(
+        self,
+        method: str,
+        params: Optional[Dict[str, Any]] = None,
+        trace: Optional[obs_trace.TraceContext] = None,
+    ) -> RpcFuture:
         """PR 6 fan-out: run the blocking exchange on a worker thread."""
         if self._closed:
             raise NetworkError("rpc client is closed")
         message = self._message(method, params)
+        if trace is not None:
+            message[wire.TRACE_KEY] = wire.encode_trace(trace)
 
         def run() -> Tuple[Dict[str, Any], Tuple[float, float, float]]:
             drain_timings()  # isolate this request's accumulation
             response = self._call_raw(message)
             return response, drain_timings()
 
-        return RpcFuture(_pooled_executor().submit(run), None)
+        return RpcFuture(_pooled_executor().submit(run), None, _new_timing_key())
 
     def call_many(
         self,

@@ -44,6 +44,7 @@ import json
 import signal
 import sys
 import threading
+import time
 import uuid
 from typing import Any, Callable, Dict, List, Optional
 
@@ -53,10 +54,68 @@ from ..core.data_provider import DataProvider
 from ..core.provider_manager import ProviderManager, ProviderPool
 from ..core.version_manager import VersionManager
 from ..dht.store import KeyValueStore
+from ..obs import configure_observability
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from . import wire
 from .frames import FrameDecoder, encode_frame
 
 Handlers = Dict[str, Callable[..., Any]]
+
+#: Wall-clock start of this server process (uptime in ``health`` vitals).
+_PROCESS_START = time.time()
+
+
+def _rss_bytes() -> int:
+    """Current resident set size, dependency-free (Linux /proc, then rusage)."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * 4096
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:  # pragma: no cover - exotic platforms
+        return 0
+
+
+def _vitals() -> Dict[str, Any]:
+    """Liveness-plus-vitals fields merged into every role's ``health``."""
+    return {"uptime": time.time() - _PROCESS_START, "rss_bytes": _rss_bytes()}
+
+
+def _obs_handlers(on_scrape: Optional[Callable[[], None]] = None) -> Handlers:
+    """The observability surface every role exposes next to ``health``."""
+
+    def metrics() -> Dict[str, Any]:
+        if on_scrape is not None:
+            on_scrape()  # refresh point-in-time gauges (backlog, lsn, rss)
+        obs_metrics.registry().gauge("process_rss_bytes").set(_rss_bytes())
+        return obs_metrics.registry().snapshot()
+
+    return {
+        "metrics": metrics,
+        "trace_spans": lambda: obs_trace.tracer().drain_dicts(),
+        "slow_ops": lambda: obs_trace.tracer().slow_ops(),
+    }
+
+
+def _timed(fn: Callable[..., Any], histogram: str) -> Callable[..., Any]:
+    """Record a handler's latency into a registry histogram."""
+
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        started = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            obs_metrics.registry().histogram(histogram).record(
+                time.perf_counter() - started
+            )
+
+    return wrapper
 
 #: Gap left above the highest known blob id when a coordinator restarts or a
 #: standby takes over.  Ids are allocated in ranges ahead of blob creation
@@ -78,11 +137,36 @@ def provider_handlers(index: int, config: BlobSeerConfig) -> Handlers:
     provider = DataProvider(
         provider_id=f"provider-{index:03d}", host=f"host-{index:03d}"
     )
+
+    # put_chunk *is* the landing half of a replica push: latency and bytes
+    # feed the metrics plane (the dispatch span in RpcServer covers tracing).
+    def put_chunk(key: Any, data: bytes) -> Any:
+        started = time.perf_counter()
+        result = provider.put_chunk(key, data)
+        reg = obs_metrics.registry()
+        reg.histogram("provider_put_seconds").record(time.perf_counter() - started)
+        reg.counter("provider_put_bytes").inc(len(data))
+        return result
+
+    def get_chunk(key: Any, *args: Any, **kwargs: Any) -> bytes:
+        started = time.perf_counter()
+        data = provider.get_chunk(key, *args, **kwargs)
+        reg = obs_metrics.registry()
+        reg.histogram("provider_get_seconds").record(time.perf_counter() - started)
+        reg.counter("provider_get_bytes").inc(len(data))
+        return data
+
     return {
         "ping": lambda: True,
-        "health": lambda: {"role": "provider", "index": index, "serving": provider.alive},
-        "put_chunk": provider.put_chunk,
-        "get_chunk": provider.get_chunk,
+        "health": lambda: {
+            "role": "provider",
+            "index": index,
+            "serving": provider.alive,
+            **_vitals(),
+        },
+        **_obs_handlers(),
+        "put_chunk": put_chunk,
+        "get_chunk": get_chunk,
         "has_chunk": provider.has_chunk,
         "delete_chunk": provider.delete_chunk,
         "chunk_keys": provider.chunk_keys,
@@ -98,7 +182,13 @@ def meta_handlers(index: int, config: BlobSeerConfig) -> Handlers:
     store = KeyValueStore(provider_id=f"meta-{index:03d}")
     return {
         "ping": lambda: True,
-        "health": lambda: {"role": "meta", "index": index, "serving": True},
+        "health": lambda: {
+            "role": "meta",
+            "index": index,
+            "serving": True,
+            **_vitals(),
+        },
+        **_obs_handlers(),
         "put": store.put,
         "get": store.get,
         "get_or_none": store.get_or_none,
@@ -300,6 +390,25 @@ def coordinator_handlers(
 
     handlers = _manager_surface(lambda: manager)
     handlers.update(_blob_id_allocator(manager, gap=ID_RESTART_GAP if restarted else 0))
+    # Commit latency is the shard's tail-latency story: publish_many is the
+    # commit point, the register paths are its admission half.
+    handlers["publish_many"] = _timed(
+        handlers["publish_many"], "coordinator_commit_seconds"
+    )
+    handlers["register_append"] = _timed(
+        handlers["register_append"], "coordinator_register_seconds"
+    )
+    handlers["register_writes_bulk"] = _timed(
+        handlers["register_writes_bulk"], "coordinator_register_seconds"
+    )
+
+    def _scrape_gauges() -> None:
+        reg = obs_metrics.registry()
+        reg.gauge("coordinator_backlog").set(manager.backlog())
+        reg.gauge("coordinator_last_lsn").set(
+            journal.last_lsn if journal is not None else 0
+        )
+
     handlers.update(
         {
             "health": lambda: {
@@ -308,7 +417,9 @@ def coordinator_handlers(
                 "serving": True,
                 "last_lsn": journal.last_lsn if journal is not None else 0,
                 "restarted": restarted,
+                **_vitals(),
             },
+            **_obs_handlers(on_scrape=_scrape_gauges),
             "journal_stream": journal_stream,
             "membership": lambda: (
                 journal.latest_membership() if journal is not None else None
@@ -456,6 +567,7 @@ def standby_handlers(
                 "serving": standby.taking_over,
                 "applied_lsn": standby.applied_lsn,
                 "commits_served": commits_served[0],
+                **_vitals(),
             }
 
     def standby_status() -> Dict[str, Any]:
@@ -473,7 +585,9 @@ def standby_handlers(
         commits_served[0] += len(versions)
         return frontier
 
-    handlers["publish_many"] = publish_many
+    # Commits a promoted standby serves land in the same histogram as the
+    # primary's, so the deployment-wide merge spans the outage window too.
+    handlers["publish_many"] = _timed(publish_many, "coordinator_commit_seconds")
 
     # Blob-id allocation only exists once the replica is promoted (the
     # primary owns the counter until then); reseeded with the restart gap.
@@ -489,6 +603,7 @@ def standby_handlers(
         {
             "alloc_blob_ids": lambda count=1: _ids()["alloc_blob_ids"](count),
             "reserve_blob_id": lambda blob_id: _ids()["reserve_blob_id"](blob_id),
+            **_obs_handlers(),
             "health": health,
             "follow": follow,
             "take_over": take_over,
@@ -512,7 +627,13 @@ def pmgr_handlers(index: int, config: BlobSeerConfig) -> Handlers:
     manager = ProviderManager(pool, config)
     return {
         "ping": lambda: True,
-        "health": lambda: {"role": "pmgr", "index": index, "serving": True},
+        "health": lambda: {
+            "role": "pmgr",
+            "index": index,
+            "serving": True,
+            **_vitals(),
+        },
+        **_obs_handlers(),
         "allocate": lambda blob_id, offset, size, chunk_size, replication=None: list(
             manager.allocate(blob_id, offset, size, chunk_size, replication=replication)
         ),
@@ -618,14 +739,34 @@ class RpcServer:
             handler = self.handlers.get(method)
             if handler is None:
                 raise ValueError(f"unknown method {method!r}")
-            params = wire.decode(message.get("params") or {})
-            # Handlers run inline on the loop: they are all GIL-bound
-            # in-memory service calls, so a thread-pool handoff buys no
-            # parallelism and costs two context switches per request —
-            # the dominant per-op server cost under a pipelined client.
-            result = handler(**params)
+            tracer = obs_trace.tracer()
+            ctx = (
+                wire.decode_trace(message.get(wire.TRACE_KEY))
+                if tracer.enabled
+                else None
+            )
+            if ctx is not None:
+                # Adopt the client's envelope: this request's server-side
+                # spans (decode, dispatch, and whatever the handler opens —
+                # journal appends, replica-push landings) parent under the
+                # client span that caused them.
+                with tracer.span(f"srv:{method}", parent=ctx):
+                    with tracer.span("decode"):
+                        params = wire.decode(message.get("params") or {})
+                    with tracer.span("dispatch"):
+                        result = handler(**params)
+            else:
+                params = wire.decode(message.get("params") or {})
+                # Handlers run inline on the loop: they are all GIL-bound
+                # in-memory service calls, so a thread-pool handoff buys no
+                # parallelism and costs two context switches per request —
+                # the dominant per-op server cost under a pipelined client.
+                result = handler(**params)
             return {"id": request_id, "result": wire.encode(result)}
         except Exception as exc:  # noqa: BLE001 - every failure becomes a wire error
+            if isinstance(exc, errors.EpochRetryError):
+                # Stale-routing rejections are the shard's epoch-retry count.
+                obs_metrics.registry().counter("epoch_retry_errors").inc()
             return {"id": request_id, "error": wire.encode(exc)}
 
     @staticmethod
@@ -658,6 +799,7 @@ async def _amain(args: argparse.Namespace) -> None:
         if args.config
         else BlobSeerConfig()
     )
+    configure_observability(config, role=f"{args.role}-{args.index:03d}")
     factory = ROLES[args.role]
     if args.role == "coordinator":
         handlers = factory(args.index, config, journal_dir=args.journal_dir)

@@ -37,7 +37,8 @@ from ..core.transport import (
     Transport,
     parallel_map,
 )
-from .rpc import NetworkError, RpcFuture, drain_timings
+from ..obs import trace as obs_trace
+from .rpc import NetworkError, RpcFuture, drain_timings, timing_scope
 
 T = TypeVar("T")
 
@@ -82,14 +83,25 @@ class NetworkTransport(Transport):
     def control_many_timed(
         self, calls: Sequence[ControlCall]
     ) -> List[Tuple[Any, float, Tuple[float, float, float]]]:
-        # Each round runs on its own worker thread, so draining the RPC
-        # accumulators around fn() captures exactly that round's requests.
-        # The threads only *wait*: the RPCs inside each closure pipeline
-        # over the reactor's shared per-server connections.
+        # Each round collects the timing keys of exactly the requests its
+        # closure submits (a ``timing_scope``), then drains those keys —
+        # wherever their futures were resolved.  A concurrent batch sharing
+        # these pool workers can no longer donate or steal seconds
+        # (drain-order attribution drift).  The threads only *wait*: the
+        # RPCs inside each closure pipeline over the reactor's shared
+        # per-server connections.
         def one_round(call: ControlCall):
-            drain_timings()
-            value = call.fn()
-            return value, self.now(), drain_timings()
+            drain_timings()  # clear stale residue left on this pool worker
+            with timing_scope() as scope:
+                if call.trace is not None:
+                    with obs_trace.activate(call.trace):
+                        value = call.fn()
+                else:
+                    value = call.fn()
+            keyed = scope.drain()
+            anon = drain_timings()  # pooled-client call() paths charge keyless
+            net = (keyed[0] + anon[0], keyed[1] + anon[1], keyed[2] + anon[2])
+            return value, self.now(), net
 
         return parallel_map(
             [(lambda call=call: one_round(call)) for call in calls],
@@ -104,32 +116,33 @@ class NetworkTransport(Transport):
         self, pushes: Sequence[ChunkPush], fetches: Sequence[ChunkFetch]
     ) -> Tuple[List[PushOutcome], List[FetchOutcome]]:
         # Per-request timing rides each outcome (summed from the futures it
-        # waited on); the thread-local accumulator is drained before and
-        # after so the same seconds are not *also* handed to the engine's
-        # next take_net_timings() drain — that would double-count.
-        drain_timings()
+        # waited on); the scope collects exactly this transfer's request
+        # keys so the final discard cannot wipe charges that belong to a
+        # concurrent batch sharing this thread — and the same seconds are
+        # not *also* handed to the engine's next take_net_timings() drain.
         start = self.now()
-        # Submit phase: every push replica and every fetch's first hop goes
-        # onto the wire (window permitting) before anything blocks.
-        push_futs: List[List[Tuple[str, Optional[RpcFuture]]]] = [
-            [(pid, self._submit_put(pid, job)) for pid in job.providers]
-            for job in pushes
-        ]
-        fetch_futs: List[Tuple[int, Optional[RpcFuture]]] = []
-        for job in fetches:
-            hop, fut = self._submit_get_from(job, 0)
-            fetch_futs.append((hop, fut))
-        # Collect phase, in plan order: replica results arrive demuxed in
-        # any order but providers_stored keeps the job's replica ordering.
-        push_outcomes = [
-            self._collect_push(job, futs, start)
-            for job, futs in zip(pushes, push_futs)
-        ]
-        fetch_outcomes = [
-            self._collect_fetch(job, hop, fut, start)
-            for job, (hop, fut) in zip(fetches, fetch_futs)
-        ]
-        drain_timings()
+        with timing_scope() as scope:
+            # Submit phase: every push replica and every fetch's first hop
+            # goes onto the wire (window permitting) before anything blocks.
+            push_futs: List[List[Tuple[str, Optional[RpcFuture]]]] = [
+                [(pid, self._submit_put(pid, job)) for pid in job.providers]
+                for job in pushes
+            ]
+            fetch_futs: List[Tuple[int, Optional[RpcFuture]]] = []
+            for job in fetches:
+                hop, fut = self._submit_get_from(job, 0)
+                fetch_futs.append((hop, fut))
+            # Collect phase, in plan order: replica results arrive demuxed in
+            # any order but providers_stored keeps the job's replica ordering.
+            push_outcomes = [
+                self._collect_push(job, futs, start)
+                for job, futs in zip(pushes, push_futs)
+            ]
+            fetch_outcomes = [
+                self._collect_fetch(job, hop, fut, start)
+                for job, (hop, fut) in zip(fetches, fetch_futs)
+            ]
+        scope.drain()
         return push_outcomes, fetch_outcomes
 
     def _submit_put(self, pid: str, job: ChunkPush) -> Optional[RpcFuture]:
@@ -137,7 +150,9 @@ class NetworkTransport(Transport):
         if rpc is None:
             return None
         try:
-            return rpc.submit("put_chunk", {"key": job.key, "data": job.data})
+            return rpc.submit(
+                "put_chunk", {"key": job.key, "data": job.data}, trace=job.trace
+            )
         except NetworkError:
             return None
 
@@ -150,7 +165,7 @@ class NetworkTransport(Transport):
             if rpc is None:
                 continue
             try:
-                return hop, rpc.submit("get_chunk", {"key": job.key})
+                return hop, rpc.submit("get_chunk", {"key": job.key}, trace=job.trace)
             except NetworkError:
                 continue
         return len(job.providers), None

@@ -29,6 +29,7 @@ import base64
 from typing import Any, Callable, Dict, List, Tuple, Type
 
 from ..core import errors
+from ..obs.trace import TraceContext
 from ..core.metadata.segment_tree import WriteRecord
 from ..core.metadata.tree_node import Fragment, InnerNode, LeafNode
 from ..resilience.journal import JournalRecord
@@ -219,6 +220,29 @@ def decode(value: Any) -> Any:
         _, _, rebuild = entry
         return rebuild([decode(field) for field in value["f"]])
     raise WireError(f"untagged mapping on the wire: {value!r}")
+
+
+# -- trace envelopes --------------------------------------------------------------
+#
+# A trace context rides the *frame envelope* (next to "id"/"method"), not the
+# wire-encoded params, as a compact ["trace_id", "span_id"] pair: both codecs
+# pass plain string lists through untouched and untraced requests pay nothing.
+
+#: Envelope key carrying the caller's trace context in request messages.
+TRACE_KEY = "tr"
+
+
+def encode_trace(ctx: TraceContext) -> List[str]:
+    """Flatten a trace context for a frame envelope."""
+    trace_id, span_id = ctx.to_wire()
+    return [trace_id, span_id]
+
+
+def decode_trace(value: Any) -> "TraceContext | None":
+    """Rebuild an envelope trace context; malformed values decode to None."""
+    if value is None:
+        return None
+    return TraceContext.from_wire(value)
 
 
 def _decode_exception(value: Dict[str, Any]) -> BaseException:

@@ -1,0 +1,285 @@
+"""Dependency-free metrics plane: counters, gauges, mergeable histograms.
+
+Every process (client or server role) owns one :class:`MetricsRegistry`,
+reached through the module-level :func:`registry` accessor.  Servers expose
+their registry over the ``metrics`` RPC next to ``health``;
+``ProcessDeployment.metrics_snapshot()`` scrapes and merges them so a
+deployment-wide p50/p95/p99 can be computed from per-role shards.
+
+Histograms are log-bucketed: bucket ``i`` covers ``(GROWTH**i, GROWTH**(i+1)]``
+with ``GROWTH = 2**(1/8)`` (~9% per bucket), so merged percentiles carry a
+bounded relative error of at most one bucket width regardless of how many
+process-local shards were merged.  Snapshots are plain dicts of str/int/float
+so they survive both the JSON and msgpack wire codecs unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "reset_registry",
+    "set_enabled",
+    "enabled",
+    "merge_snapshots",
+    "percentiles",
+]
+
+# Each bucket grows by 2**(1/8) ~= 1.0905: percentile estimates are accurate
+# to within ~9% relative error, and bucket indexes are tiny ints that merge
+# across processes by summing counts.
+GROWTH = 2.0 ** (1.0 / 8.0)
+_LOG_GROWTH = math.log(GROWTH)
+
+# Values at or below this record into the underflow bucket; keeps indexes
+# bounded for zero/negative durations without special-casing callers.
+_MIN_VALUE = 1e-9
+
+_enabled = os.environ.get("REPRO_OBS_DISABLE", "") not in ("1", "true", "yes")
+
+
+def set_enabled(value: bool) -> None:
+    """Globally enable/disable metric recording (used by overhead benches)."""
+    global _enabled
+    _enabled = bool(value)
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def _bucket_index(value: float) -> int:
+    if value <= _MIN_VALUE:
+        return -300  # underflow bucket: below 1ns
+    return int(math.floor(math.log(value) / _LOG_GROWTH))
+
+
+def _bucket_upper(index: int) -> float:
+    if index <= -300:
+        return _MIN_VALUE
+    return GROWTH ** (index + 1)
+
+
+class Counter:
+    """Monotonic counter; merge = sum."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if not _enabled:
+            return
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value; merge = max (conservative)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if not _enabled:
+            return
+        self.value = float(value)
+
+
+class Histogram:
+    """Log-bucketed histogram with mergeable percentile estimates."""
+
+    __slots__ = ("name", "buckets", "count", "sum", "min", "max", "_lock")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        if not _enabled:
+            return
+        index = _bucket_index(value)
+        with self._lock:
+            self.buckets[index] = self.buckets.get(index, 0) + 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def merge(self, other: "Histogram") -> None:
+        with self._lock:
+            for index, count in other.buckets.items():
+                self.buckets[index] = self.buckets.get(index, 0) + count
+            self.count += other.count
+            self.sum += other.sum
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
+    def percentile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` in [0, 1] (upper bucket bound)."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                # Clamp into the observed range so p100 never exceeds max.
+                return float(min(_bucket_upper(index), self.max))
+        return float(self.max)
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "buckets": {str(k): v for k, v in self.buckets.items()},
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min if self.count else 0.0,
+                "max": self.max if self.count else 0.0,
+            }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any], name: str = "") -> "Histogram":
+        hist = cls(name)
+        hist.buckets = {int(k): int(v) for k, v in dict(data.get("buckets") or {}).items()}
+        hist.count = int(data.get("count") or 0)
+        hist.sum = float(data.get("sum") or 0.0)
+        if hist.count:
+            hist.min = float(data.get("min") or 0.0)
+            hist.max = float(data.get("max") or 0.0)
+        return hist
+
+
+class MetricsRegistry:
+    """Per-process named metric store with a wire-serialisable snapshot."""
+
+    def __init__(self, role: str = "process"):
+        self.role = role
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name)
+            return metric
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "role": self.role,
+            "counters": {name: c.value for name, c in counters.items()},
+            "gauges": {name: g.value for name, g in gauges.items()},
+            "histograms": {name: h.to_dict() for name, h in histograms.items()},
+        }
+
+
+_registry_lock = threading.Lock()
+_registry: Optional[MetricsRegistry] = None
+
+
+def registry(role: Optional[str] = None) -> MetricsRegistry:
+    """Return the process-wide registry, creating it on first use.
+
+    ``role`` (when given) relabels the registry — servers call this once at
+    boot so scraped snapshots identify themselves.
+    """
+    global _registry
+    with _registry_lock:
+        if _registry is None:
+            _registry = MetricsRegistry(role or "process")
+        elif role is not None:
+            _registry.role = role
+        return _registry
+
+
+def reset_registry(role: str = "process") -> MetricsRegistry:
+    """Replace the process registry (tests and benchmark isolation)."""
+    global _registry
+    with _registry_lock:
+        _registry = MetricsRegistry(role)
+        return _registry
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge scraped registry snapshots: counters sum, gauges max, histograms
+    merge bucket-wise.  The result has the same shape as a single snapshot."""
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Histogram] = {}
+    roles: List[str] = []
+    for snap in snapshots:
+        if not snap:
+            continue
+        roles.append(str(snap.get("role", "?")))
+        for name, value in (snap.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, value in (snap.get("gauges") or {}).items():
+            gauges[name] = max(gauges.get(name, float(value)), float(value))
+        for name, data in (snap.get("histograms") or {}).items():
+            shard = Histogram.from_dict(data, name)
+            if name in histograms:
+                histograms[name].merge(shard)
+            else:
+                histograms[name] = shard
+    return {
+        "role": "+".join(roles) if roles else "empty",
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": {name: h.to_dict() for name, h in histograms.items()},
+    }
+
+
+def percentiles(
+    snapshot: Dict[str, Any], name: str, qs: Tuple[float, ...] = (0.5, 0.95, 0.99)
+) -> Dict[str, float]:
+    """p50/p95/p99 (by default) of one histogram in a (merged) snapshot."""
+    data = (snapshot.get("histograms") or {}).get(name)
+    if not data:
+        return {f"p{int(q * 100)}": 0.0 for q in qs}
+    hist = Histogram.from_dict(data, name)
+    return {f"p{int(q * 100)}": hist.percentile(q) for q in qs}

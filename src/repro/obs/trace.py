@@ -1,0 +1,323 @@
+"""Distributed tracing: trace contexts, per-process span recording, export.
+
+A :class:`TraceContext` is three identifiers — ``trace_id`` shared by every
+span in one logical operation, ``span_id`` naming this hop, and ``parent_id``
+naming the hop that caused it.  The client engine creates one root context per
+batch plus a child per op; RPC clients attach the *active* context to every
+frame envelope (a compact ``["trace_id", "span_id"]`` pair, see
+``repro.net.wire``); servers adopt the envelope so their decode/dispatch/
+journal/replica-push spans parent correctly under the client span.
+
+Spans are collected in a bounded per-process ring and exported either as
+Chrome trace-event JSON (load in ``chrome://tracing`` / Perfetto) or as
+JSON-lines.  Ops slower than a configurable threshold additionally land in a
+slow-op log.  Everything is stdlib-only and cheap enough to leave on: a span
+costs two clock reads and one small object append.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "TraceContext",
+    "Span",
+    "Tracer",
+    "tracer",
+    "reset_tracer",
+    "current_context",
+    "activate",
+    "save_chrome_trace",
+    "save_jsonl",
+]
+
+_ids = itertools.count(1)
+# Process-unique span-id prefix: pid + a few random bits so two processes
+# started in the same tick never collide.
+_PREFIX = f"{os.getpid():x}.{int.from_bytes(os.urandom(3), 'big'):x}"
+
+
+def _new_id() -> str:
+    return f"{_PREFIX}.{next(_ids):x}"
+
+
+class TraceContext:
+    """Immutable (trace_id, span_id, parent_id) triple."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id")
+
+    def __init__(self, trace_id: str, span_id: str, parent_id: Optional[str] = None):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+
+    @classmethod
+    def root(cls) -> "TraceContext":
+        return cls(_new_id(), _new_id(), None)
+
+    def child(self) -> "TraceContext":
+        return TraceContext(self.trace_id, _new_id(), self.span_id)
+
+    def to_wire(self) -> Tuple[str, str]:
+        return (self.trace_id, self.span_id)
+
+    @classmethod
+    def from_wire(cls, value: Any) -> Optional["TraceContext"]:
+        try:
+            trace_id, span_id = value
+        except (TypeError, ValueError):
+            return None
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        return cls(trace_id, span_id, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceContext({self.trace_id}, {self.span_id}, parent={self.parent_id})"
+
+
+class Span:
+    """One completed timed region; ``start``/``end`` are wall-clock seconds."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start", "end", "tags")
+
+    def __init__(self, name, trace_id, span_id, parent_id, start, end, tags=None):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end = end
+        self.tags = tags
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.tags:
+            out["tags"] = self.tags
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        return cls(
+            data.get("name", "?"),
+            data.get("trace_id", "?"),
+            data.get("span_id", "?"),
+            data.get("parent_id"),
+            float(data.get("start") or 0.0),
+            float(data.get("end") or 0.0),
+            data.get("tags"),
+        )
+
+
+# The active context rides a ContextVar: it survives both thread-synchronous
+# code (each thread has its own copy) and the asyncio server loop (each task
+# sees the value set around its dispatch).
+_current: ContextVar[Optional[TraceContext]] = ContextVar("repro_trace_ctx", default=None)
+
+
+def current_context() -> Optional[TraceContext]:
+    return _current.get()
+
+
+@contextmanager
+def activate(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Make ``ctx`` the active context for the dynamic extent of the block."""
+    token = _current.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _current.reset(token)
+
+
+class Tracer:
+    """Per-process span recorder with slow-op logging and bounded memory."""
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        slow_op_threshold: float = 0.0,
+        max_spans: int = 100_000,
+        service: str = "process",
+    ):
+        self.enabled = enabled
+        self.slow_op_threshold = slow_op_threshold
+        self.max_spans = max_spans
+        self.service = service
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._slow_ops: List[Dict[str, Any]] = []
+
+    def configure(
+        self,
+        enabled: Optional[bool] = None,
+        slow_op_threshold: Optional[float] = None,
+        service: Optional[str] = None,
+    ) -> None:
+        if enabled is not None:
+            self.enabled = enabled and not _DISABLED
+        if slow_op_threshold is not None:
+            self.slow_op_threshold = slow_op_threshold
+        if service is not None:
+            self.service = service
+
+    # -- recording ---------------------------------------------------------
+
+    def record(
+        self,
+        name: str,
+        ctx: TraceContext,
+        start: float,
+        end: float,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        span = Span(name, ctx.trace_id, ctx.span_id, ctx.parent_id, start, end, tags)
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+            else:
+                self._spans.append(span)
+        threshold = self.slow_op_threshold
+        if threshold > 0.0 and (end - start) >= threshold:
+            self.note_slow(name, end - start, tags)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: Optional[TraceContext] = None,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> Iterator[Optional[TraceContext]]:
+        """Open a child span of ``parent`` (or of the active context) and make
+        it the active context for the block.  No-op when tracing is off."""
+        if not self.enabled:
+            yield None
+            return
+        base = parent if parent is not None else _current.get()
+        ctx = base.child() if base is not None else TraceContext.root()
+        start = time.time()
+        token = _current.set(ctx)
+        try:
+            yield ctx
+        finally:
+            _current.reset(token)
+            self.record(name, ctx, start, time.time(), tags)
+
+    def note_slow(self, name: str, duration: float, tags: Optional[Dict[str, Any]] = None) -> None:
+        entry = {"name": name, "duration": duration, "at": time.time()}
+        if tags:
+            entry["tags"] = dict(tags)
+        with self._lock:
+            self._slow_ops.append(entry)
+            if len(self._slow_ops) > 1000:
+                del self._slow_ops[: len(self._slow_ops) - 1000]
+
+    # -- harvest -----------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> List[Span]:
+        with self._lock:
+            spans, self._spans = self._spans, []
+            return spans
+
+    def drain_dicts(self) -> List[Dict[str, Any]]:
+        return [span.to_dict() for span in self.drain()]
+
+    def slow_ops(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._slow_ops)
+
+
+_tracer_lock = threading.Lock()
+_tracer: Optional[Tracer] = None
+_DISABLED = os.environ.get("REPRO_OBS_DISABLE", "") in ("1", "true", "yes")
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer (created disabled; configure() turns it on)."""
+    global _tracer
+    with _tracer_lock:
+        if _tracer is None:
+            _tracer = Tracer(enabled=False)
+        return _tracer
+
+
+def reset_tracer(**kwargs: Any) -> Tracer:
+    """Replace the process tracer (tests and benchmark isolation)."""
+    global _tracer
+    with _tracer_lock:
+        if _DISABLED:
+            kwargs["enabled"] = False
+        _tracer = Tracer(**kwargs)
+        return _tracer
+
+
+# -- export ----------------------------------------------------------------
+
+
+def _chrome_events(spans: Iterable[Span], default_pid: int = 0) -> List[Dict[str, Any]]:
+    events = []
+    for span in spans:
+        # Span ids embed the originating pid ("<pid_hex>.<rand>.<n>"); use it
+        # so every process gets its own row in the viewer.
+        pid = default_pid
+        try:
+            pid = int(span.span_id.split(".", 1)[0], 16)
+        except (ValueError, AttributeError, IndexError):
+            pass
+        event = {
+            "name": span.name,
+            "cat": "blobseer",
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": max(0.0, span.duration) * 1e6,
+            "pid": pid,
+            "tid": 0,
+            "args": {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                **(span.tags or {}),
+            },
+        }
+        events.append(event)
+    return events
+
+
+def save_chrome_trace(path: str, spans: Iterable[Span]) -> str:
+    """Write spans as Chrome trace-event JSON; returns the path."""
+    payload = {"traceEvents": _chrome_events(spans), "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    return path
+
+
+def save_jsonl(path: str, spans: Iterable[Span]) -> str:
+    """Write spans as JSON-lines (one span dict per line); returns the path."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(span.to_dict()))
+            fh.write("\n")
+    return path

@@ -17,9 +17,11 @@ training input of the GloBeM-style behaviour model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..obs import metrics as obs_metrics
 
 
 #: Feature vector layout used by the behaviour model (order matters).
@@ -75,6 +77,12 @@ class WindowSample:
     scrub_repairs: int = 0
     #: Components (data/metadata/coordinator) that finished recovering.
     recoveries: int = 0
+    #: Deployment-wide commit-latency percentiles (seconds) when the sample
+    #: was built from scraped metrics snapshots (``sample_from_metrics``);
+    #: observational extras, not part of :data:`FEATURE_NAMES`.
+    commit_latency_p50: float = 0.0
+    commit_latency_p95: float = 0.0
+    commit_latency_p99: float = 0.0
 
     def hottest_vm_shard(self) -> Optional[int]:
         """Index of the shard with the deepest commit backlog (None if idle)."""
@@ -235,6 +243,91 @@ class Monitor:
 
     def trace(self) -> np.ndarray:
         return feature_matrix(self.samples)
+
+
+def _snapshot_counter(snapshot: Dict[str, Any], name: str) -> float:
+    return float(snapshot.get("counters", {}).get(name, 0))
+
+
+def sample_from_metrics(
+    snapshot: Dict[str, Any],
+    window_start: float,
+    window_end: float,
+    previous: Optional[Dict[str, Any]] = None,
+    num_providers: Optional[int] = None,
+) -> WindowSample:
+    """Build a :class:`WindowSample` from scraped metrics snapshots.
+
+    ``snapshot`` (and ``previous``, the prior window's scrape) is the value
+    :meth:`repro.net.deployment.ProcessDeployment.metrics_snapshot` returns
+    — per-process snapshots under ``"processes"`` plus a ``"merged"`` view.
+    This is the bridge that lets the QoS feedback loop observe *networked*
+    deployments: loads come from the providers' byte counters (deltas
+    against ``previous``), imbalance from the per-provider spread,
+    liveness from which providers answered the scrape, failure pressure
+    from the epoch-retry counters, and the commit-latency percentiles ride
+    along as observational extras.  :data:`FEATURE_NAMES` is unchanged.
+    """
+    processes: Dict[str, Any] = snapshot.get("processes", snapshot)
+    prev_processes: Dict[str, Any] = (previous or {}).get("processes", previous or {})
+    window = max(window_end - window_start, 1e-9)
+
+    providers = {
+        name: proc for name, proc in processes.items() if name.startswith("provider-")
+    }
+    if num_providers is None:
+        num_providers = len(providers)
+    write_deltas: List[float] = []
+    read_deltas: List[float] = []
+    for name, proc in providers.items():
+        prev = prev_processes.get(name, {})
+        write_deltas.append(
+            _snapshot_counter(proc, "provider_put_bytes")
+            - _snapshot_counter(prev, "provider_put_bytes")
+        )
+        read_deltas.append(
+            _snapshot_counter(proc, "provider_get_bytes")
+            - _snapshot_counter(prev, "provider_get_bytes")
+        )
+    write_load = float(np.sum(write_deltas)) / window if write_deltas else 0.0
+    read_load = float(np.sum(read_deltas)) / window if read_deltas else 0.0
+
+    merged = snapshot.get("merged")
+    if merged is None:
+        merged = obs_metrics.merge_snapshots(processes.values())
+    prev_merged = (previous or {}).get("merged")
+    if prev_merged is None and prev_processes:
+        prev_merged = obs_metrics.merge_snapshots(prev_processes.values())
+    retries = _snapshot_counter(merged, "epoch_retry_errors") + _snapshot_counter(
+        merged, "coordinator_reroutes_total"
+    )
+    prev_retries = 0.0
+    if prev_merged:
+        prev_retries = _snapshot_counter(
+            prev_merged, "epoch_retry_errors"
+        ) + _snapshot_counter(prev_merged, "coordinator_reroutes_total")
+
+    backlog = tuple(
+        int(processes[name].get("gauges", {}).get("coordinator_backlog", 0))
+        for name in sorted(processes)
+        if name.startswith("coordinator-")
+    )
+    latency = obs_metrics.percentiles(merged, "coordinator_commit_seconds")
+
+    return WindowSample(
+        window_start=window_start,
+        window_end=window_end,
+        live_fraction=len(providers) / max(1, num_providers),
+        client_throughput=(write_load + read_load),
+        failure_rate=max(0.0, retries - prev_retries) / window,
+        write_load=write_load,
+        read_load=read_load,
+        load_imbalance=_coefficient_of_variation(write_deltas),
+        vm_shard_backlog=backlog,
+        commit_latency_p50=latency.get("p50", 0.0),
+        commit_latency_p95=latency.get("p95", 0.0),
+        commit_latency_p99=latency.get("p99", 0.0),
+    )
 
 
 def _coefficient_of_variation(values: Sequence[float]) -> float:

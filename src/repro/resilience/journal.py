@@ -62,6 +62,8 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import ServiceError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 
 #: Record kinds a journal understands (also the replay dispatch table's keys).
 JOURNAL_OPS = ("create", "register", "publish", "abort", "repair", "drop", "membership")
@@ -237,6 +239,7 @@ class ShardJournal:
         """Log one state transition; durable (and streamed) before returning."""
         if op not in JOURNAL_OPS:
             raise ValueError(f"unknown journal op {op!r}")
+        started = time.perf_counter()
         with self._lock:
             record = JournalRecord(
                 lsn=self._next_lsn, op=op, blob_id=blob_id, payload=payload
@@ -253,6 +256,20 @@ class ShardJournal:
         # stream preserves the shard's total order.
         for callback in subscribers:
             callback(record)
+        elapsed = time.perf_counter() - started
+        if obs_metrics.enabled():
+            obs_metrics.registry().histogram("journal_append_seconds").record(elapsed)
+        tr = obs_trace.tracer()
+        if tr.enabled:
+            ctx = obs_trace.current_context()
+            if ctx is not None:
+                # The append happened inside a server dispatch span: nest a
+                # child so the WAL write shows up on the commit critical path.
+                wall_end = time.time()
+                tr.record(
+                    "journal:append", ctx.child(), wall_end - elapsed, wall_end,
+                    tags={"op": op},
+                )
         return record
 
     def ingest(
@@ -374,6 +391,7 @@ class ShardJournal:
         a segment older than every snapshot it could roll forward from is
         pure dead weight.
         """
+        started = time.perf_counter()
         with self._lock:
             self._snapshot_state = state
             self._snapshot_lsn = self._next_lsn - 1
@@ -410,6 +428,10 @@ class ShardJournal:
                 self.snapshot_path.write_text(payload)
                 self.wal_path.write_text("")
                 self._prune_locked()
+        if obs_metrics.enabled():
+            obs_metrics.registry().histogram("journal_snapshot_seconds").record(
+                time.perf_counter() - started
+            )
 
     def snapshot_due(self) -> bool:
         """Whether an auto-snapshot policy says the WAL tail should compact.
