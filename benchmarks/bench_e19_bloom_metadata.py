@@ -1,0 +1,185 @@
+"""E19 — Bloom-filter metadata acceleration: negative lookups and scrub skipping.
+
+BlobSeer's metadata plane answers two expensive questions over and over:
+"which replica actually holds this node?" (every fallback walk probes up to
+``replication`` providers for a key most of them never stored) and "did
+anything change in this ring segment?" (every anti-entropy pass digests
+every batch, churn or not).  ROADMAP item 4 adds a per-provider Bloom
+filter, aggregated client-side into a Bloofi-style filter tree, so both
+questions get an O(1)-per-provider summary answer instead of an RPC.
+
+This experiment sweeps the metadata provider count and measures three
+effects at replication ``min(8, n)``:
+
+* **cold negative lookups** — RPCs issued resolving keys that exist on no
+  provider, filters off vs on.  The unfiltered walk probes every live
+  replica owner; the filtered walk pays exactly one probe (the first live
+  owner is never skipped — filters only prune *fallbacks*) plus one extra
+  probe per false positive.
+* **snapshot-existence probes** — ``probe_exists`` answers through the
+  filter tree alone: the pruned descent costs O(log n) local filter tests
+  and zero provider RPCs in-process (at most one refresh RPC per owner in
+  networked mode).
+* **scrub skipping** — digest rounds per steady-state anti-entropy pass.
+  After one clean pass, unchurned segments are provably in sync (their
+  owners' filter epoch/generation stamps are unchanged), so the filtered
+  scrubber skips their digest exchange entirely.
+
+The measured per-probe false-positive rate is asserted against the filters'
+configured target, and the RPC reductions are the perf-regression guards CI
+runs on every push.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.dht.distributed_store import DistributedKeyValueStore
+from repro.resilience.scrub import AntiEntropyScrubber
+
+from _helpers import save_table
+
+#: Metadata provider counts to sweep (the paper's deployments grow this way).
+PROVIDERS = [16, 64, 256]
+#: The provider count CI's O(log n) probe guard runs at.
+REFERENCE_N = 256
+TARGET_FP = 0.01
+KEYS = 1500
+LOOKUPS = 600
+SCRUB_BATCH = 32
+
+
+def _store(n: int, filters_enabled: bool) -> DistributedKeyValueStore:
+    return DistributedKeyValueStore(
+        provider_ids=[f"meta-{i:03d}" for i in range(n)],
+        replication=min(8, n),
+        filters_enabled=filters_enabled,
+        filters_target_fp=TARGET_FP,
+    )
+
+
+def _populate(store: DistributedKeyValueStore) -> None:
+    for i in range(KEYS):
+        store.put(("node", i), f"value-{i}")
+
+
+def _count_rpcs(store: DistributedKeyValueStore, work) -> int:
+    """Run ``work()`` with an RPC-counting access hook installed."""
+    count = [0]
+
+    def hook(pid, op, key):
+        count[0] += 1
+
+    store.access_hook = hook
+    try:
+        work()
+    finally:
+        store.access_hook = None
+    return count[0]
+
+
+def _cold_negative_rpcs(store: DistributedKeyValueStore, absent) -> int:
+    def work():
+        for key in absent:
+            assert store.get_or_none(key) is None
+
+    return _count_rpcs(store, work)
+
+
+def _steady_state_digest_rounds(store: DistributedKeyValueStore) -> int:
+    """Digest rounds one converged (churn-free) scrub pass costs."""
+    scrubber = AntiEntropyScrubber(store, batch_size=SCRUB_BATCH)
+    first = scrubber.run_pass()
+    assert first.repairs == 0  # fully replicated: already converged
+    before = scrubber.digest_rounds
+    scrubber.run_pass()
+    return scrubber.digest_rounds - before
+
+
+def run_sweep() -> ResultTable:
+    table = ResultTable(
+        "E19: bloom-filter metadata acceleration — cold negative-lookup RPCs, "
+        f"probe_exists cost, and steady-state scrub digests (replication "
+        f"min(8, n), {KEYS} keys, {LOOKUPS} negative lookups)",
+        [
+            "providers",
+            "replication",
+            "off_neg_rpcs",
+            "on_neg_rpcs",
+            "neg_rpc_reduction",
+            "measured_fp",
+            "probe_rpcs",
+            "node_probes_per_probe",
+            "off_digest_rounds",
+            "on_digest_rounds",
+            "digest_reduction",
+        ],
+    )
+    rng = random.Random(19)
+    for n in PROVIDERS:
+        replication = min(8, n)
+        absent = [("absent", rng.getrandbits(48)) for _ in range(LOOKUPS)]
+        off = _store(n, filters_enabled=False)
+        on = _store(n, filters_enabled=True)
+        _populate(off)
+        _populate(on)
+
+        off_rpcs = _cold_negative_rpcs(off, absent)
+        assert off_rpcs == LOOKUPS * replication  # every replica owner probed
+        on_rpcs = _cold_negative_rpcs(on, absent)
+        assert on_rpcs >= LOOKUPS  # the first live owner is never skipped
+        # Every probe beyond the mandatory first one is a false positive on
+        # one of the (replication - 1) fallback filters.
+        measured_fp = (on_rpcs - LOOKUPS) / (LOOKUPS * (replication - 1))
+
+        probes_before = on._tree.node_probes
+        probe_rpcs = _count_rpcs(
+            on, lambda: [on.probe_exists(key) for key in absent]
+        )
+        node_probes = (on._tree.node_probes - probes_before) / LOOKUPS
+
+        off_rounds = _steady_state_digest_rounds(off)
+        on_rounds = _steady_state_digest_rounds(on)
+
+        table.add(
+            providers=n,
+            replication=replication,
+            off_neg_rpcs=off_rpcs,
+            on_neg_rpcs=on_rpcs,
+            neg_rpc_reduction=off_rpcs / on_rpcs,
+            measured_fp=measured_fp,
+            probe_rpcs=probe_rpcs,
+            node_probes_per_probe=node_probes,
+            off_digest_rounds=off_rounds,
+            on_digest_rounds=on_rounds,
+            digest_reduction=off_rounds / max(1, on_rounds),
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="e19-bloom-metadata")
+def test_e19_bloom_filters_accelerate_metadata(benchmark, results_dir):
+    table = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    save_table(results_dir, "e19_bloom_metadata", table)
+    for row in table.rows:
+        # Filters trade false positives for skipped RPCs; the measured FP
+        # must stay within 2x the configured target.
+        assert row["measured_fp"] <= 2 * TARGET_FP
+        if row["providers"] >= 64:
+            # The regression guards CI relies on: at scale, filters must cut
+            # both the cold negative-lookup walk and the converged scrub's
+            # digest traffic by at least 4x.
+            assert row["neg_rpc_reduction"] >= 4.0
+            assert row["digest_reduction"] >= 4.0
+    reference = [row for row in table.rows if row["providers"] == REFERENCE_N]
+    assert reference
+    # probe_exists answers from the filter tree: a pruned descent costs
+    # O(log n) local filter tests and at most one RPC per probe (zero
+    # in-process — leaves are synced locally, not over the wire).
+    bound = 2 * math.log2(REFERENCE_N) + 2
+    assert reference[0]["node_probes_per_probe"] <= bound
+    assert reference[0]["probe_rpcs"] <= LOOKUPS

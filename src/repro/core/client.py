@@ -51,7 +51,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..obs import trace as obs_trace
 from .chunking import reassemble, split_payload
 from .config import ClientConfig
-from .errors import EpochRetryError, InvalidRangeError, ReplicationError, ServiceError
+from .errors import (
+    EpochRetryError,
+    InvalidRangeError,
+    MetadataNotFoundError,
+    ReplicationError,
+    ServiceError,
+)
 from .interval import Interval
 from .metadata.cache import MetadataCache, PassthroughMetadataStore
 from .metadata.segment_tree import SegmentTreeBuilder, SegmentTreeReader, WriteRecord
@@ -162,9 +168,16 @@ class BlobSeerClient:
         )
         client_config: ClientConfig = deployment.config.client
         if client_config.metadata_cache:
+            # Negative caching keys its entries on the DHT's filter-version
+            # stamp; without that surface (filters off) it stays disabled.
+            epoch_source = getattr(
+                deployment.metadata_store, "filters_version", None
+            )
             self._metadata = MetadataCache(
                 deployment.metadata_store,
                 capacity=client_config.metadata_cache_capacity,
+                negative_capacity=client_config.metadata_negative_cache,
+                epoch_source=epoch_source,
             )
         else:
             self._metadata = PassthroughMetadataStore(deployment.metadata_store)
@@ -185,6 +198,8 @@ class BlobSeerClient:
             "metadata_nodes_fetched": 0,
             "metadata_levels_fetched": 0,
             "metadata_put_rounds": 0,
+            "metadata_probes": 0,
+            "metadata_probe_negatives": 0,
         }
 
     # -- blob lifecycle --------------------------------------------------------------
@@ -346,6 +361,18 @@ class BlobSeerClient:
                         if p.target.empty:
                             p.data = b""
                             continue
+                        # Version-existence fast path: ask the filter tree
+                        # whether the snapshot's root node exists anywhere
+                        # before descending the segment tree.  An exact
+                        # negative (filters never report false negatives)
+                        # saves the whole replica walk; "maybe"/None just
+                        # proceeds to the normal lookup.
+                        if p.snapshot.root is not None:
+                            verdict = self._metadata.probe(p.snapshot.root)
+                            self.counters["metadata_probes"] += 1
+                            if verdict is False:
+                                self.counters["metadata_probe_negatives"] += 1
+                                raise MetadataNotFoundError(p.snapshot.root)
                         reader = SegmentTreeReader(
                             self._metadata, p.snapshot.chunk_size, vectored=self._vectored
                         )
@@ -1182,6 +1209,12 @@ class Blob:
         target = Interval.of(offset, size).intersection(Interval(0, snapshot.size))
         if target.empty:
             return []
+        if snapshot.root is not None:
+            verdict = self._client._metadata.probe(snapshot.root)
+            self._client.counters["metadata_probes"] += 1
+            if verdict is False:
+                self._client.counters["metadata_probe_negatives"] += 1
+                raise MetadataNotFoundError(snapshot.root)
         reader = SegmentTreeReader(
             self._client.metadata_store,
             snapshot.chunk_size,

@@ -42,6 +42,11 @@ class ClientConfig:
     prefetch_chunks: int = 2
     #: Buffer size (bytes) used by BSFS streaming writes before flushing.
     write_buffer_chunks: int = 4
+    #: Cache *negative* metadata lookups (misses) on the client, keyed to
+    #: the DHT's filter-version stamp so any provider churn invalidates
+    #: them.  0 disables (the default): repeated misses then re-pay the
+    #: full fallback walk.  Requires ``filters_enabled`` on the deployment.
+    metadata_negative_cache: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -97,6 +102,23 @@ class BlobSeerConfig:
     #: Skip a scrub tick when the clients' metadata RPC rate over the last
     #: window exceeds this many rounds/second (0 = no backpressure).
     scrub_backpressure_rpc_rate: float = 0.0
+    #: Maintain per-provider Bloom filters over held keys, aggregated into
+    #: a Bloofi-style filter tree (ROADMAP item 4): negative lookups skip
+    #: provably-empty fallback replicas, the snapshot-read path probes
+    #: version existence before descending, and the scrubber skips
+    #: provably-synced ring segments.  Strictly an accelerator — disabling
+    #: it restores the exact unfiltered behaviour.
+    filters_enabled: bool = True
+    #: Target false-positive rate each provider filter is sized for.
+    filters_target_fp: float = 0.01
+    #: Deletes tolerated on a provider before its filter is rebuilt from
+    #: the live key set (bits cannot be cleared in place).
+    filters_rebuild_threshold: int = 64
+    #: Blobs migrated per batch during ``add_shard``/``remove_shard``
+    #: rebalances; only the current batch is commit-frozen, so the per-blob
+    #: retry window stays small on large shards.  0 = freeze the whole
+    #: migrating set for the entire rebalance (the pre-pacing behaviour).
+    migration_batch_blobs: int = 16
     #: How client operations reach the services: ``"direct"`` composes the
     #: deployment in-process (the default); ``"network"`` spawns each
     #: service as its own process and talks framed RPC over TCP
@@ -183,6 +205,10 @@ class BlobSeerConfig:
             "scrub_batch_size": self.scrub_batch_size,
             "scrub_max_batches_per_tick": self.scrub_max_batches_per_tick,
             "scrub_backpressure_rpc_rate": self.scrub_backpressure_rpc_rate,
+            "filters_enabled": self.filters_enabled,
+            "filters_target_fp": self.filters_target_fp,
+            "filters_rebuild_threshold": self.filters_rebuild_threshold,
+            "migration_batch_blobs": self.migration_batch_blobs,
             "transport": self.transport,
             "net_host": self.net_host,
             "net_connect_timeout": self.net_connect_timeout,
@@ -208,6 +234,7 @@ class BlobSeerConfig:
                 "client.vectored_metadata": self.client.vectored_metadata,
                 "client.prefetch_chunks": self.client.prefetch_chunks,
                 "client.write_buffer_chunks": self.client.write_buffer_chunks,
+                "client.metadata_negative_cache": self.client.metadata_negative_cache,
             }
         )
         return d
@@ -273,6 +300,14 @@ def validate_config(config: BlobSeerConfig) -> None:
         raise InvalidConfigError("scrub_max_batches_per_tick must be >= 0")
     if config.scrub_backpressure_rpc_rate < 0:
         raise InvalidConfigError("scrub_backpressure_rpc_rate must be >= 0")
+    if not 0.0 < config.filters_target_fp < 1.0:
+        raise InvalidConfigError(
+            "filters_target_fp must be strictly between 0 and 1"
+        )
+    if config.filters_rebuild_threshold < 1:
+        raise InvalidConfigError("filters_rebuild_threshold must be >= 1")
+    if config.migration_batch_blobs < 0:
+        raise InvalidConfigError("migration_batch_blobs must be >= 0")
     if config.transport not in ("direct", "network"):
         raise InvalidConfigError(
             f"unknown transport {config.transport!r}; expected 'direct' or 'network'"
@@ -313,3 +348,5 @@ def validate_config(config: BlobSeerConfig) -> None:
         raise InvalidConfigError("prefetch_chunks must be >= 0")
     if config.client.write_buffer_chunks < 1:
         raise InvalidConfigError("write_buffer_chunks must be >= 1")
+    if config.client.metadata_negative_cache < 0:
+        raise InvalidConfigError("metadata_negative_cache must be >= 0")

@@ -49,12 +49,16 @@ class BlobSeerDeployment:
             ],
             virtual_nodes=self.config.dht_virtual_nodes,
             replication=self.config.metadata_replication,
+            filters_enabled=self.config.filters_enabled,
+            filters_target_fp=self.config.filters_target_fp,
+            filters_rebuild_threshold=self.config.filters_rebuild_threshold,
         )
         # The version-coordinator service: blobs are routed to one of
         # ``num_version_managers`` shards, each its own serialisation domain.
         self.version_manager = ShardedVersionManager(
             num_shards=self.config.num_version_managers,
             virtual_nodes=self.config.dht_virtual_nodes,
+            migration_batch_blobs=self.config.migration_batch_blobs,
         )
         self.provider_manager = ProviderManager(
             pool=self.provider_pool, config=self.config, seed=seed
@@ -72,8 +76,13 @@ class BlobSeerDeployment:
             root = self._tempdir.name
         provider_dir = Path(root) / f"provider-{index:03d}"
         persistent = PersistentChunkStore(provider_dir)
-        # RAM cache in front of the persistent log, as in the paper (IV.B).
-        return CachedChunkStore(persistent, cache_capacity_bytes=64 * 1024 * 1024)
+        # RAM cache in front of the persistent log, as in the paper (IV.B),
+        # plus a bounded absent-key set so repeated misses skip the backend.
+        return CachedChunkStore(
+            persistent,
+            cache_capacity_bytes=64 * 1024 * 1024,
+            negative_capacity=1024,
+        )
 
     # -- clients --------------------------------------------------------------------
     def client(self, client_id: Optional[str] = None, transport=None):

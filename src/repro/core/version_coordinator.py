@@ -153,9 +153,20 @@ class ShardedVersionManager:
     behaves byte-for-byte like a single ``VersionManager``.
     """
 
-    def __init__(self, num_shards: int = 1, virtual_nodes: int = 32) -> None:
+    def __init__(
+        self,
+        num_shards: int = 1,
+        virtual_nodes: int = 32,
+        migration_batch_blobs: int = 16,
+    ) -> None:
         if num_shards < 1:
             raise InvalidConfigError("num_shards must be >= 1")
+        if migration_batch_blobs < 0:
+            raise InvalidConfigError("migration_batch_blobs must be >= 0")
+        #: Blobs frozen per migration batch during shard add/remove; 0 means
+        #: the legacy behaviour of freezing every moved blob for the whole
+        #: rebalance.
+        self.migration_batch_blobs = migration_batch_blobs
         #: The routing source of truth: epoch + ring + per-shard status.
         self.membership = CoordinatorMembership(
             [f"vm-{index:03d}" for index in range(num_shards)],
@@ -180,6 +191,8 @@ class ShardedVersionManager:
         self.recoveries = 0
         self.rebalances = 0
         self.blobs_migrated = 0
+        self.migration_batches = 0
+        self.migration_catchup_records = 0
         # Journal every committed epoch bump (no-op until durability is on).
         self.membership.on_change = self._on_membership_change
 
@@ -357,10 +370,40 @@ class ShardedVersionManager:
                 plan.setdefault(src_index, []).append(blob_id)
         return plan
 
-    def _stream_blob(self, src: VersionManager, blob_id: BlobId, dest_index: int) -> int:
+    @staticmethod
+    def _record_key(record) -> Tuple[str, int]:
+        """Identity of one exported journal record within a blob's history.
+
+        ``export_blob_records`` is *not* prefix-stable — it emits the
+        create, then every register, then every publish/abort — so a
+        later, longer export cannot be diffed by slicing off a count
+        prefix.  Each record is instead keyed by ``(op, version)`` (the
+        create by ``("create", 0)``), which is unique within a blob: a
+        version registers once and reaches at most one terminal record.
+        """
+        if record.op == "create":
+            return ("create", 0)
+        return (record.op, record.payload["version"])
+
+    def _replay_into(self, records, dest_index: int) -> None:
+        """Replay exported records into shard ``dest_index`` — through the
+        destination's journal when durable (the standby follows the same
+        stream), directly otherwise."""
+        from ..resilience.journal import apply_record
+
+        dest = self.shards[dest_index]
+        journal = self.journals[dest_index] if self.journals is not None else None
+        if journal is not None:
+            journal.ingest(records, apply_to=dest, notify=True)
+        else:
+            for record in records:
+                apply_record(dest, record)
+
+    def _stream_blob(
+        self, src: VersionManager, blob_id: BlobId, dest_index: int
+    ) -> "Tuple[int, set]":
         """Export one blob's history from ``src`` and replay it into shard
-        ``dest_index`` — through the destination's journal when durable (the
-        standby follows the same stream), directly otherwise.
+        ``dest_index``; returns ``(records streamed, applied record keys)``.
 
         Replaying history is not commit *activity*: the destination's
         monitoring counters (registrations, publishes, rounds) are restored
@@ -369,23 +412,101 @@ class ShardedVersionManager:
         commits on the newcomer (which would spike the imbalance signal
         right after every rebalance).
         """
-        from ..resilience.journal import apply_record
-
         records = src.export_blob_records(blob_id)
+        self._replay_into(records, dest_index)
         dest = self.shards[dest_index]
-        journal = self.journals[dest_index] if self.journals is not None else None
-        if journal is not None:
-            journal.ingest(records, apply_to=dest, notify=True)
-        else:
-            for record in records:
-                apply_record(dest, record)
         dest.discount_replayed_activity(
             registers=sum(1 for record in records if record.op == "register"),
             publishes=sum(1 for record in records if record.op == "publish"),
             published=dest.latest_version(blob_id),
         )
         self.blobs_migrated += 1
-        return len(records)
+        return len(records), {self._record_key(record) for record in records}
+
+    def _stream_blob_delta(
+        self, src: VersionManager, blob_id: BlobId, dest_index: int, applied: set
+    ) -> int:
+        """Catch a previously streamed blob up: re-export and replay only
+        the records whose key is not yet in ``applied``.
+
+        Commits that landed on the old owner between the blob's batch and
+        the final freeze show up as new register/publish/abort records.
+        One rewrite is needed: a version the first stream replayed as
+        aborted and the source then repaired exports as a bare ``publish``,
+        which the destination (holding the version aborted) must replay as
+        a ``repair``.
+        """
+        from ..resilience.journal import JournalRecord
+
+        fresh = []
+        for record in src.export_blob_records(blob_id):
+            key = self._record_key(record)
+            if key in applied:
+                continue
+            if record.op == "publish" and ("abort", key[1]) in applied:
+                record = JournalRecord(
+                    lsn=0,
+                    op="repair",
+                    blob_id=blob_id,
+                    payload={"version": key[1]},
+                )
+            fresh.append(record)
+            applied.add(key)
+        if not fresh:
+            return 0
+        dest = self.shards[dest_index]
+        frontier_before = dest.latest_version(blob_id)
+        self._replay_into(fresh, dest_index)
+        dest.discount_replayed_activity(
+            registers=sum(1 for record in fresh if record.op == "register"),
+            publishes=sum(1 for record in fresh if record.op == "publish"),
+            published=dest.latest_version(blob_id) - frontier_before,
+        )
+        self.migration_catchup_records += len(fresh)
+        return len(fresh)
+
+    def _stream_moves(self, moves: "List[Tuple[int, BlobId, int]]") -> int:
+        """Stream ``(src shard, blob, dest shard)`` moves, pacing the freeze.
+
+        With ``migration_batch_blobs == 0`` (or few enough moves) this is
+        the legacy behaviour: every moved blob's commit path is frozen for
+        the whole rebalance.  Otherwise blobs are streamed in bounded
+        batches — only the current batch is frozen, so commits to the rest
+        of the moving set keep flowing — followed by one freeze-all
+        catch-up pass that replays just the per-blob record deltas (see
+        :meth:`_stream_blob_delta`), which is short because each blob only
+        accumulated the commits that raced its unfrozen window.  Returns
+        total records streamed (catch-up deltas included).
+        """
+        batch_size = self.migration_batch_blobs
+        total = 0
+        if batch_size <= 0 or len(moves) <= batch_size:
+            self.membership.set_migrating([blob_id for _, blob_id, _ in moves])
+            for src_index, blob_id, dest_index in moves:
+                count, _ = self._stream_blob(
+                    self.shards[src_index], blob_id, dest_index
+                )
+                total += count
+            return total
+        applied: Dict[BlobId, set] = {}
+        for start in range(0, len(moves), batch_size):
+            chunk = moves[start : start + batch_size]
+            self.membership.set_migrating([blob_id for _, blob_id, _ in chunk])
+            self.migration_batches += 1
+            for src_index, blob_id, dest_index in chunk:
+                count, keys = self._stream_blob(
+                    self.shards[src_index], blob_id, dest_index
+                )
+                applied[blob_id] = keys
+                total += count
+        # Final consistent cut: freeze every moved blob, then fold in
+        # whatever landed on the old owners between a blob's batch and now.
+        self.membership.set_migrating([blob_id for _, blob_id, _ in moves])
+        for src_index, blob_id, dest_index in moves:
+            total += self._stream_blob_delta(
+                self.shards[src_index], blob_id, dest_index, applied[blob_id]
+            )
+        return total
 
     def add_shard(self, shard_id: Optional[str] = None) -> Dict[str, object]:
         """Grow the coordinator by one shard at runtime.
@@ -418,9 +539,6 @@ class ShardedVersionManager:
             try:
                 plan = self._migration_plan(pending_ring, target=shard_id)
                 migrating = [blob_id for ids in plan.values() for blob_id in ids]
-                # Freeze the moved blobs' commit paths *before* the first
-                # export: from here every racing commit retries by epoch.
-                self.membership.set_migrating(migrating)
                 if self.journals is not None:
                     template = self.journals[0]
                     journal = ShardJournal(
@@ -439,11 +557,16 @@ class ShardedVersionManager:
                     # replica receives the migrated histories like any other
                     # transition.
                     self.standbys.append(ShardStandby(shard_id, journal))
-                records_streamed = 0
-                for src_index in sorted(plan):
-                    src = self.shards[src_index]
-                    for blob_id in plan[src_index]:
-                        records_streamed += self._stream_blob(src, blob_id, index)
+                # The freeze happens inside _stream_moves, before the first
+                # export of each batch: a racing commit either precedes its
+                # blob's export (and is in the copy) or retries by epoch.
+                records_streamed = self._stream_moves(
+                    [
+                        (src_index, blob_id, index)
+                        for src_index in sorted(plan)
+                        for blob_id in plan[src_index]
+                    ]
+                )
             except Exception:
                 self.membership.abort_transition()
                 del self.shards[index:]
@@ -493,11 +616,13 @@ class ShardedVersionManager:
                         pending_ring.owner(_blob_key(blob_id))
                     )
                     destinations.setdefault(dest_index, []).append(blob_id)
-                self.membership.set_migrating(moved)
-                src = self.shards[index]
-                for dest_index in sorted(destinations):
-                    for blob_id in destinations[dest_index]:
-                        records_streamed += self._stream_blob(src, blob_id, dest_index)
+                records_streamed = self._stream_moves(
+                    [
+                        (index, blob_id, dest_index)
+                        for dest_index in sorted(destinations)
+                        for blob_id in destinations[dest_index]
+                    ]
+                )
             except Exception:
                 self.membership.abort_transition()
                 raise
@@ -1069,6 +1194,8 @@ class ShardedVersionManager:
         report = self.membership.report()
         report["rebalances"] = self.rebalances
         report["blobs_migrated"] = self.blobs_migrated
+        report["migration_batches"] = self.migration_batches
+        report["migration_catchup_records"] = self.migration_catchup_records
         return report
 
     def shard_reports(self) -> List[Dict[str, object]]:

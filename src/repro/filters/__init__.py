@@ -1,0 +1,29 @@
+"""Bloom-filter metadata acceleration (ROADMAP item 4).
+
+Per-provider Bloom filters summarise which keys each :class:`KeyValueStore`
+/ :class:`DataProvider` holds; a Bloofi-style :class:`FilterTree` aggregates
+them so clients and the scrubber can answer "who might hold this key?" in
+O(log n) local probes instead of O(n) RPCs.  Filters are strictly an
+accelerator: false positives fall back to the unfiltered path, and the
+epoch/generation protocol makes false negatives impossible.
+"""
+
+from .bloom import (
+    DEFAULT_REBUILD_THRESHOLD,
+    DEFAULT_TARGET_FP,
+    BloomFilter,
+    FilterDelta,
+    FilterSnapshot,
+    MaintainedFilter,
+)
+from .tree import FilterTree
+
+__all__ = [
+    "BloomFilter",
+    "DEFAULT_REBUILD_THRESHOLD",
+    "DEFAULT_TARGET_FP",
+    "FilterDelta",
+    "FilterSnapshot",
+    "FilterTree",
+    "MaintainedFilter",
+]

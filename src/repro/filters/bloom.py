@@ -1,0 +1,276 @@
+"""Dependency-free Bloom filters with mergeable snapshots and compact diffs.
+
+Two layers live here:
+
+- :class:`BloomFilter` — the raw bit set.  Probe positions come from
+  Kirsch–Mitzenmaier double hashing over one 16-byte BLAKE2b digest of the
+  canonical key bytes (:func:`repro.dht.hashing.stable_hash_pair`), so the
+  same key always sets the same bits in every process.  Filters sized with
+  identical ``(m, k)`` parameters union exactly (bitwise OR), which is what
+  lets a Bloofi-style tree aggregate per-provider filters.
+- :class:`MaintainedFilter` — a filter plus the bookkeeping a provider needs
+  to publish it incrementally: an *epoch* (bumped whenever bits are lost —
+  rebuild, clear, capacity regrow), a *generation* (monotone count of
+  bit-set events within the epoch), and a bounded log of recently set bit
+  indices so a reader that is only a little behind can catch up with a
+  compact :class:`FilterDelta` instead of a full :class:`FilterSnapshot`.
+
+Deletes cannot clear bits (other keys may share them), so providers count
+them as *dirt* and rebuild from live keys once ``rebuild_threshold`` deletes
+accumulate — a rebuild starts a new epoch and readers refetch the snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple, Union
+
+# ``repro.dht.hashing`` is bound lazily: importing it at module load would
+# run ``repro.dht.__init__``, whose store module imports this module back.
+_stable_hash_pair = None
+
+
+def stable_hash_pair(key: Any) -> "Tuple[int, int]":
+    """The canonical 2x64-bit key digest (``repro.dht.hashing``'s, cached)."""
+    global _stable_hash_pair
+    if _stable_hash_pair is None:
+        from ..dht.hashing import stable_hash_pair as impl
+
+        _stable_hash_pair = impl
+    return _stable_hash_pair(key)
+
+
+#: Default false-positive target when a knob is not supplied.
+DEFAULT_TARGET_FP = 0.01
+#: Deletes tolerated before a provider rebuilds its filter from live keys.
+DEFAULT_REBUILD_THRESHOLD = 64
+#: Smallest capacity a maintained filter is sized for.  Capacities grow in
+#: powers of two from here, so every provider that started from the same
+#: knobs passes through the same (m, k) ladder and tree unions stay exact.
+INITIAL_CAPACITY = 1024
+#: Bit-set events kept in the delta log before readers must take a snapshot.
+RECENT_LIMIT = 8192
+
+_LN2 = math.log(2.0)
+
+
+@dataclass(frozen=True)
+class FilterSnapshot:
+    """Full copy of one provider's filter at (epoch, generation)."""
+
+    provider_id: str
+    epoch: int
+    generation: int
+    bits_m: int
+    hashes_k: int
+    count: int
+    bits: bytes
+
+
+@dataclass(frozen=True)
+class FilterDelta:
+    """Bit indices set between ``since_generation`` and ``generation``.
+
+    Only valid against the exact same ``epoch`` the reader already holds;
+    a reader that cannot apply it refetches the full snapshot.
+    """
+
+    provider_id: str
+    epoch: int
+    since_generation: int
+    generation: int
+    indices: Tuple[int, ...]
+
+
+class BloomFilter:
+    """A plain Bloom filter over arbitrary DHT keys.
+
+    ``m == 0`` is the disabled filter: it answers "maybe" for every key and
+    ignores adds, which lets callers treat "filters off" and "filters on"
+    through one code path.
+    """
+
+    __slots__ = ("m", "k", "bits", "count")
+
+    def __init__(self, m: int, k: int, bits: int = 0, count: int = 0) -> None:
+        self.m = m
+        self.k = k
+        self.bits = bits
+        self.count = count
+
+    @classmethod
+    def for_capacity(cls, capacity: int, target_fp: float) -> "BloomFilter":
+        """Size a filter so ``capacity`` keys stay under ``target_fp``."""
+        if capacity <= 0:
+            return cls(0, 0)
+        m = math.ceil(-capacity * math.log(target_fp) / (_LN2 * _LN2))
+        m = ((m + 63) // 64) * 64  # whole 64-bit words
+        k = max(1, round((m / capacity) * _LN2))
+        return cls(m, k)
+
+    def indices(self, key: Any) -> List[int]:
+        """The ``k`` bit positions ``key`` maps to."""
+        if self.m == 0:
+            return []
+        h1, h2 = stable_hash_pair(key)
+        h2 |= 1  # odd stride: full period modulo any even m
+        return [(h1 + i * h2) % self.m for i in range(self.k)]
+
+    def add(self, key: Any) -> List[int]:
+        """Insert ``key``; return the bit indices that were newly set."""
+        new: List[int] = []
+        for index in self.indices(key):
+            mask = 1 << index
+            if not self.bits & mask:
+                self.bits |= mask
+                new.append(index)
+        self.count += 1
+        return new
+
+    def set_bits(self, indices: Iterable[int]) -> None:
+        for index in indices:
+            self.bits |= 1 << index
+
+    def may_contain(self, key: Any) -> bool:
+        if self.m == 0:
+            return True
+        bits = self.bits
+        for index in self.indices(key):
+            if not bits & (1 << index):
+                return False
+        return True
+
+    def compatible_with(self, other: "BloomFilter") -> bool:
+        return self.m == other.m and self.k == other.k
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Exact merge of two same-parameter filters."""
+        if not self.compatible_with(other):
+            raise ValueError(
+                f"cannot union bloom filters with different parameters: "
+                f"(m={self.m}, k={self.k}) vs (m={other.m}, k={other.k})"
+            )
+        return BloomFilter(
+            self.m, self.k, self.bits | other.bits, self.count + other.count
+        )
+
+    def copy(self) -> "BloomFilter":
+        return BloomFilter(self.m, self.k, self.bits, self.count)
+
+    def estimated_fp_rate(self) -> float:
+        """Expected false-positive rate at the current fill."""
+        if self.m == 0:
+            return 1.0
+        fill = bin(self.bits).count("1") / self.m
+        return fill**self.k
+
+    def to_bytes(self) -> bytes:
+        return self.bits.to_bytes((self.m + 7) // 8, "little") if self.m else b""
+
+    @classmethod
+    def from_snapshot(cls, snap: FilterSnapshot) -> "BloomFilter":
+        bits = int.from_bytes(snap.bits, "little") if snap.bits else 0
+        return cls(snap.bits_m, snap.hashes_k, bits, snap.count)
+
+
+class MaintainedFilter:
+    """A provider-side filter with epoch/generation/delta bookkeeping.
+
+    Not thread-safe on its own — owners mutate it under the same lock that
+    guards the data it summarises, so filter state can never be observed
+    ahead of the store state it describes.
+    """
+
+    def __init__(
+        self,
+        target_fp: float = DEFAULT_TARGET_FP,
+        rebuild_threshold: int = DEFAULT_REBUILD_THRESHOLD,
+        initial_capacity: int = INITIAL_CAPACITY,
+    ) -> None:
+        self.target_fp = target_fp
+        self.rebuild_threshold = max(1, rebuild_threshold)
+        self.capacity = max(1, initial_capacity)
+        self.bloom = BloomFilter.for_capacity(self.capacity, target_fp)
+        self.epoch = 1
+        self.generation = 0
+        self.dirty = 0
+        self.rebuilds = 0
+        self._recent: List[int] = []
+        self._recent_floor = 0  # generation of the event before _recent[0]
+
+    def add(self, key: Any) -> None:
+        new = self.bloom.add(key)
+        if not new:
+            return
+        self.generation += len(new)
+        self._recent.extend(new)
+        overflow = len(self._recent) - RECENT_LIMIT
+        if overflow > 0:
+            del self._recent[:overflow]
+            self._recent_floor += overflow
+
+    def note_delete(self) -> None:
+        """Record a delete; bits stay set until the next rebuild."""
+        self.dirty += 1
+
+    def needs_rebuild(self, live_keys: int) -> bool:
+        return self.dirty >= self.rebuild_threshold or live_keys > self.capacity
+
+    def rebuild(self, keys: Iterable[Any]) -> None:
+        """Re-derive the filter from the live key set (new epoch)."""
+        keys = list(keys)
+        capacity = self.capacity
+        while len(keys) > capacity:
+            capacity *= 2
+        self.capacity = capacity
+        self.bloom = BloomFilter.for_capacity(capacity, self.target_fp)
+        for key in keys:
+            self.bloom.add(key)
+        self.epoch += 1
+        self.generation = 0
+        self.dirty = 0
+        self.rebuilds += 1
+        self._recent = []
+        self._recent_floor = 0
+
+    def may_contain(self, key: Any) -> bool:
+        return self.bloom.may_contain(key)
+
+    def state(self) -> Tuple[int, int]:
+        """Cheap (epoch, generation) version stamp for staleness checks."""
+        return (self.epoch, self.generation)
+
+    def snapshot(self, provider_id: str) -> FilterSnapshot:
+        return FilterSnapshot(
+            provider_id=provider_id,
+            epoch=self.epoch,
+            generation=self.generation,
+            bits_m=self.bloom.m,
+            hashes_k=self.bloom.k,
+            count=self.bloom.count,
+            bits=self.bloom.to_bytes(),
+        )
+
+    def delta(
+        self, provider_id: str, epoch: int, since_generation: int
+    ) -> Union[FilterDelta, FilterSnapshot]:
+        """The cheapest catch-up for a reader at (epoch, since_generation).
+
+        A compact delta when the reader's epoch matches and the requested
+        window is still in the recent-bits log; the full snapshot otherwise.
+        """
+        if (
+            epoch != self.epoch
+            or since_generation > self.generation
+            or since_generation < self._recent_floor
+        ):
+            return self.snapshot(provider_id)
+        start = since_generation - self._recent_floor
+        return FilterDelta(
+            provider_id=provider_id,
+            epoch=self.epoch,
+            since_generation=since_generation,
+            generation=self.generation,
+            indices=tuple(self._recent[start:]),
+        )

@@ -1,0 +1,182 @@
+"""Bloofi-style filter tree: provider filters at the leaves, unions above.
+
+A reader (DHT client, scrubber) holds one :class:`FilterTree` mirroring the
+provider set.  Leaves carry the last filter snapshot/delta received from
+each provider; interior nodes are lazily recomputed unions.  A membership
+probe descends from the root and prunes every subtree whose union excludes
+the key — an absent key answered by a synced tree costs O(log n) local
+filter probes instead of O(n) provider RPCs, which is the whole point.
+
+Safety over freshness: a leaf that has never been synced (or whose filter
+parameters cannot be unioned with its sibling's) poisons its ancestors to
+the *unknown* state, which never excludes anything.  Stale filters can only
+produce false positives (extra probes, today's cost), never false
+negatives — bits are only ever added within an epoch, and anything that
+clears bits bumps the epoch, which readers detect and resnapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .bloom import BloomFilter, FilterDelta, FilterSnapshot
+
+
+class _Sentinel:
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self._name
+
+
+#: Leaf never synced / un-unionable parameters: cannot exclude anything.
+UNKNOWN = _Sentinel("<unknown>")
+#: Padding slot past the real leaves: excludes everything.
+VACANT = _Sentinel("<vacant>")
+
+
+class FilterTree:
+    """Balanced binary union tree over per-provider Bloom filters."""
+
+    def __init__(self, leaf_ids: Sequence[str]) -> None:
+        self.probes = 0  # probe() calls
+        self.node_probes = 0  # filter tests performed across all probes
+        self.negative_probes = 0  # probe() calls that excluded every leaf
+        self._states: Dict[str, Tuple[int, int]] = {}
+        self._filters: Dict[str, Any] = {}
+        self._build(sorted(leaf_ids))
+
+    def _build(self, leaf_ids: List[str]) -> None:
+        self._leaf_ids = leaf_ids
+        self._slot = {pid: i for i, pid in enumerate(leaf_ids)}
+        size = 1
+        while size < max(1, len(leaf_ids)):
+            size *= 2
+        self._size = size
+        # Heap layout: root at 1, leaf j at size + j.
+        self._nodes: List[Any] = [VACANT] * (2 * size)
+        for i, pid in enumerate(leaf_ids):
+            self._nodes[size + i] = self._filters.get(pid, UNKNOWN)
+        for i in range(size - 1, 0, -1):
+            self._nodes[i] = None  # interior: recompute lazily
+        self._dirty = True  # force a full interior recompute on first probe
+
+    # -- leaf maintenance ------------------------------------------------
+
+    def leaf_ids(self) -> List[str]:
+        return list(self._leaf_ids)
+
+    def add_leaf(self, pid: str) -> None:
+        if pid not in self._slot:
+            self._build(sorted(self._leaf_ids + [pid]))
+
+    def leaf_state(self, pid: str) -> Optional[Tuple[int, int]]:
+        """(epoch, generation) the tree holds for ``pid``; None if unsynced."""
+        return self._states.get(pid)
+
+    def apply_snapshot(self, snap: FilterSnapshot) -> None:
+        pid = snap.provider_id
+        if pid not in self._slot:
+            self.add_leaf(pid)
+        value: Any = UNKNOWN if snap.bits_m == 0 else BloomFilter.from_snapshot(snap)
+        self._filters[pid] = value
+        self._nodes[self._size + self._slot[pid]] = value
+        self._states[pid] = (snap.epoch, snap.generation)
+        self._mark_dirty(pid)
+
+    def apply_delta(self, delta: FilterDelta) -> bool:
+        """Apply a delta; False means it did not chain onto the held state
+        (wrong epoch or a generation gap) and the caller must resnapshot."""
+        pid = delta.provider_id
+        held = self._states.get(pid)
+        if held is None or held != (delta.epoch, delta.since_generation):
+            return False
+        leaf = self._filters.get(pid)
+        if not isinstance(leaf, BloomFilter):
+            return False
+        leaf.set_bits(delta.indices)
+        self._states[pid] = (delta.epoch, delta.generation)
+        if delta.indices:
+            self._mark_dirty(pid)
+        return True
+
+    def apply(self, update: Union[FilterDelta, FilterSnapshot]) -> bool:
+        if isinstance(update, FilterSnapshot):
+            self.apply_snapshot(update)
+            return True
+        return self.apply_delta(update)
+
+    def forget_leaf(self, pid: str) -> None:
+        """Drop a leaf back to the never-synced state."""
+        if pid in self._slot:
+            self._filters[pid] = UNKNOWN
+            self._nodes[self._size + self._slot[pid]] = UNKNOWN
+            self._states.pop(pid, None)
+            self._mark_dirty(pid)
+
+    def _mark_dirty(self, pid: str) -> None:
+        index = (self._size + self._slot[pid]) // 2
+        while index >= 1 and self._nodes[index] is not None:
+            self._nodes[index] = None
+            index //= 2
+        self._dirty = True
+
+    # -- probing ---------------------------------------------------------
+
+    def _value(self, index: int) -> Any:
+        node = self._nodes[index]
+        if node is not None:
+            return node
+        left = self._value(2 * index)
+        right = self._value(2 * index + 1)
+        if left is UNKNOWN or right is UNKNOWN:
+            merged: Any = UNKNOWN
+        elif left is VACANT:
+            merged = right
+        elif right is VACANT:
+            merged = left
+        elif left.compatible_with(right):
+            merged = left.union(right)
+        else:
+            # Mixed parameters (a leaf regrew): the union is not computable,
+            # so this subtree can never be pruned as a whole — its halves
+            # still prune individually on descent.
+            merged = UNKNOWN
+        self._nodes[index] = merged
+        return merged
+
+    def leaf_may_contain(self, pid: str, key: Any) -> bool:
+        """Single-leaf membership test; unsynced leaves answer "maybe"."""
+        leaf = self._filters.get(pid, UNKNOWN)
+        self.node_probes += 1
+        if isinstance(leaf, BloomFilter):
+            return leaf.may_contain(key)
+        return leaf is not VACANT
+
+    def probe(self, key: Any) -> List[str]:
+        """Leaf ids that may hold ``key`` (superset of the truth)."""
+        self.probes += 1
+        self._dirty = False
+        candidates: List[str] = []
+        stack = [1]
+        while stack:
+            index = stack.pop()
+            node = self._value(index)
+            if node is VACANT:
+                continue
+            if isinstance(node, BloomFilter):
+                self.node_probes += 1
+                if not node.may_contain(key):
+                    continue
+            # UNKNOWN (or a surviving filter probe): descend / accept.
+            if index >= self._size:
+                candidates.append(self._leaf_ids[index - self._size])
+            else:
+                stack.append(2 * index)
+                stack.append(2 * index + 1)
+        if not candidates:
+            self.negative_probes += 1
+        return candidates

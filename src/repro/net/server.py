@@ -87,6 +87,43 @@ def _vitals() -> Dict[str, Any]:
     return {"uptime": time.time() - _PROCESS_START, "rss_bytes": _rss_bytes()}
 
 
+def _filter_handlers(target: Any = None) -> Handlers:
+    """The Bloom-filter surface every role serves beside ``health``.
+
+    ``target`` is any object exposing ``filter_state`` / ``filter_snapshot``
+    / ``filter_delta`` (a DHT store node, a data provider).  Roles that hold
+    no keyed data serve an empty :class:`~repro.filters.bloom.
+    MaintainedFilter` instead, so a sweeping client can call the same RPCs
+    on every address without special-casing roles.
+    """
+    if target is None:
+        from ..filters.bloom import MaintainedFilter
+
+        empty = MaintainedFilter()
+
+        class _Empty:
+            @staticmethod
+            def filter_state():
+                return empty.state()
+
+            @staticmethod
+            def filter_snapshot():
+                return empty.snapshot("none")
+
+            @staticmethod
+            def filter_delta(epoch=0, since_generation=0):
+                return empty.delta("none", epoch, since_generation)
+
+        target = _Empty()
+    return {
+        "filter_state": lambda: list(target.filter_state()),
+        "filter_snapshot": target.filter_snapshot,
+        "filter_delta": lambda epoch=0, since_generation=0: target.filter_delta(
+            epoch, since_generation
+        ),
+    }
+
+
 def _obs_handlers(on_scrape: Optional[Callable[[], None]] = None) -> Handlers:
     """The observability surface every role exposes next to ``health``."""
 
@@ -165,6 +202,7 @@ def provider_handlers(index: int, config: BlobSeerConfig) -> Handlers:
             **_vitals(),
         },
         **_obs_handlers(),
+        **_filter_handlers(provider),
         "put_chunk": put_chunk,
         "get_chunk": get_chunk,
         "has_chunk": provider.has_chunk,
@@ -179,7 +217,12 @@ def provider_handlers(index: int, config: BlobSeerConfig) -> Handlers:
 
 
 def meta_handlers(index: int, config: BlobSeerConfig) -> Handlers:
-    store = KeyValueStore(provider_id=f"meta-{index:03d}")
+    store = KeyValueStore(
+        provider_id=f"meta-{index:03d}",
+        filters_enabled=config.filters_enabled,
+        filters_target_fp=config.filters_target_fp,
+        filters_rebuild_threshold=config.filters_rebuild_threshold,
+    )
     return {
         "ping": lambda: True,
         "health": lambda: {
@@ -189,6 +232,7 @@ def meta_handlers(index: int, config: BlobSeerConfig) -> Handlers:
             **_vitals(),
         },
         **_obs_handlers(),
+        **_filter_handlers(store),
         "put": store.put,
         "get": store.get,
         "get_or_none": store.get_or_none,
@@ -420,6 +464,7 @@ def coordinator_handlers(
                 **_vitals(),
             },
             **_obs_handlers(on_scrape=_scrape_gauges),
+            **_filter_handlers(),
             "journal_stream": journal_stream,
             "membership": lambda: (
                 journal.latest_membership() if journal is not None else None
@@ -604,6 +649,7 @@ def standby_handlers(
             "alloc_blob_ids": lambda count=1: _ids()["alloc_blob_ids"](count),
             "reserve_blob_id": lambda blob_id: _ids()["reserve_blob_id"](blob_id),
             **_obs_handlers(),
+            **_filter_handlers(),
             "health": health,
             "follow": follow,
             "take_over": take_over,
@@ -634,6 +680,7 @@ def pmgr_handlers(index: int, config: BlobSeerConfig) -> Handlers:
             **_vitals(),
         },
         **_obs_handlers(),
+        **_filter_handlers(),
         "allocate": lambda blob_id, offset, size, chunk_size, replication=None: list(
             manager.allocate(blob_id, offset, size, chunk_size, replication=replication)
         ),

@@ -83,11 +83,27 @@ class LRUByteCache:
 
 
 class CachedChunkStore(ChunkStore):
-    """RAM cache layered over a slower (typically persistent) backend."""
+    """RAM cache layered over a slower (typically persistent) backend.
 
-    def __init__(self, backend: ChunkStore, cache_capacity_bytes: int) -> None:
+    Besides the positive payload cache, an optional bounded *negative* set
+    remembers keys the backend recently reported absent — repeated misses
+    (replica probes, GC double-deletes) then skip the backend entirely.  A
+    ``put`` for the key drops its negative entry, so a present chunk is
+    never reported missing.
+    """
+
+    def __init__(
+        self,
+        backend: ChunkStore,
+        cache_capacity_bytes: int,
+        negative_capacity: int = 0,
+    ) -> None:
         self._backend = backend
         self._cache = LRUByteCache(cache_capacity_bytes)
+        self._negative_capacity = negative_capacity
+        self._negatives: "OrderedDict[ChunkKey, None]" = OrderedDict()
+        self._negative_lock = threading.Lock()
+        self.negative_hits = 0
 
     @property
     def cache(self) -> LRUByteCache:
@@ -97,27 +113,65 @@ class CachedChunkStore(ChunkStore):
     def backend(self) -> ChunkStore:
         return self._backend
 
+    def _negative_has(self, key: ChunkKey) -> bool:
+        if self._negative_capacity <= 0:
+            return False
+        with self._negative_lock:
+            if key in self._negatives:
+                self.negative_hits += 1
+                return True
+        return False
+
+    def _record_negative(self, key: ChunkKey) -> None:
+        if self._negative_capacity <= 0:
+            return
+        with self._negative_lock:
+            self._negatives[key] = None
+            self._negatives.move_to_end(key)
+            while len(self._negatives) > self._negative_capacity:
+                self._negatives.popitem(last=False)
+
+    def _forget_negative(self, key: ChunkKey) -> None:
+        if self._negative_capacity <= 0:
+            return
+        with self._negative_lock:
+            self._negatives.pop(key, None)
+
     def put(self, key: ChunkKey, data: bytes) -> None:
         payload = bytes(data)
         self._backend.put(key, payload)
+        self._forget_negative(key)
         self._cache.put(key, payload)
 
     def get(self, key: ChunkKey) -> bytes:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        data = self._backend.get(key)
+        if self._negative_has(key):
+            raise ChunkNotFoundError(str(key))
+        try:
+            data = self._backend.get(key)
+        except ChunkNotFoundError:
+            self._record_negative(key)
+            raise
         self._cache.put(key, data)
         return data
 
     def contains(self, key: ChunkKey) -> bool:
         if self._cache.get(key) is not None:
             return True
-        return self._backend.contains(key)
+        if self._negative_has(key):
+            return False
+        present = self._backend.contains(key)
+        if not present:
+            self._record_negative(key)
+        return present
 
     def delete(self, key: ChunkKey) -> bool:
         self._cache.invalidate(key)
-        return self._backend.delete(key)
+        removed = self._backend.delete(key)
+        self._record_negative(key)
+        return removed
 
     def keys(self) -> List[ChunkKey]:
         return self._backend.keys()
